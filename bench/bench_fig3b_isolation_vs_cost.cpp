@@ -1,0 +1,47 @@
+// Fig. 3(b) — maximum possible isolation vs. the deployment-cost
+// constraint, under two usability constraints (5 and 7).
+//
+// Expected shape (paper §V-A): isolation grows with budget, the lower
+// usability floor dominates, and beyond a certain budget the curves
+// plateau — extra money cannot buy isolation that the usability constraint
+// forbids.
+#include "common/workloads.h"
+#include "synth/optimizer.h"
+#include "topology/generator.h"
+
+int main() {
+  using namespace cs;
+  model::ProblemSpec spec;
+  spec.network = topology::make_paper_example();
+  const model::ServiceId svc = spec.services.add("svc");
+  const auto& hosts = spec.network.hosts();
+  for (const topology::NodeId i : hosts)
+    for (const topology::NodeId j : hosts)
+      if (i != j) spec.flows.add(model::Flow{i, j, svc});
+  for (std::size_t f = 0; f < spec.flows.size(); f += 10)
+    spec.connectivity.add(static_cast<model::FlowId>(f));
+  spec.finalize();
+
+  const util::Fixed usabilities[] = {util::Fixed::from_int(5),
+                                     util::Fixed::from_int(7)};
+  const int step = bench::full_mode() ? 5 : 10;
+
+  std::vector<std::vector<std::string>> rows;
+  for (int c = 0; c <= 60; c += step) {
+    std::vector<std::string> row{std::to_string(c)};
+    for (const util::Fixed usab : usabilities) {
+      synth::Synthesizer synthesizer(spec, bench::options());
+      const synth::OptimizeResult best = synth::maximize_isolation(
+          synthesizer, spec, usab, util::Fixed::from_int(c));
+      row.push_back(best.feasible ? best.metrics.isolation.to_string() +
+                                        (best.exact ? "" : " (>=)")
+                    : best.exact ? "infeasible"
+                                 : "timeout");
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::emit("fig3b_isolation_vs_cost",
+              "Fig 3(b): max isolation vs deployment cost constraint",
+              {"budget($K)", "isolation@U5", "isolation@U7"}, rows);
+  return 0;
+}

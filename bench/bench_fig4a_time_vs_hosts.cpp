@@ -1,0 +1,35 @@
+// Fig. 4(a) — model synthesis time vs. the number of hosts, at two
+// connectivity-requirement volumes (10% and 20% of all flows).
+//
+// Expected shape (paper §V-B): super-quadratic growth in the host count
+// (the flow count is O(N²)), with the 20% CR curve above the 10% curve.
+#include "common/workloads.h"
+
+int main() {
+  using namespace cs;
+  const std::vector<int> host_counts =
+      bench::full_mode() ? std::vector<int>{10, 20, 30, 40, 50}
+                         : std::vector<int>{6, 10, 14, 18};
+  const double cr_volumes[] = {0.10, 0.20};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const int hosts : host_counts) {
+    const int routers = std::clamp(8 + hosts / 5, 8, 20);
+    std::vector<std::string> row{std::to_string(hosts)};
+    for (const double cr : cr_volumes) {
+      const model::ProblemSpec spec = bench::make_eval_spec(
+          hosts, routers, cr, 1000 + static_cast<std::uint64_t>(hosts));
+      const model::Sliders sliders{
+          util::Fixed::from_int(3), util::Fixed::from_int(3),
+          util::Fixed::from_int(10 * hosts)};  // budget scales with size
+      const bench::TimedRun run = bench::run_synthesis(spec, sliders);
+      row.push_back(bench::fmt_seconds(run.seconds) +
+                    (run.status == smt::CheckResult::kSat ? "" : " (unsat)"));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::emit("fig4a_time_vs_hosts",
+              "Fig 4(a): synthesis time vs number of hosts",
+              {"hosts", "time(s)@10%CR", "time(s)@20%CR"}, rows);
+  return 0;
+}

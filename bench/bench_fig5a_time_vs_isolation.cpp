@@ -1,0 +1,41 @@
+// Fig. 5(a) — synthesis time vs. the isolation constraint, at two
+// usability constraints (3 and 5).
+//
+// Expected shape (paper §V-B): tightening the isolation threshold shrinks
+// the solution space, so time rises — slowly at first, then sharply past a
+// knee; the tighter usability curve (5) sits above the looser one (3)
+// where both are still satisfiable.
+#include "common/workloads.h"
+#include "synth/synthesizer.h"
+
+int main() {
+  using namespace cs;
+  const int hosts = bench::full_mode() ? 30 : 10;
+  const int routers = std::clamp(8 + hosts / 5, 8, 20);
+  const model::ProblemSpec spec =
+      bench::make_eval_spec(hosts, routers, 0.10, 4242);
+  const util::Fixed usabilities[] = {util::Fixed::from_int(3),
+                                     util::Fixed::from_int(5)};
+  const util::Fixed budget = util::Fixed::from_int(10 * hosts);
+  const int iso_max = bench::full_mode() ? 7 : 6;
+
+  std::vector<std::vector<std::string>> rows;
+  for (int iso = 0; iso <= iso_max; ++iso) {
+    std::vector<std::string> row{std::to_string(iso)};
+    for (const util::Fixed usab : usabilities) {
+      // Fresh synthesizer per point: the paper measures cold solves.
+      util::Stopwatch watch;
+      synth::Synthesizer synthesizer(
+          spec, bench::options());
+      const synth::SynthesisResult r = synthesizer.synthesize(
+          model::Sliders{util::Fixed::from_int(iso), usab, budget});
+      row.push_back(bench::fmt_seconds(watch.elapsed_seconds()) +
+                    (r.status == smt::CheckResult::kSat ? "" : " (unsat)"));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::emit("fig5a_time_vs_isolation",
+              "Fig 5(a): synthesis time vs isolation constraint",
+              {"isolation", "time(s)@U3", "time(s)@U5"}, rows);
+  return 0;
+}

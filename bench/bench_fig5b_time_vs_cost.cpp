@@ -1,0 +1,42 @@
+// Fig. 5(b) — synthesis time vs. the deployment-cost constraint, at two
+// usability constraints (3 and 5).
+//
+// Expected shape (paper §V-B): a small budget tightens the problem and
+// costs time; as the budget grows the solver finds models faster, and past
+// a point additional budget no longer changes the time.
+#include "common/workloads.h"
+#include "synth/synthesizer.h"
+
+int main() {
+  using namespace cs;
+  const int hosts = bench::full_mode() ? 30 : 10;
+  const int routers = std::clamp(8 + hosts / 5, 8, 20);
+  const model::ProblemSpec spec =
+      bench::make_eval_spec(hosts, routers, 0.10, 4243);
+  const util::Fixed usabilities[] = {util::Fixed::from_int(3),
+                                     util::Fixed::from_int(5)};
+  const util::Fixed isolation = util::Fixed::from_int(3);
+  const std::vector<int> budgets =
+      bench::full_mode()
+          ? std::vector<int>{25, 50, 75, 100, 150, 200, 250, 300}
+          : std::vector<int>{25, 50, 100, 200};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const int budget : budgets) {
+    std::vector<std::string> row{std::to_string(budget)};
+    for (const util::Fixed usab : usabilities) {
+      util::Stopwatch watch;
+      synth::Synthesizer synthesizer(
+          spec, bench::options());
+      const synth::SynthesisResult r = synthesizer.synthesize(
+          model::Sliders{isolation, usab, util::Fixed::from_int(budget)});
+      row.push_back(bench::fmt_seconds(watch.elapsed_seconds()) +
+                    (r.status == smt::CheckResult::kSat ? "" : " (unsat)"));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::emit("fig5b_time_vs_cost",
+              "Fig 5(b): synthesis time vs deployment cost constraint",
+              {"budget($K)", "time(s)@U3", "time(s)@U5"}, rows);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks of the substrates (google-benchmark): route enumeration,
+// partial-order completion, encoding throughput, MiniPB solving.
+#include <benchmark/benchmark.h>
+
+#include "common/workloads.h"
+#include "minisolver/solver.h"
+#include "model/order.h"
+#include "smt/ir.h"
+#include "synth/encoder.h"
+#include "topology/generator.h"
+#include "topology/routes.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cs;
+
+void BM_RouteEnumeration(benchmark::State& state) {
+  util::Rng rng(1);
+  topology::GeneratorConfig cfg;
+  cfg.hosts = static_cast<int>(state.range(0));
+  cfg.routers = 16;
+  cfg.extra_core_link_ratio = 1.0;
+  const topology::Network net = topology::generate_topology(cfg, rng);
+  topology::RouteOptions opts;
+  opts.max_routes = 4;
+  for (auto _ : state) {
+    topology::RouteTable table(net, opts);
+    std::size_t total = 0;
+    for (const topology::NodeId a : net.hosts())
+      for (const topology::NodeId b : net.hosts())
+        if (a != b) total += table.routes(a, b).size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_RouteEnumeration)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_OrderCompletion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<model::OrderConstraint> constraints;
+  for (std::size_t i = 1; i < n; ++i)
+    constraints.push_back(model::OrderConstraint{
+        static_cast<std::size_t>(rng.uniform(0, static_cast<int>(i) - 1)), i,
+        model::OrderRelation::kGreater});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::complete_order(n, constraints));
+  }
+}
+BENCHMARK(BM_OrderCompletion)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_Encode(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  const model::ProblemSpec spec =
+      bench::make_eval_spec(hosts, 12, 0.10, 77);
+  for (auto _ : state) {
+    auto backend = smt::make_backend(smt::BackendKind::kMiniPb);
+    topology::RouteTable routes(spec.network, spec.route_options);
+    synth::Encoding encoding(spec, routes, *backend);
+    benchmark::DoNotOptimize(encoding.stats().clauses);
+  }
+}
+BENCHMARK(BM_Encode)->Arg(8)->Arg(16);
+
+void BM_MiniPbPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    minisolver::Solver s;
+    std::vector<std::vector<minisolver::Var>> x(
+        static_cast<std::size_t>(holes + 1));
+    for (auto& row : x)
+      for (int h = 0; h < holes; ++h) row.push_back(s.new_var());
+    for (const auto& row : x) {
+      std::vector<minisolver::Lit> some;
+      for (const minisolver::Var v : row)
+        some.push_back(minisolver::Lit::pos(v));
+      s.add_clause(some);
+    }
+    for (int h = 0; h < holes; ++h)
+      for (std::size_t p1 = 0; p1 < x.size(); ++p1)
+        for (std::size_t p2 = p1 + 1; p2 < x.size(); ++p2)
+          s.add_clause({minisolver::Lit::neg(x[p1][static_cast<std::size_t>(
+                            h)]),
+                        minisolver::Lit::neg(x[p2][static_cast<std::size_t>(
+                            h)])});
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_MiniPbPigeonhole)->Arg(5)->Arg(7);
+
+void BM_MiniPbCardinalityChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    minisolver::Solver s;
+    std::vector<minisolver::PbTerm> terms;
+    for (int i = 0; i < n; ++i)
+      terms.push_back(minisolver::PbTerm{minisolver::Lit::pos(s.new_var()),
+                                         (i % 7) + 1});
+    s.add_linear_ge(terms, n);
+    s.add_linear_le(terms, 2 * n);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_MiniPbCardinalityChain)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

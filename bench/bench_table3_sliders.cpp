@@ -1,0 +1,36 @@
+// Table III — assistance on choosing slider values.
+//
+// Prints the representative (isolation, usability) operating points that
+// ConfigSynth presents to its user for the running example: full denial,
+// no isolation, deny-all-but-CR, 50% deny, and the 25%/25% deny/trusted
+// mix. The paper reports 10/0, 0/10, 8.2/1.8, 5/≈5 and ≈5/7.5 for its
+// example; the shape (monotone trade-off, deny-but-CR close to the top) is
+// what must reproduce.
+#include "common/workloads.h"
+#include "synth/assistance.h"
+#include "topology/generator.h"
+
+int main() {
+  using namespace cs;
+  model::ProblemSpec spec;
+  spec.network = topology::make_paper_example();
+  const model::ServiceId svc = spec.services.add("svc");
+  const auto& hosts = spec.network.hosts();
+  for (const topology::NodeId i : hosts)
+    for (const topology::NodeId j : hosts)
+      if (i != j) spec.flows.add(model::Flow{i, j, svc});
+  // 10% connectivity requirements, spread deterministically.
+  for (std::size_t f = 0; f < spec.flows.size(); f += 10)
+    spec.connectivity.add(static_cast<model::FlowId>(f));
+  spec.finalize();
+
+  const std::vector<synth::SliderChoice> rows = synth::slider_assistance(spec);
+  std::vector<std::vector<std::string>> out;
+  for (const synth::SliderChoice& r : rows)
+    out.push_back({r.isolation.to_string(), r.usability.to_string(),
+                   r.description});
+  bench::emit("table3_sliders",
+              "Table III: slider assistance (example network)",
+              {"isolation", "usability", "configuration"}, out);
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "common/workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "topology/generator.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace cs::bench {
+
+bool full_mode() {
+  const char* v = std::getenv("CS_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+smt::BackendKind backend() {
+  const char* v = std::getenv("CS_BENCH_BACKEND");
+  if (v == nullptr) return smt::BackendKind::kZ3;
+  return smt::backend_from_name(v);
+}
+
+synth::SynthesisOptions options() {
+  synth::SynthesisOptions opts;
+  opts.backend = backend();
+  opts.check_time_limit_ms = full_mode() ? 120000 : 10000;
+  return opts;
+}
+
+model::ProblemSpec make_eval_spec(int hosts, int routers,
+                                  double cr_fraction, std::uint64_t seed,
+                                  int services) {
+  util::Rng rng(seed);
+  model::ProblemSpec spec;
+  topology::GeneratorConfig net_cfg;
+  net_cfg.hosts = hosts;
+  net_cfg.routers = routers;
+  spec.network = topology::generate_topology(net_cfg, rng);
+
+  model::WorkloadConfig wl;
+  wl.service_count = services;
+  wl.max_services_per_pair = std::min(3, services);
+  wl.cr_fraction = cr_fraction;
+  model::populate_random_workload(spec, wl, rng);
+  return spec;
+}
+
+TimedRun run_synthesis(const model::ProblemSpec& spec,
+                       const model::Sliders& sliders) {
+  util::Stopwatch watch;
+  synth::Synthesizer synthesizer(spec, options());
+  synth::SynthesisResult result = synthesizer.synthesize(sliders);
+  TimedRun out;
+  out.seconds = watch.elapsed_seconds();
+  out.encode_seconds = result.encode_seconds;
+  out.status = result.status;
+  out.solver_memory_bytes = result.solver_memory_bytes;
+  out.design = std::move(result.design);
+  return out;
+}
+
+double median_synthesis_seconds(int hosts, int routers, double cr_fraction,
+                                std::uint64_t base_seed, int seeds,
+                                const model::Sliders& sliders,
+                                bool* all_decided) {
+  std::vector<double> times;
+  bool decided = true;
+  for (int s = 0; s < seeds; ++s) {
+    const model::ProblemSpec spec = make_eval_spec(
+        hosts, routers, cr_fraction, base_seed + static_cast<std::uint64_t>(s));
+    const TimedRun run = run_synthesis(spec, sliders);
+    times.push_back(run.seconds);
+    decided = decided && run.status != smt::CheckResult::kUnknown;
+  }
+  std::sort(times.begin(), times.end());
+  if (all_decided != nullptr) *all_decided = decided;
+  return times[times.size() / 2];
+}
+
+void emit(const std::string& name, const std::string& title,
+          const std::vector<std::string>& header,
+          const std::vector<std::vector<std::string>>& rows) {
+  std::printf("=== %s ===\n", title.c_str());
+  util::TextTable table(header);
+  for (const auto& row : rows) table.add_row(row);
+  std::fputs(table.render().c_str(), stdout);
+
+  const std::string path = name + ".csv";
+  util::CsvWriter csv(path, header);
+  for (const auto& row : rows) csv.add_row(row);
+  std::printf("(series written to %s)\n\n", path.c_str());
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+}  // namespace cs::bench

@@ -1,0 +1,75 @@
+// Shared workload builder and measurement helpers for the bench binaries.
+//
+// Every figure/table bench generates networks through this module so the
+// whole evaluation agrees on the methodology (paper §V): random connected
+// router core, hosts attached at the edge, 1-3 services per ordered host
+// pair, connectivity requirements as a percentage of all flows.
+//
+// Benches run in two scales:
+//   * quick (default)         — small sweeps, finishes in seconds; used by
+//                               `for b in build/bench/*; do $b; done`.
+//   * full  (CS_BENCH_FULL=1) — paper-scale parameter ranges.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/spec.h"
+#include "smt/ir.h"
+#include "synth/synthesizer.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace cs::bench {
+
+/// True when CS_BENCH_FULL=1 is set in the environment.
+bool full_mode();
+
+/// Backend selected by CS_BENCH_BACKEND (z3|minipb); defaults to Z3, the
+/// paper's solver.
+smt::BackendKind backend();
+
+/// Standard synthesis options for benches: the selected backend plus a
+/// per-check time cap (10s quick / 120s full) so boundary probes — which
+/// are genuinely exponential (paper Fig. 5a) — terminate. Capped checks
+/// are reported as such in the tables.
+synth::SynthesisOptions options();
+
+/// Builds an evaluation spec: generated topology + random workload.
+/// Sliders are left at zero; callers set them per experiment.
+model::ProblemSpec make_eval_spec(int hosts, int routers,
+                                  double cr_fraction, std::uint64_t seed,
+                                  int services = 3);
+
+struct TimedRun {
+  smt::CheckResult status = smt::CheckResult::kUnknown;
+  /// Synthesis time = model generation + constraint verification (the
+  /// paper's definition; generation is separately available below).
+  double seconds = 0;
+  double encode_seconds = 0;
+  std::size_t solver_memory_bytes = 0;
+  std::optional<synth::SecurityDesign> design;
+};
+
+/// One full synthesis (fresh synthesizer) under explicit sliders.
+TimedRun run_synthesis(const model::ProblemSpec& spec,
+                       const model::Sliders& sliders);
+
+/// Median synthesis time over `seeds` regenerated workloads (same size
+/// parameters, different seeds); the status is the first run's. Tames the
+/// per-seed variance of random networks in the timing figures.
+double median_synthesis_seconds(int hosts, int routers, double cr_fraction,
+                                std::uint64_t base_seed, int seeds,
+                                const model::Sliders& sliders,
+                                bool* all_decided = nullptr);
+
+/// Prints the table and writes `<name>.csv` beside the binary.
+void emit(const std::string& name, const std::string& title,
+          const std::vector<std::string>& header,
+          const std::vector<std::vector<std::string>>& rows);
+
+/// Formats seconds with millisecond resolution.
+std::string fmt_seconds(double s);
+
+}  // namespace cs::bench

@@ -1,0 +1,186 @@
+// configsynth_cli — the command-line face of the library.
+//
+// Subcommands:
+//   synth <input.cfg>            synthesize for the file's slider values,
+//                                print report, Table V, placements,
+//                                exposure, and save the design
+//   optimize <input.cfg>         maximize isolation under the file's
+//                                usability/budget sliders
+//   frontier <input.cfg>         sweep the usability/budget trade-off grid
+//   assist <input.cfg>           print the Table III slider assistance
+//   explain <input.cfg>          run Algorithm 1 on an UNSAT slider triple
+//   check <input.cfg> <design>   re-validate a saved design file
+//
+// Common flags (after the subcommand arguments):
+//   --backend z3|minipb   solver backend (default z3)
+//   --time-limit <ms>     per-check cap (default 20000)
+//   --out <file>          where `synth` writes the design (default
+//                         design.txt)
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/checker.h"
+#include "analysis/design_io.h"
+#include "analysis/exposure.h"
+#include "analysis/report.h"
+#include "model/input_file.h"
+#include "synth/assistance.h"
+#include "synth/frontier.h"
+#include "synth/optimizer.h"
+#include "synth/synthesizer.h"
+#include "synth/unsat_analysis.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace cs;
+
+struct CliOptions {
+  synth::SynthesisOptions synthesis;
+  std::string out_path = "design.txt";
+};
+
+CliOptions parse_flags(int argc, char** argv, int first_flag) {
+  CliOptions opts;
+  opts.synthesis.check_time_limit_ms = 20000;
+  for (int i = first_flag; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      CS_REQUIRE(i + 1 < argc, "flag " + flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--backend") {
+      opts.synthesis.backend = smt::backend_from_name(next());
+    } else if (flag == "--time-limit") {
+      opts.synthesis.check_time_limit_ms =
+          util::parse_int(next(), "time limit");
+    } else if (flag == "--out") {
+      opts.out_path = next();
+    } else {
+      throw util::SpecError("unknown flag '" + flag + "'");
+    }
+  }
+  return opts;
+}
+
+int cmd_synth(const model::ProblemSpec& spec, const CliOptions& opts) {
+  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  const synth::SynthesisResult result = synthesizer.synthesize();
+  std::cout << analysis::render_report(spec, result);
+  if (result.status != smt::CheckResult::kSat) {
+    if (result.status == smt::CheckResult::kUnsat)
+      std::cout << "\n" << synth::analyze_unsat(synthesizer, spec).to_string();
+    return 1;
+  }
+  synth::SecurityDesign design = *result.design;
+  analysis::minimize_placements(spec, design);
+  std::cout << "\n" << design.isolation_table(spec);
+  std::cout << "\n" << design.to_string(spec);
+  std::cout << "\n=== Exposure ===\n"
+            << analysis::render_exposure(
+                   analysis::compute_exposure(spec, design));
+  std::ofstream out(opts.out_path);
+  analysis::save_design(out, design);
+  std::cout << "\ndesign saved to " << opts.out_path << "\n";
+  return 0;
+}
+
+int cmd_optimize(const model::ProblemSpec& spec, const CliOptions& opts) {
+  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  const synth::OptimizeResult best = synth::maximize_isolation(
+      synthesizer, spec, spec.sliders.usability, spec.sliders.budget);
+  if (!best.feasible) {
+    std::cout << "infeasible: usability/budget constraints conflict with "
+                 "the hard requirements\n";
+    return 1;
+  }
+  std::cout << "max isolation " << best.metrics.isolation
+            << (best.exact ? "" : " (lower bound, probes capped)")
+            << " at usability " << best.metrics.usability << ", cost $"
+            << best.metrics.cost << "K, " << best.design->device_count()
+            << " devices (" << best.probes << " probes, "
+            << best.solve_seconds << "s)\n";
+  return 0;
+}
+
+int cmd_mincost(const model::ProblemSpec& spec, const CliOptions& opts) {
+  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  const synth::MinCostResult r = synth::minimize_cost(
+      synthesizer, spec, spec.sliders.isolation, spec.sliders.usability);
+  if (!r.feasible) {
+    std::cout << "infeasible: the isolation/usability floors cannot be met "
+                 "at any budget\n";
+    return 1;
+  }
+  std::cout << "cheapest deployment: $" << r.min_budget << "K"
+            << (r.exact ? "" : " (upper bound, probes capped)")
+            << " — isolation " << r.metrics.isolation << ", usability "
+            << r.metrics.usability << ", " << r.design->device_count()
+            << " devices (" << r.probes << " probes, " << r.solve_seconds
+            << "s)\n";
+  return 0;
+}
+
+int cmd_frontier(const model::ProblemSpec& spec, const CliOptions& opts) {
+  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  const auto points = synth::explore_frontier(
+      synthesizer, spec,
+      synth::FrontierOptions::fig3_defaults(
+          spec.sliders.budget / 2, spec.sliders.budget));
+  std::cout << synth::render_frontier(points);
+  return 0;
+}
+
+int cmd_assist(const model::ProblemSpec& spec) {
+  std::cout << synth::render_assistance(synth::slider_assistance(spec));
+  return 0;
+}
+
+int cmd_explain(const model::ProblemSpec& spec, const CliOptions& opts) {
+  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  std::cout << synth::analyze_unsat(synthesizer, spec).to_string();
+  return 0;
+}
+
+int cmd_check(const model::ProblemSpec& spec, const std::string& path) {
+  std::ifstream in(path);
+  CS_REQUIRE(static_cast<bool>(in), "cannot open design '" + path + "'");
+  const synth::SecurityDesign design = analysis::load_design(in);
+  const analysis::CheckReport report = analysis::check_design(spec, design);
+  std::cout << report.to_string();
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) {
+      std::cerr
+          << "usage: " << argv[0]
+          << " synth|optimize|frontier|assist|explain <input.cfg> [flags]\n"
+          << "       " << argv[0] << " check <input.cfg> <design> [flags]\n";
+      return 2;
+    }
+    const std::string cmd = argv[1];
+    const model::ProblemSpec spec = model::parse_input_file(argv[2]);
+
+    if (cmd == "check") {
+      CS_REQUIRE(argc >= 4, "check needs a design file");
+      return cmd_check(spec, argv[3]);
+    }
+    const CliOptions opts = parse_flags(argc, argv, 3);
+    if (cmd == "synth") return cmd_synth(spec, opts);
+    if (cmd == "optimize") return cmd_optimize(spec, opts);
+    if (cmd == "mincost") return cmd_mincost(spec, opts);
+    if (cmd == "frontier") return cmd_frontier(spec, opts);
+    if (cmd == "assist") return cmd_assist(spec);
+    if (cmd == "explain") return cmd_explain(spec, opts);
+    std::cerr << "unknown subcommand '" << cmd << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,155 @@
+// Enterprise campus scenario: a realistic multi-service synthesis.
+//
+// A generated campus network (20 host groups, 12 routers, Internet uplink)
+// runs the standard service catalog. The organization specifies:
+//   * service demand ranks (WEB and DB matter most),
+//   * UIC1: no IPSec tunneling for SSH (it is already encrypted),
+//   * UIC3: no trusted-communication pattern for WEB,
+//   * UIC2: workstation h1 may reach the DB server only if the Internet
+//     cannot reach h1 (conditional access via DenyOneOf),
+//   * connectivity requirements for the business-critical flows.
+// The example synthesizes a design, verifies it, and then uses the
+// optimizer to report the best reachable isolation under the same budget.
+//
+// Usage: enterprise_campus [z3|minipb] [seed]
+#include <iostream>
+
+#include "analysis/checker.h"
+#include "analysis/exposure.h"
+#include "analysis/report.h"
+#include "synth/optimizer.h"
+#include "synth/synthesizer.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace cs;
+  try {
+    synth::SynthesisOptions options;
+    options.check_time_limit_ms = 20000;  // boundary probes are hard
+    if (argc > 1) options.backend = smt::backend_from_name(argv[1]);
+    const std::uint64_t seed =
+        argc > 2 ? static_cast<std::uint64_t>(
+                       util::parse_int(argv[2], "seed"))
+                 : 2026;
+
+    util::Rng rng(seed);
+    model::ProblemSpec spec;
+
+    topology::GeneratorConfig net_cfg;
+    net_cfg.hosts = 20;
+    net_cfg.routers = 12;
+    net_cfg.extra_core_link_ratio = 0.6;
+    net_cfg.include_internet = true;
+    spec.network = topology::generate_topology(net_cfg, rng);
+
+    model::add_standard_services(spec.services);
+    const model::ServiceId web = *spec.services.find("WEB");
+    const model::ServiceId ssh = *spec.services.find("SSH");
+    const model::ServiceId db = *spec.services.find("DB");
+    const model::ServiceId dns = *spec.services.find("DNS");
+
+    // Flows: every host group consumes WEB+DNS from two server groups,
+    // admins (first two groups) get SSH everywhere, the app tier talks DB.
+    const auto& hosts = spec.network.hosts();
+    const topology::NodeId web_srv = hosts[18];
+    const topology::NodeId db_srv = hosts[19];
+    topology::NodeId internet = topology::kInvalidNode;
+    for (const topology::NodeId h : hosts)
+      if (spec.network.node(h).is_internet) internet = h;
+
+    for (const topology::NodeId h : hosts) {
+      if (h == web_srv || h == db_srv || h == internet) continue;
+      spec.flows.add(model::Flow{h, web_srv, web});
+      spec.flows.add(model::Flow{h, web_srv, dns});
+      spec.flows.add(model::Flow{h, db_srv, db});
+    }
+    for (int admin = 0; admin < 2; ++admin) {
+      for (const topology::NodeId h : hosts) {
+        if (h == hosts[static_cast<std::size_t>(admin)] || h == internet)
+          continue;
+        spec.flows.add(
+            model::Flow{hosts[static_cast<std::size_t>(admin)], h, ssh});
+      }
+    }
+    // The Internet reaches the public web server, and may probe h1.
+    spec.flows.add(model::Flow{internet, web_srv, web});
+    spec.flows.add(model::Flow{internet, hosts[0], web});
+
+    // Connectivity requirements: all WEB flows to the public server plus
+    // the admins' SSH into the server groups.
+    for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+      const model::Flow& flow =
+          spec.flows.flow(static_cast<model::FlowId>(f));
+      if (flow.dst == web_srv && flow.service == web)
+        spec.connectivity.add(static_cast<model::FlowId>(f));
+      if (flow.service == ssh && (flow.dst == web_srv || flow.dst == db_srv))
+        spec.connectivity.add(static_cast<model::FlowId>(f));
+    }
+
+    // Demand ranks: WEB=DB > SSH > DNS and the rest.
+    std::vector<model::OrderConstraint> demand;
+    demand.push_back({static_cast<std::size_t>(web),
+                      static_cast<std::size_t>(db),
+                      model::OrderRelation::kEqual});
+    demand.push_back({static_cast<std::size_t>(web),
+                      static_cast<std::size_t>(ssh),
+                      model::OrderRelation::kGreater});
+    demand.push_back({static_cast<std::size_t>(ssh),
+                      static_cast<std::size_t>(dns),
+                      model::OrderRelation::kGreater});
+    spec.ranks = model::FlowRanks::from_service_order(
+        spec.flows, spec.services.size(), demand);
+
+    // User-defined isolation policies.
+    spec.user_constraints.push_back(model::ForbidPatternForService{
+        ssh, model::IsolationPattern::kTrustedComm});  // UIC1
+    spec.user_constraints.push_back(model::ForbidPatternForService{
+        web, model::IsolationPattern::kTrustedComm});  // UIC3
+    spec.user_constraints.push_back(model::DenyOneOf{
+        model::Flow{hosts[0], db_srv, db},
+        model::Flow{internet, hosts[0], web}});  // UIC2
+
+    // Risk-based constraint: the DB server is the crown jewel — its
+    // per-host isolation must reach at least 5 regardless of the global
+    // slider (RMC).
+    spec.host_requirements.push_back(model::HostIsolationRequirement{
+        db_srv, util::Fixed::from_int(5)});
+
+    spec.sliders = model::Sliders{util::Fixed::from_int(3),
+                                  util::Fixed::from_int(5),
+                                  util::Fixed::from_int(120)};
+    spec.finalize();
+
+    std::cout << "campus: " << spec.network.host_count() << " host groups, "
+              << spec.network.router_count() << " routers, "
+              << spec.flows.size() << " flows, "
+              << spec.connectivity.size() << " connectivity requirements\n\n";
+
+    synth::Synthesizer synthesizer(spec, options);
+    const synth::SynthesisResult result = synthesizer.synthesize();
+    std::cout << analysis::render_report(spec, result) << "\n";
+    if (result.status != smt::CheckResult::kSat) return 1;
+
+    std::cout << "=== Exposure (worst first) ===\n"
+              << analysis::render_exposure(
+                     analysis::compute_exposure(spec, *result.design))
+              << "\n";
+
+    const synth::OptimizeResult best = synth::maximize_isolation(
+        synthesizer, spec, spec.sliders.usability, spec.sliders.budget);
+    std::cout << "max isolation under usability>="
+              << spec.sliders.usability << ", budget<=" << spec.sliders.budget
+              << ": " << best.metrics.isolation << " (threshold "
+              << best.max_threshold << ", " << best.probes << " probes, "
+              << best.solve_seconds << "s)\n";
+    std::cout << "optimal design: usability=" << best.metrics.usability
+              << " cost=" << best.metrics.cost << " devices="
+              << best.design->device_count() << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

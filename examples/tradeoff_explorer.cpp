@@ -1,0 +1,59 @@
+// Trade-off explorer: the isolation/usability/cost frontier of a network.
+//
+// Uses the frontier API to sweep usability floors under two budgets — an
+// interactive version of the paper's Fig. 3(a) analysis, runnable on any
+// generated network.
+//
+// Usage: tradeoff_explorer [z3|minipb] [hosts] [routers] [seed]
+#include <iostream>
+
+#include "model/spec.h"
+#include "synth/frontier.h"
+#include "synth/synthesizer.h"
+#include "topology/generator.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace cs;
+  try {
+    synth::SynthesisOptions options;
+    options.check_time_limit_ms = 20000;  // boundary probes are hard
+    if (argc > 1) options.backend = smt::backend_from_name(argv[1]);
+    const int hosts =
+        argc > 2 ? static_cast<int>(util::parse_int(argv[2], "hosts")) : 10;
+    const int routers =
+        argc > 3 ? static_cast<int>(util::parse_int(argv[3], "routers")) : 8;
+    const std::uint64_t seed =
+        argc > 4
+            ? static_cast<std::uint64_t>(util::parse_int(argv[4], "seed"))
+            : 7;
+
+    util::Rng rng(seed);
+    model::ProblemSpec spec;
+    topology::GeneratorConfig net_cfg;
+    net_cfg.hosts = hosts;
+    net_cfg.routers = routers;
+    spec.network = topology::generate_topology(net_cfg, rng);
+    model::WorkloadConfig wl;
+    wl.cr_fraction = 0.1;
+    model::populate_random_workload(spec, wl, rng);
+    spec.sliders.budget = util::Fixed::from_int(100);
+
+    std::cout << "network: " << hosts << " hosts, " << routers
+              << " routers, " << spec.flows.size() << " flows ("
+              << spec.connectivity.size() << " required)\n\n";
+
+    const synth::FrontierOptions fopts =
+        synth::FrontierOptions::fig3_defaults(util::Fixed::from_int(60),
+                                              util::Fixed::from_int(150));
+    const auto points = synth::explore_frontier(spec, options, fopts);
+    std::cout << synth::render_frontier(points);
+    std::cout << "\nReading: isolation falls as the usability floor rises; "
+                 "the larger budget dominates row by row (paper Fig. 3a). "
+                 "A '+' marks a capped probe (value is a lower bound).\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

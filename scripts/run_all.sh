@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and regenerates every paper
+# table/figure. Artifacts: test_output.txt, bench_output.txt, *.csv.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/bench_*; do
+  echo "### $b"
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,194 @@
+#include "analysis/checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cs::analysis {
+
+namespace {
+
+using topology::LinkId;
+using topology::Route;
+
+std::string flow_text(const model::ProblemSpec& spec, model::FlowId f) {
+  const model::Flow& flow = spec.flows.flow(f);
+  return spec.network.node(flow.src).name + "->" +
+         spec.network.node(flow.dst).name + ":" +
+         spec.services.service(flow.service).name;
+}
+
+}  // namespace
+
+std::string CheckReport::to_string() const {
+  std::ostringstream out;
+  out << "metrics: isolation=" << metrics.isolation
+      << " usability=" << metrics.usability << " cost=" << metrics.cost
+      << "\n";
+  if (issues.empty()) {
+    out << "design OK\n";
+  } else {
+    out << issues.size() << " issue(s):\n";
+    for (const std::string& i : issues) out << "  - " << i << "\n";
+  }
+  return out.str();
+}
+
+CheckReport check_design(const model::ProblemSpec& spec,
+                         const synth::SecurityDesign& design,
+                         bool check_thresholds) {
+  CheckReport report;
+  topology::RouteTable routes(spec.network, spec.route_options);
+
+  const auto covered = [&](const Route& r, model::DeviceType d) {
+    return std::any_of(r.links.begin(), r.links.end(), [&](LinkId e) {
+      return design.placed(e, d);
+    });
+  };
+
+  for (std::size_t fi = 0; fi < spec.flows.size(); ++fi) {
+    const auto f = static_cast<model::FlowId>(fi);
+    const auto chosen = design.pattern(f);
+
+    // IIC2 / CR: required flows must be able to communicate.
+    if (spec.connectivity.required(f) && chosen.has_value() &&
+        model::denies_flow(*chosen)) {
+      report.issues.push_back("connectivity requirement denied: " +
+                              flow_text(spec, f));
+    }
+    if (!chosen.has_value()) continue;
+    if (!spec.isolation.is_enabled(*chosen)) {
+      report.issues.push_back("disabled pattern selected on " +
+                              flow_text(spec, f));
+      continue;
+    }
+
+    // eq. 1 + eq. 7: every required device covers every route.
+    const model::Flow& flow = spec.flows.flow(f);
+    const std::vector<Route>& route_set = routes.routes(flow.src, flow.dst);
+    for (const model::DeviceType d : model::devices_for(*chosen)) {
+      if (d == model::DeviceType::kIpsec) {
+        const auto margin =
+            static_cast<std::size_t>(spec.isolation.tunnel_margin());
+        for (const Route& r : route_set) {
+          if (r.length() < 2 * margin + 1) {
+            report.issues.push_back(
+                "trusted communication on a route shorter than 2T+1: " +
+                flow_text(spec, f));
+            continue;
+          }
+          const auto any_in = [&](std::size_t from, std::size_t count) {
+            for (std::size_t t = from; t < from + count; ++t)
+              if (design.placed(r.links[t], d)) return true;
+            return false;
+          };
+          if (!any_in(0, margin))
+            report.issues.push_back(
+                "missing source-side IPSec gateway for " +
+                flow_text(spec, f));
+          if (!any_in(r.length() - margin, margin))
+            report.issues.push_back(
+                "missing destination-side IPSec gateway for " +
+                flow_text(spec, f));
+        }
+      } else {
+        for (const Route& r : route_set) {
+          if (!covered(r, d)) {
+            report.issues.push_back(
+                std::string(model::device_name(d)) +
+                " missing on a route of " + flow_text(spec, f));
+          }
+        }
+      }
+    }
+  }
+
+  // Host-level patterns must come from the enabled set (§VII extension).
+  for (const topology::NodeId j : spec.network.hosts()) {
+    if (const auto t = design.host_pattern(j); t.has_value()) {
+      if (!spec.host_patterns.is_enabled(*t)) {
+        report.issues.push_back("disabled host pattern deployed on " +
+                                spec.network.node(j).name);
+      }
+    }
+  }
+  // Application-level patterns must be enabled and applicable to their
+  // endpoint's service.
+  for (const auto& [host, service, t] : design.app_patterns()) {
+    if (!spec.app_patterns.applicable(t, service)) {
+      report.issues.push_back(
+          "inapplicable app pattern " +
+          std::string(model::app_pattern_name(t)) + " deployed on " +
+          spec.network.node(host).name + ":" +
+          spec.services.service(service).name);
+    }
+  }
+
+  // UIC (eq. 11).
+  for (const model::UserConstraint& uc : spec.user_constraints) {
+    if (const auto* fs = std::get_if<model::ForbidPatternForService>(&uc)) {
+      for (std::size_t fi = 0; fi < spec.flows.size(); ++fi) {
+        const auto f = static_cast<model::FlowId>(fi);
+        if (spec.flows.flow(f).service == fs->service &&
+            design.pattern(f) == fs->pattern) {
+          report.issues.push_back(
+              "UIC violated: " +
+              model::describe(uc, spec.services, spec.network));
+        }
+      }
+    } else if (const auto* ff =
+                   std::get_if<model::ForbidPatternForFlow>(&uc)) {
+      if (design.pattern(*spec.flows.find(ff->flow)) == ff->pattern)
+        report.issues.push_back(
+            "UIC violated: " +
+            model::describe(uc, spec.services, spec.network));
+    } else if (const auto* rf =
+                   std::get_if<model::RequirePatternForFlow>(&uc)) {
+      if (design.pattern(*spec.flows.find(rf->flow)) != rf->pattern)
+        report.issues.push_back(
+            "UIC violated: " +
+            model::describe(uc, spec.services, spec.network));
+    } else if (const auto* dn = std::get_if<model::DenyOneOf>(&uc)) {
+      const auto denied = [&](const model::Flow& flow) {
+        return design.pattern(*spec.flows.find(flow)) ==
+               model::IsolationPattern::kAccessDeny;
+      };
+      if (!denied(dn->open_flow) && !denied(dn->guard_flow))
+        report.issues.push_back(
+            "UIC violated: " +
+            model::describe(uc, spec.services, spec.network));
+    }
+  }
+
+  // Thresholds (eq. 9) and RMC host requirements.
+  report.metrics = synth::compute_metrics(spec, design);
+  for (const model::HostIsolationRequirement& req : spec.host_requirements) {
+    // host_isolation is indexed by position within network.hosts().
+    const auto& hosts = spec.network.hosts();
+    const auto pos = static_cast<std::size_t>(
+        std::find(hosts.begin(), hosts.end(), req.host) - hosts.begin());
+    CS_ENSURE(pos < hosts.size(), "requirement host disappeared");
+    if (report.metrics.host_isolation[pos] < req.min_isolation) {
+      report.issues.push_back(
+          "host " + spec.network.node(req.host).name + " isolation " +
+          report.metrics.host_isolation[pos].to_string() +
+          " below required " + req.min_isolation.to_string());
+    }
+  }
+  if (check_thresholds) {
+    if (report.metrics.isolation < spec.sliders.isolation)
+      report.issues.push_back(
+          "isolation " + report.metrics.isolation.to_string() +
+          " below threshold " + spec.sliders.isolation.to_string());
+    if (report.metrics.usability < spec.sliders.usability)
+      report.issues.push_back(
+          "usability " + report.metrics.usability.to_string() +
+          " below threshold " + spec.sliders.usability.to_string());
+    if (report.metrics.cost > spec.sliders.budget)
+      report.issues.push_back("cost " + report.metrics.cost.to_string() +
+                              " above budget " +
+                              spec.sliders.budget.to_string());
+  }
+  return report;
+}
+
+}  // namespace cs::analysis

@@ -1,0 +1,35 @@
+// Plain-text persistence of synthesized designs.
+//
+// A deployment pipeline wants the synthesis artifact on disk: review it,
+// diff it against the previous design, apply it. The format is line
+// oriented and stable:
+//
+//   configsynth-design 1
+//   flows <count>
+//   <flow-index> <pattern paper id, 0 = none>        (one per flow)
+//   links <total> placed <rows>
+//   <link-index> <device paper ids...>               (only links with devices)
+//   host-patterns <total-nodes> placed <rows>
+//   <node-index> <host pattern index + 1>            (only hosts with one)
+//   app-patterns <rows>
+//   <node-index> <service-index> <app pattern index + 1>
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "synth/design.h"
+
+namespace cs::analysis {
+
+/// Serializes the design.
+void save_design(std::ostream& out, const synth::SecurityDesign& design);
+std::string design_to_text(const synth::SecurityDesign& design);
+
+/// Parses a design; throws SpecError on malformed input or on counts that
+/// disagree with the stream's own header.
+synth::SecurityDesign load_design(std::istream& in);
+synth::SecurityDesign design_from_text(const std::string& text);
+
+}  // namespace cs::analysis

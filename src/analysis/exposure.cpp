@@ -1,0 +1,81 @@
+#include "analysis/exposure.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace cs::analysis {
+
+std::vector<HostExposure> compute_exposure(
+    const model::ProblemSpec& spec, const synth::SecurityDesign& design) {
+  std::vector<HostExposure> out;
+  out.reserve(spec.network.hosts().size());
+  for (const topology::NodeId j : spec.network.hosts()) {
+    HostExposure e;
+    e.host = j;
+    e.name = spec.network.node(j).name;
+    const bool host_layer =
+        design.host_pattern(j).has_value() &&
+        spec.host_patterns.is_enabled(*design.host_pattern(j));
+    for (const topology::NodeId i : spec.network.hosts()) {
+      if (i == j) continue;
+      for (const model::FlowId f : spec.flows.directed(i, j)) {
+        ++e.incoming_flows;
+        const auto k = design.pattern(f);
+        if (!k.has_value()) {
+          const model::Flow& flow = spec.flows.flow(f);
+          const auto app = design.app_pattern(j, flow.service);
+          if (host_layer) {
+            ++e.host_protected;
+          } else if (app.has_value() &&
+                     spec.app_patterns.applicable(*app, flow.service)) {
+            ++e.app_protected;
+          } else {
+            ++e.open;
+            if (spec.network.node(i).is_internet) e.internet_exposed = true;
+          }
+          continue;
+        }
+        switch (*k) {
+          case model::IsolationPattern::kAccessDeny:
+            ++e.denied;
+            break;
+          case model::IsolationPattern::kTrustedComm:
+          case model::IsolationPattern::kProxyTrusted:
+            ++e.trusted;
+            break;
+          case model::IsolationPattern::kPayloadInspection:
+            ++e.inspected;
+            break;
+          case model::IsolationPattern::kProxy:
+            ++e.proxied;
+            break;
+        }
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string render_exposure(const std::vector<HostExposure>& exposure) {
+  std::vector<HostExposure> sorted = exposure;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const HostExposure& a, const HostExposure& b) {
+                     return a.open_fraction() > b.open_fraction();
+                   });
+  util::TextTable table({"host", "incoming", "denied", "trusted",
+                         "inspected", "proxied", "host-level", "app-level",
+                         "open", "internet-exposed"});
+  for (const HostExposure& e : sorted) {
+    table.add_row({e.name, std::to_string(e.incoming_flows),
+                   std::to_string(e.denied), std::to_string(e.trusted),
+                   std::to_string(e.inspected), std::to_string(e.proxied),
+                   std::to_string(e.host_protected),
+                   std::to_string(e.app_protected), std::to_string(e.open),
+                   e.internet_exposed ? "YES" : "no"});
+  }
+  return table.render();
+}
+
+}  // namespace cs::analysis

@@ -1,0 +1,48 @@
+// Per-host exposure reporting — the decision-support view of a design.
+//
+// Administrators read a synthesized design by asking "what can still reach
+// this host, and through what protection?". The exposure report classifies
+// every host's incoming flows by their protection (denied / trusted /
+// inspected / proxied / host-level / open) and flags hosts that remain
+// reachable from the Internet without any protection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/spec.h"
+#include "synth/design.h"
+
+namespace cs::analysis {
+
+struct HostExposure {
+  topology::NodeId host = topology::kInvalidNode;
+  std::string name;
+  std::size_t incoming_flows = 0;
+  std::size_t denied = 0;
+  std::size_t trusted = 0;     // trusted comm or proxy+trusted
+  std::size_t inspected = 0;   // payload inspection
+  std::size_t proxied = 0;     // plain proxy forwarding
+  std::size_t host_protected = 0;  // covered only by a host-level pattern
+  std::size_t app_protected = 0;   // covered only by an app-level pattern
+  std::size_t open = 0;        // no protection at all
+  /// True when an Internet-sourced flow reaches this host unprotected.
+  bool internet_exposed = false;
+
+  /// open / incoming (0 when the host receives nothing).
+  double open_fraction() const {
+    return incoming_flows == 0
+               ? 0.0
+               : static_cast<double>(open) /
+                     static_cast<double>(incoming_flows);
+  }
+};
+
+/// Computes exposure for every host, ordered as network.hosts().
+std::vector<HostExposure> compute_exposure(
+    const model::ProblemSpec& spec, const synth::SecurityDesign& design);
+
+/// Renders the exposure table, worst (highest open fraction) first.
+std::string render_exposure(const std::vector<HostExposure>& exposure);
+
+}  // namespace cs::analysis

@@ -1,0 +1,23 @@
+// Human-readable synthesis reports and placement post-processing.
+#pragma once
+
+#include <string>
+
+#include "analysis/checker.h"
+#include "synth/synthesizer.h"
+
+namespace cs::analysis {
+
+/// Renders a full synthesis report: status, metrics, pattern histogram,
+/// device placements, timings.
+std::string render_report(const model::ProblemSpec& spec,
+                          const synth::SynthesisResult& result);
+
+/// Removes device placements that no selected isolation pattern needs
+/// (solvers may set placement variables arbitrarily as long as the budget
+/// holds). Greedy: drop each device if the design still checks without it.
+/// Returns the number of placements removed.
+std::size_t minimize_placements(const model::ProblemSpec& spec,
+                                synth::SecurityDesign& design);
+
+}  // namespace cs::analysis

@@ -1,0 +1,31 @@
+// Clause storage for the MiniPB solver.
+#pragma once
+
+#include <vector>
+
+#include "minisolver/literal.h"
+
+namespace cs::minisolver {
+
+struct Clause {
+  std::vector<Lit> lits;
+  double activity = 0.0;
+  bool learnt = false;
+  /// A clause acting as the reason of a trail literal must not be deleted.
+  bool locked = false;
+  /// Tombstone set by clause-database reduction.
+  bool deleted = false;
+
+  std::size_t size() const { return lits.size(); }
+  Lit& operator[](std::size_t i) { return lits[i]; }
+  Lit operator[](std::size_t i) const { return lits[i]; }
+};
+
+/// Watcher entry: `blocker` is a literal whose truth makes the clause
+/// satisfied without inspection (MiniSat's blocking-literal optimization).
+struct Watcher {
+  Clause* clause = nullptr;
+  Lit blocker = kUndefLit;
+};
+
+}  // namespace cs::minisolver

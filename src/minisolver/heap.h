@@ -1,0 +1,102 @@
+// Indexed max-heap over variables ordered by VSIDS activity.
+//
+// Supports decrease/increase-key by variable id, as the CDCL decision
+// heuristic requires (MiniSat's order_heap).
+#pragma once
+
+#include <vector>
+
+#include "minisolver/literal.h"
+#include "util/error.h"
+
+namespace cs::minisolver {
+
+class ActivityHeap {
+ public:
+  explicit ActivityHeap(const std::vector<double>& activity)
+      : activity_(activity) {}
+
+  bool empty() const { return heap_.empty(); }
+  bool contains(Var v) const {
+    return v < static_cast<Var>(position_.size()) &&
+           position_[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  void insert(Var v) {
+    grow(v);
+    if (contains(v)) return;
+    position_[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(heap_.size());
+    heap_.push_back(v);
+    sift_up(heap_.size() - 1);
+  }
+
+  Var pop_max() {
+    CS_ENSURE(!heap_.empty(), "ActivityHeap::pop_max on empty heap");
+    const Var top = heap_.front();
+    position_[static_cast<std::size_t>(top)] = -1;
+    const Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      position_[static_cast<std::size_t>(last)] = 0;
+      sift_down(0);
+    }
+    return top;
+  }
+
+  /// Restores heap order after `v`'s activity increased.
+  void update(Var v) {
+    if (contains(v))
+      sift_up(static_cast<std::size_t>(
+          position_[static_cast<std::size_t>(v)]));
+  }
+
+ private:
+  void grow(Var v) {
+    if (static_cast<std::size_t>(v) >= position_.size())
+      position_.resize(static_cast<std::size_t>(v) + 1, -1);
+  }
+
+  bool less(Var a, Var b) const {
+    return activity_[static_cast<std::size_t>(a)] <
+           activity_[static_cast<std::size_t>(b)];
+  }
+
+  void sift_up(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(heap_[parent], v)) break;
+      heap_[i] = heap_[parent];
+      position_[static_cast<std::size_t>(heap_[i])] =
+          static_cast<std::int32_t>(i);
+      i = parent;
+    }
+    heap_[i] = v;
+    position_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    const Var v = heap_[i];
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= heap_.size()) break;
+      if (child + 1 < heap_.size() && less(heap_[child], heap_[child + 1]))
+        ++child;
+      if (!less(v, heap_[child])) break;
+      heap_[i] = heap_[child];
+      position_[static_cast<std::size_t>(heap_[i])] =
+          static_cast<std::int32_t>(i);
+      i = child;
+    }
+    heap_[i] = v;
+    position_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+  }
+
+  const std::vector<double>& activity_;
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> position_;  // -1 when absent
+};
+
+}  // namespace cs::minisolver

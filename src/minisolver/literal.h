@@ -1,0 +1,61 @@
+// Variables, literals and three-valued assignments for the MiniPB solver.
+//
+// The encoding follows MiniSat: a literal packs a variable index and a sign
+// into one integer (2*var + sign), giving dense arrays indexed by
+// `Lit::index()`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cs::minisolver {
+
+/// 0-based variable index.
+using Var = std::int32_t;
+inline constexpr Var kUndefVar = -1;
+
+class Lit {
+ public:
+  constexpr Lit() = default;
+
+  /// Positive literal of `v`.
+  static constexpr Lit pos(Var v) { return Lit(v << 1); }
+  /// Negative literal of `v`.
+  static constexpr Lit neg(Var v) { return Lit((v << 1) | 1); }
+
+  constexpr Var var() const { return code_ >> 1; }
+  constexpr bool is_neg() const { return (code_ & 1) != 0; }
+  constexpr Lit operator~() const { return Lit(code_ ^ 1); }
+
+  /// Dense index for watch/occurrence arrays.
+  constexpr std::size_t index() const {
+    return static_cast<std::size_t>(code_);
+  }
+
+  constexpr bool valid() const { return code_ >= 0; }
+
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr auto operator<=>(const Lit&) const = default;
+
+  std::string to_string() const {
+    return (is_neg() ? "~x" : "x") + std::to_string(var());
+  }
+
+ private:
+  constexpr explicit Lit(std::int32_t code) : code_(code) {}
+  std::int32_t code_ = -2;
+};
+
+inline constexpr Lit kUndefLit{};
+
+/// Three-valued assignment.
+enum class LBool : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+/// Truth value of a literal given its variable's value.
+inline constexpr LBool lbool_of(LBool var_value, bool lit_is_neg) {
+  if (var_value == LBool::kUndef) return LBool::kUndef;
+  const bool v = (var_value == LBool::kTrue);
+  return (v != lit_is_neg) ? LBool::kTrue : LBool::kFalse;
+}
+
+}  // namespace cs::minisolver

@@ -1,0 +1,26 @@
+// Luby restart sequence (1,1,2,1,1,2,4,...) used by the CDCL search.
+#pragma once
+
+#include <cstdint>
+
+namespace cs::minisolver {
+
+/// The i-th element (i >= 1) of the Luby sequence.
+inline std::int64_t luby(std::int64_t i) {
+  --i;  // the classic recurrence below is 0-based
+  // Find the finite subsequence containing i and its position within it.
+  std::int64_t size = 1;
+  std::int64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::int64_t{1} << seq;
+}
+
+}  // namespace cs::minisolver

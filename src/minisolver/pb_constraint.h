@@ -1,0 +1,55 @@
+// Linear pseudo-Boolean constraints: Σ a_i · lit_i ≥ bound.
+//
+// Every numeric constraint of the ConfigSynth model (network isolation,
+// usability, deployment cost) is linear over Boolean decision variables, so
+// pseudo-Boolean "at least" constraints are the only theory the solver
+// needs. Constraints are normalized so all coefficients are positive
+// (negative terms flip the literal and shift the bound).
+//
+// Propagation uses the counter method: the solver maintains
+// `max_possible` = Σ a_i over literals not currently false. When
+// max_possible < bound the constraint is conflicting; when an unassigned
+// literal has a_i > max_possible − bound it is forced true.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minisolver/literal.h"
+#include "util/error.h"
+
+namespace cs::minisolver {
+
+struct PbTerm {
+  Lit lit;
+  std::int64_t coeff = 0;  // > 0 after normalization
+};
+
+struct PbConstraint {
+  std::vector<PbTerm> terms;
+  std::int64_t bound = 0;
+
+  // --- solver working state --------------------------------------------
+  /// Σ coeff over terms whose literal is not assigned false.
+  std::int64_t max_possible = 0;
+  /// Largest coefficient (propagation trigger threshold).
+  std::int64_t max_coeff = 0;
+
+  /// True when satisfied by every assignment (bound ≤ 0 after
+  /// normalization); such constraints are dropped by the solver.
+  bool trivially_true() const { return bound <= 0; }
+
+  /// True when no assignment can satisfy it (Σ coeff < bound).
+  bool trivially_false() const {
+    std::int64_t total = 0;
+    for (const PbTerm& t : terms) total += t.coeff;
+    return total < bound;
+  }
+};
+
+/// Normalizes in place: merges duplicate literals, cancels complementary
+/// pairs, flips negative coefficients, drops zero terms. Returns the
+/// normalized constraint.
+PbConstraint normalize_pb(std::vector<PbTerm> terms, std::int64_t bound);
+
+}  // namespace cs::minisolver

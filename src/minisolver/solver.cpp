@@ -1,0 +1,555 @@
+#include "minisolver/solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cmath>
+#include <limits>
+
+#include "minisolver/luby.h"
+#include "util/error.h"
+
+namespace cs::minisolver {
+
+Solver::Solver() : order_(activity_) {}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  polarity_.push_back(0);
+  phase_vote_.push_back(0);
+  level_.push_back(0);
+  trail_pos_.push_back(-1);
+  reason_.push_back(Reason{});
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  pb_occs_.emplace_back();
+  pb_occs_.emplace_back();
+  order_.insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  CS_ENSURE(decision_level() == 0, "add_clause above level 0");
+  if (!ok_) return false;
+
+  // Simplify: sort, dedup, drop false lits, detect tautology/satisfied.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> keep;
+  keep.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    CS_REQUIRE(l.valid() && static_cast<std::size_t>(l.var()) < num_vars(),
+               "clause uses unknown variable");
+    if (i + 1 < lits.size() && lits[i + 1] == ~l) return true;  // tautology
+    if (value(l) == LBool::kTrue) return true;                  // satisfied
+    if (value(l) == LBool::kFalse) continue;                    // drop
+    keep.push_back(l);
+  }
+  if (keep.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (keep.size() == 1) {
+    unchecked_enqueue(keep[0], Reason{});
+    ok_ = propagate().is_none();
+    return ok_;
+  }
+  clauses_.push_back(Clause{std::move(keep), 0.0, false, false, false});
+  attach_clause(&clauses_.back());
+  return true;
+}
+
+bool Solver::add_linear_ge(std::vector<PbTerm> terms, std::int64_t bound) {
+  CS_ENSURE(decision_level() == 0, "add_linear_ge above level 0");
+  if (!ok_) return false;
+  for (const PbTerm& t : terms) {
+    CS_REQUIRE(t.lit.valid() &&
+                   static_cast<std::size_t>(t.lit.var()) < num_vars(),
+               "PB constraint uses unknown variable");
+  }
+
+  PbConstraint pb = normalize_pb(std::move(terms), bound);
+  if (pb.trivially_true()) return true;
+  if (pb.trivially_false()) {
+    ok_ = false;
+    return false;
+  }
+  // A single-term constraint with a positive bound is just a unit clause.
+  if (pb.terms.size() == 1) {
+    return add_clause({pb.terms[0].lit});
+  }
+
+  pbs_.push_back(std::move(pb));
+  PbConstraint* stored = &pbs_.back();
+  for (const PbTerm& t : stored->terms) {
+    pb_occs_[t.lit.index()].push_back({stored, t.coeff});
+    // Seed the initial phase toward satisfying this constraint.
+    const auto v = static_cast<std::size_t>(t.lit.var());
+    phase_vote_[v] += t.lit.is_neg() ? -t.coeff : t.coeff;
+    polarity_[v] = phase_vote_[v] >= 0 ? 1 : 0;
+  }
+
+  // Account for level-0 assignments made before this constraint arrived.
+  for (const PbTerm& t : stored->terms)
+    if (value(t.lit) == LBool::kFalse) stored->max_possible -= t.coeff;
+
+  if (stored->max_possible < stored->bound) {
+    ok_ = false;
+    return false;
+  }
+  const std::int64_t slack = stored->max_possible - stored->bound;
+  for (const PbTerm& t : stored->terms) {
+    if (t.coeff <= slack) break;  // sorted by coefficient, descending
+    if (value(t.lit) == LBool::kUndef)
+      unchecked_enqueue(t.lit, Reason{nullptr, stored});
+  }
+  ok_ = propagate().is_none();
+  return ok_;
+}
+
+bool Solver::add_linear_le(std::vector<PbTerm> terms, std::int64_t bound) {
+  for (PbTerm& t : terms) t.coeff = -t.coeff;
+  return add_linear_ge(std::move(terms), -bound);
+}
+
+void Solver::unchecked_enqueue(Lit p, Reason reason) {
+  CS_ENSURE(value(p) == LBool::kUndef, "enqueue of assigned literal");
+  const auto v = static_cast<std::size_t>(p.var());
+  assigns_[v] = p.is_neg() ? LBool::kFalse : LBool::kTrue;
+  polarity_[v] = p.is_neg() ? 0 : 1;
+  level_[v] = decision_level();
+  trail_pos_[v] = static_cast<std::int32_t>(trail_.size());
+  reason_[v] = reason;
+  trail_.push_back(p);
+  // Counter maintenance: ~p just became false in every PB that contains it.
+  for (auto& [pb, coeff] : pb_occs_[(~p).index()]) pb->max_possible -= coeff;
+}
+
+void Solver::cancel_until(int target_level) {
+  if (decision_level() <= target_level) return;
+  const std::int32_t floor =
+      trail_lim_[static_cast<std::size_t>(target_level)];
+  for (std::int32_t i = static_cast<std::int32_t>(trail_.size()) - 1;
+       i >= floor; --i) {
+    const Lit p = trail_[static_cast<std::size_t>(i)];
+    const auto v = static_cast<std::size_t>(p.var());
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = Reason{};
+    for (auto& [pb, coeff] : pb_occs_[(~p).index()])
+      pb->max_possible += coeff;
+    order_.insert(p.var());
+  }
+  trail_.resize(static_cast<std::size_t>(floor));
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  qhead_ = std::min(qhead_, trail_.size());
+}
+
+Solver::Reason Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+
+    // --- clause propagation: clauses watching ~p (registered under p) ---
+    std::vector<Watcher>& ws = watches_[p.index()];
+    std::size_t keep = 0;
+    std::size_t i = 0;
+    Reason conflict{};
+    for (; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (w.clause->deleted) continue;  // lazily dropped
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = *w.clause;
+      // Normalize so the false watched literal sits at position 1.
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      CS_ENSURE(c[1] == false_lit, "watch invariant broken");
+      if (value(c[0]) == LBool::kTrue) {
+        ws[keep++] = Watcher{&c, c[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != LBool::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c[1]).index()].push_back(Watcher{&c, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[keep++] = Watcher{&c, c[0]};
+      if (value(c[0]) == LBool::kFalse) {
+        conflict = Reason{&c, nullptr};
+        ++i;
+        break;
+      }
+      unchecked_enqueue(c[0], Reason{&c, nullptr});
+    }
+    // Compact the remainder after an early conflict exit.
+    for (; i < ws.size(); ++i) ws[keep++] = ws[i];
+    ws.resize(keep);
+    if (!conflict.is_none()) return conflict;
+
+    // --- PB propagation over constraints containing ~p -----------------
+    for (auto& [pb, coeff] : pb_occs_[(~p).index()]) {
+      (void)coeff;
+      if (pb->max_possible < pb->bound) return Reason{nullptr, pb};
+      const std::int64_t slack = pb->max_possible - pb->bound;
+      if (slack >= pb->max_coeff) continue;
+      for (const PbTerm& t : pb->terms) {
+        if (t.coeff <= slack) break;  // descending coefficients
+        if (value(t.lit) == LBool::kUndef) {
+          ++stats_.pb_propagations;
+          unchecked_enqueue(t.lit, Reason{nullptr, pb});
+        }
+      }
+    }
+  }
+  return Reason{};
+}
+
+void Solver::reason_literals(const Reason& reason, Lit p,
+                             std::vector<Lit>& out) const {
+  out.clear();
+  if (reason.clause != nullptr) {
+    for (const Lit l : reason.clause->lits)
+      if (!(p.valid() && l == p)) out.push_back(l);
+    return;
+  }
+  CS_ENSURE(reason.pb != nullptr, "reason_literals on decision");
+  const std::int32_t p_pos =
+      p.valid() ? trail_pos_[static_cast<std::size_t>(p.var())]
+                : std::numeric_limits<std::int32_t>::max();
+  for (const PbTerm& t : reason.pb->terms) {
+    if (t.lit == p) continue;
+    if (value(t.lit) != LBool::kFalse) continue;
+    if (trail_pos_[static_cast<std::size_t>(t.lit.var())] < p_pos)
+      out.push_back(t.lit);
+  }
+}
+
+void Solver::bump_var(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_.update(v);
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (Clause* l : learnts_) l->activity *= 1e-20;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
+  learnt.clear();
+  learnt.push_back(kUndefLit);  // slot for the asserting literal
+
+  int counter = 0;
+  Lit p = kUndefLit;
+  std::vector<Lit> reason_lits;
+  auto index = static_cast<std::int32_t>(trail_.size()) - 1;
+
+  do {
+    if (conflict.clause != nullptr && conflict.clause->learnt)
+      bump_clause(*conflict.clause);
+    reason_literals(conflict, p, reason_lits);
+    for (const Lit q : reason_lits) {
+      const auto v = static_cast<std::size_t>(q.var());
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump_var(q.var());
+      if (level_[v] >= decision_level())
+        ++counter;
+      else
+        learnt.push_back(q);
+    }
+    // Walk back to the next marked trail literal.
+    while (!seen_[static_cast<std::size_t>(
+        trail_[static_cast<std::size_t>(index)].var())])
+      --index;
+    p = trail_[static_cast<std::size_t>(index)];
+    --index;
+    conflict = reason_[static_cast<std::size_t>(p.var())];
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Conflict-clause minimization: drop literals implied by the rest of the
+  // clause through their (clause or PB) reasons — the local check of
+  // Sörensson/Biere. Sound because reason literals always precede the
+  // justified literal on the trail, so justifications cannot be circular.
+  std::vector<char> in_learnt(num_vars(), 0);
+  for (std::size_t i = 1; i < learnt.size(); ++i)
+    in_learnt[static_cast<std::size_t>(learnt[i].var())] = 1;
+  // seen_ must be cleared for every collected literal — including ones the
+  // pruning drops — or stale bits corrupt later conflict analyses.
+  const std::vector<Lit> collected(learnt.begin() + 1, learnt.end());
+  std::vector<Lit> pruned;
+  pruned.push_back(learnt[0]);
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const Lit q = learnt[i];
+    const Reason& r = reason_[static_cast<std::size_t>(q.var())];
+    bool redundant = false;
+    if (!r.is_none()) {
+      reason_literals(r, ~q, reason_lits);
+      redundant = !reason_lits.empty();
+      for (const Lit x : reason_lits) {
+        const auto xv = static_cast<std::size_t>(x.var());
+        if (level_[xv] != 0 && !in_learnt[xv]) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) pruned.push_back(q);
+    else in_learnt[static_cast<std::size_t>(q.var())] = 0;
+  }
+  learnt = std::move(pruned);
+  for (const Lit l : collected)
+    seen_[static_cast<std::size_t>(l.var())] = 0;
+
+  if (learnt.size() == 1) return 0;
+  // Move the literal with the highest level to position 1.
+  std::size_t max_i = 1;
+  for (std::size_t i = 2; i < learnt.size(); ++i) {
+    if (level_[static_cast<std::size_t>(learnt[i].var())] >
+        level_[static_cast<std::size_t>(learnt[max_i].var())])
+      max_i = i;
+  }
+  std::swap(learnt[1], learnt[max_i]);
+  return level_[static_cast<std::size_t>(learnt[1].var())];
+}
+
+void Solver::analyze_final(Lit failed_assumption) {
+  unsat_core_.clear();
+  unsat_core_.push_back(failed_assumption);
+  if (decision_level() == 0) return;
+
+  seen_[static_cast<std::size_t>(failed_assumption.var())] = 1;
+  std::vector<Lit> reason_lits;
+  for (auto i = static_cast<std::int32_t>(trail_.size()) - 1;
+       i >= trail_lim_[0]; --i) {
+    const Lit p = trail_[static_cast<std::size_t>(i)];
+    const auto v = static_cast<std::size_t>(p.var());
+    if (!seen_[v]) continue;
+    const Reason& r = reason_[v];
+    if (r.is_none()) {
+      // A decision inside the assumption prefix is an assumption literal.
+      unsat_core_.push_back(p);
+    } else {
+      reason_literals(r, p, reason_lits);
+      for (const Lit q : reason_lits)
+        if (level_[static_cast<std::size_t>(q.var())] > 0)
+          seen_[static_cast<std::size_t>(q.var())] = 1;
+    }
+    seen_[v] = 0;
+  }
+  seen_[static_cast<std::size_t>(failed_assumption.var())] = 0;
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!order_.empty()) {
+    const Var v = order_.pop_max();
+    if (value(v) == LBool::kUndef) {
+      return polarity_[static_cast<std::size_t>(v)] ? Lit::pos(v)
+                                                    : Lit::neg(v);
+    }
+  }
+  return kUndefLit;
+}
+
+void Solver::attach_clause(Clause* c) {
+  CS_ENSURE(c->size() >= 2, "attach of short clause");
+  watches_[(~c->lits[0]).index()].push_back(Watcher{c, c->lits[1]});
+  watches_[(~c->lits[1]).index()].push_back(Watcher{c, c->lits[0]});
+}
+
+void Solver::detach_clause(Clause* c) {
+  // Lazy detach: propagate() skips deleted clauses and drops their
+  // watchers during compaction.
+  c->deleted = true;
+}
+
+void Solver::reduce_db() {
+  // Keep binary clauses and locked reasons; drop the least active half of
+  // the rest.
+  const auto locked = [&](const Clause* c) {
+    const Var v = c->lits[0].var();
+    return value(c->lits[0]) == LBool::kTrue &&
+           reason_[static_cast<std::size_t>(v)].clause == c;
+  };
+  std::vector<Clause*> candidates;
+  candidates.reserve(learnts_.size());
+  for (Clause* c : learnts_)
+    if (!c->deleted && c->size() > 2 && !locked(c)) candidates.push_back(c);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Clause* a, const Clause* b) {
+              return a->activity < b->activity;
+            });
+  const std::size_t to_delete = candidates.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    detach_clause(candidates[i]);
+    ++stats_.deleted_clauses;
+  }
+  std::erase_if(learnts_, [](const Clause* c) { return c->deleted; });
+}
+
+Solver::Result Solver::search(std::int64_t conflict_budget,
+                              const std::vector<Lit>& assumptions) {
+  std::int64_t conflicts_here = 0;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    const Reason conflict = propagate();
+    if (!conflict.is_none()) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (decision_level() == 0) {
+        ok_ = false;
+        unsat_core_.clear();
+        return Result::kUnsat;
+      }
+      const int bt_level = analyze(conflict, learnt);
+      if (learnt_hook_) learnt_hook_(learnt);
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0], Reason{});
+      } else {
+        clauses_.push_back(Clause{learnt, 0.0, true, false, false});
+        Clause* c = &clauses_.back();
+        learnts_.push_back(c);
+        ++stats_.learned_clauses;
+        bump_clause(*c);
+        attach_clause(c);
+        unchecked_enqueue(learnt[0], Reason{c, nullptr});
+      }
+      decay_var_activity();
+      decay_clause_activity();
+      continue;
+    }
+
+    if (conflicts_here >= conflict_budget) {
+      ++stats_.restarts;
+      cancel_until(0);
+      return Result::kUnknown;  // restart
+    }
+    if (out_of_budget()) {
+      cancel_until(0);
+      return Result::kUnknown;
+    }
+    if (static_cast<double>(learnts_.size()) > max_learnts_) {
+      reduce_db();
+      max_learnts_ *= 1.5;
+    }
+
+    // Extend with assumptions first, then heuristics.
+    Lit next = kUndefLit;
+    while (decision_level() < static_cast<int>(assumptions.size())) {
+      const Lit a =
+          assumptions[static_cast<std::size_t>(decision_level())];
+      if (value(a) == LBool::kTrue) {
+        new_decision_level();  // dummy level keeps the indexing aligned
+      } else if (value(a) == LBool::kFalse) {
+        analyze_final(a);
+        return Result::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (!next.valid()) {
+      next = pick_branch_lit();
+      if (!next.valid()) {
+        // Full assignment: record the model.
+        model_.assign(num_vars(), 0);
+        for (std::size_t v = 0; v < num_vars(); ++v)
+          model_[v] = (assigns_[v] == LBool::kTrue) ? 1 : 0;
+        return Result::kSat;
+      }
+      ++stats_.decisions;
+    }
+    new_decision_level();
+    unchecked_enqueue(next, Reason{});
+  }
+}
+
+Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
+  unsat_core_.clear();
+  if (!ok_) return Result::kUnsat;
+  for (const Lit a : assumptions) {
+    CS_REQUIRE(a.valid() && static_cast<std::size_t>(a.var()) < num_vars(),
+               "assumption uses unknown variable");
+  }
+
+  if (max_learnts_ == 0)
+    max_learnts_ =
+        std::max(1000.0, 0.3 * static_cast<double>(clauses_.size()));
+
+  conflicts_at_solve_start_ = stats_.conflicts;
+  deadline_seconds_ = 0;
+  if (time_limit_ms_ > 0) {
+    const auto now = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+    deadline_seconds_ = now + static_cast<double>(time_limit_ms_) / 1000.0;
+  }
+
+  Result result = Result::kUnknown;
+  for (std::int64_t episode = 1; result == Result::kUnknown; ++episode) {
+    result = search(luby(episode) * 100, assumptions);
+    if (result == Result::kUnknown && out_of_budget()) break;
+  }
+  cancel_until(0);
+  return result;
+}
+
+bool Solver::out_of_budget() const {
+  if (conflict_limit_ != 0 &&
+      stats_.conflicts - conflicts_at_solve_start_ >= conflict_limit_)
+    return true;
+  if (deadline_seconds_ > 0) {
+    const auto now = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+    if (now >= deadline_seconds_) return true;
+  }
+  return false;
+}
+
+bool Solver::model_value(Var v) const {
+  CS_ENSURE(static_cast<std::size_t>(v) < model_.size(),
+            "model_value before a SAT result");
+  return model_[static_cast<std::size_t>(v)] != 0;
+}
+
+std::size_t Solver::memory_estimate_bytes() const {
+  std::size_t bytes = 0;
+  bytes += assigns_.size() * (sizeof(LBool) + sizeof(char) + sizeof(int) +
+                              sizeof(std::int32_t) + sizeof(Reason) +
+                              sizeof(double));
+  for (const Clause& c : clauses_)
+    bytes += sizeof(Clause) + c.size() * sizeof(Lit);
+  for (const PbConstraint& pb : pbs_)
+    bytes += sizeof(PbConstraint) + pb.terms.size() * sizeof(PbTerm);
+  for (const auto& ws : watches_) bytes += ws.size() * sizeof(Watcher);
+  for (const auto& occ : pb_occs_)
+    bytes += occ.size() * sizeof(std::pair<PbConstraint*, std::int64_t>);
+  return bytes;
+}
+
+}  // namespace cs::minisolver

@@ -1,0 +1,190 @@
+// MiniPB: a CDCL satisfiability solver with native linear pseudo-Boolean
+// constraints.
+//
+// This is the from-scratch solving substrate of the repo (DESIGN.md S4): a
+// MiniSat-style conflict-driven clause-learning SAT core (two-watched
+// literals, VSIDS decision heuristic, 1-UIP clause learning, phase saving,
+// Luby restarts, activity-based clause-database reduction) extended with
+// counter-propagated pseudo-Boolean constraints Σ a_i·lit_i ≥ bound, which
+// is exactly the theory fragment the ConfigSynth encoding needs. It solves
+// under assumptions and extracts an unsat core over them, which powers the
+// paper's Algorithm 1 (systematic analysis of UNSAT results) without Z3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "minisolver/clause.h"
+#include "minisolver/heap.h"
+#include "minisolver/literal.h"
+#include "minisolver/pb_constraint.h"
+
+namespace cs::minisolver {
+
+class Solver {
+ public:
+  enum class Result { kSat, kUnsat, kUnknown };
+
+  struct Stats {
+    std::int64_t decisions = 0;
+    std::int64_t propagations = 0;
+    std::int64_t conflicts = 0;
+    std::int64_t restarts = 0;
+    std::int64_t learned_clauses = 0;
+    std::int64_t deleted_clauses = 0;
+    std::int64_t pb_propagations = 0;
+  };
+
+  Solver();
+
+  /// Creates a fresh unassigned variable.
+  Var new_var();
+  std::size_t num_vars() const { return assigns_.size(); }
+
+  /// Adds a clause (≥1 literals). Returns false if the solver is already
+  /// in an unsatisfiable state after the addition.
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Adds Σ terms ≥ bound. Coefficients may be negative (normalized away).
+  bool add_linear_ge(std::vector<PbTerm> terms, std::int64_t bound);
+
+  /// Adds Σ terms ≤ bound (encoded by negating coefficients).
+  bool add_linear_le(std::vector<PbTerm> terms, std::int64_t bound);
+
+  /// False once the constraint store is unsatisfiable at level 0.
+  bool ok() const { return ok_; }
+
+  /// Solves under the given assumption literals.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model value of a variable after kSat.
+  bool model_value(Var v) const;
+
+  /// After kUnsat under assumptions: a subset of the assumption literals
+  /// whose conjunction with the constraints is unsatisfiable. Empty when
+  /// the constraints alone are unsatisfiable.
+  const std::vector<Lit>& unsat_core() const { return unsat_core_; }
+
+  /// Abort search after this many conflicts (0 = unlimited); solve()
+  /// returns kUnknown when the budget is exhausted.
+  void set_conflict_limit(std::int64_t limit) { conflict_limit_ = limit; }
+
+  /// Abort search after this much wall-clock time per solve() call
+  /// (0 = unlimited); returns kUnknown on expiry.
+  void set_time_limit_ms(std::int64_t ms) { time_limit_ms_ = ms; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Rough heap footprint of the constraint store (for Table VI).
+  std::size_t memory_estimate_bytes() const;
+
+  /// Debug hook invoked with every learned clause (after minimization).
+  /// Used by the test suite to audit soundness against reference models.
+  void set_learnt_hook(std::function<void(const std::vector<Lit>&)> hook) {
+    learnt_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Reason {
+    Clause* clause = nullptr;
+    PbConstraint* pb = nullptr;
+    bool is_none() const { return clause == nullptr && pb == nullptr; }
+  };
+
+  LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  LBool value(Lit l) const {
+    return lbool_of(value(l.var()), l.is_neg());
+  }
+  int level(Var v) const { return level_[static_cast<std::size_t>(v)]; }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  void new_decision_level() {
+    trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+  }
+
+  /// Assigns `p` true with the given reason; p must be unassigned.
+  void unchecked_enqueue(Lit p, Reason reason);
+
+  /// Unit propagation over clauses and PB constraints. Returns the
+  /// conflicting constraint, or an empty Reason when the store is stable.
+  Reason propagate();
+
+  /// Undoes all assignments above `target_level`.
+  void cancel_until(int target_level);
+
+  /// 1-UIP conflict analysis; fills `learnt` (learnt[0] = asserting lit)
+  /// and returns the backtrack level.
+  int analyze(Reason conflict, std::vector<Lit>& learnt);
+
+  /// Computes the failed-assumption core after an assumption conflict.
+  void analyze_final(Lit failed_assumption);
+
+  /// Literals that justify the assignment of `p` by `reason` (p itself
+  /// excluded). For PB reasons, only literals falsified before `p`.
+  void reason_literals(const Reason& reason, Lit p,
+                       std::vector<Lit>& out) const;
+
+  Lit pick_branch_lit();
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= kVarDecay; }
+  void bump_clause(Clause& c);
+  void decay_clause_activity() { clause_inc_ /= kClauseDecay; }
+  void attach_clause(Clause* c);
+  void detach_clause(Clause* c);
+  void reduce_db();
+
+  /// One restart-bounded CDCL search episode.
+  Result search(std::int64_t conflict_budget,
+                const std::vector<Lit>& assumptions);
+
+  bool out_of_budget() const;
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kClauseDecay = 0.999;
+
+  bool ok_ = true;
+  std::vector<LBool> assigns_;
+  std::vector<char> polarity_;  // saved phase, 1 = last assigned true
+  /// Coefficient-weighted votes from PB constraints for each variable's
+  /// initial phase (positive = prefer true); seeds `polarity_` so the
+  /// first descent leans toward satisfying the weighted constraints.
+  std::vector<std::int64_t> phase_vote_;
+  std::vector<int> level_;
+  std::vector<std::int32_t> trail_pos_;
+  std::vector<Reason> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  std::deque<Clause> clauses_;                 // stable addresses
+  std::vector<Clause*> learnts_;
+  double max_learnts_ = 0;
+
+  std::deque<PbConstraint> pbs_;
+  /// pb_occs_[lit.index()] lists constraints containing `lit` (hit when
+  /// `lit` becomes false).
+  std::vector<std::vector<std::pair<PbConstraint*, std::int64_t>>> pb_occs_;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  ActivityHeap order_;
+
+  std::vector<char> seen_;  // scratch for analyze
+  std::vector<Lit> model_trail_;
+  std::vector<char> model_;
+  std::vector<Lit> unsat_core_;
+
+  std::function<void(const std::vector<Lit>&)> learnt_hook_;
+  std::int64_t conflict_limit_ = 0;
+  std::int64_t time_limit_ms_ = 0;
+  std::int64_t conflicts_at_solve_start_ = 0;
+  double deadline_seconds_ = 0;  // monotonic; 0 = none
+  Stats stats_;
+};
+
+}  // namespace cs::minisolver

@@ -1,0 +1,115 @@
+// Application-level isolation patterns (the second half of the paper's
+// §VII future work: "host and application level isolation patterns").
+//
+// An application-level pattern protects one *service endpoint* — a
+// (destination host, service) pair — e.g. a WAF in front of the WEB
+// service on a particular server, or query filtering on a DB endpoint.
+// Extension semantics (DESIGN.md):
+//
+//   * at most one application pattern per (host, service) endpoint;
+//   * an application pattern contributes its score to the endpoint's flows
+//     that carry neither a network-level nor a host-level pattern
+//     (precedence: network > host > application);
+//   * deployment costs are per endpoint, from the same budget;
+//   * a pattern may be restricted to one service (a WAF only makes sense
+//     for WEB);
+//   * usability is unaffected.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "model/service.h"
+#include "util/error.h"
+#include "util/fixed.h"
+
+namespace cs::model {
+
+enum class AppPattern : std::int8_t {
+  kWaf = 0,            // web application firewall
+  kAppHardening = 1,   // generic endpoint hardening / input filtering
+};
+
+inline constexpr int kAppPatternCount = 2;
+
+inline constexpr std::array<AppPattern, kAppPatternCount> kAllAppPatterns = {
+    AppPattern::kWaf, AppPattern::kAppHardening};
+
+constexpr int app_pattern_index(AppPattern p) { return static_cast<int>(p); }
+
+constexpr std::string_view app_pattern_name(AppPattern p) {
+  switch (p) {
+    case AppPattern::kWaf:
+      return "WAF";
+    case AppPattern::kAppHardening:
+      return "App Hardening";
+  }
+  return "?";
+}
+
+/// Configuration of the application-level extension; disabled by default.
+class AppPatternConfig {
+ public:
+  /// Stock configuration given a service catalog: a WAF (score 3, $2K per
+  /// endpoint) restricted to the service named "WEB" when present, and
+  /// generic hardening (score 1, $0.5K) for any service.
+  static AppPatternConfig defaults(const ServiceCatalog& services) {
+    AppPatternConfig cfg;
+    if (const auto web = services.find("WEB"); web.has_value()) {
+      cfg.enable(AppPattern::kWaf, util::Fixed::from_int(3),
+                 util::Fixed::from_int(2), *web);
+    }
+    cfg.enable(AppPattern::kAppHardening, util::Fixed::from_int(1),
+               util::Fixed::from_double(0.5));
+    return cfg;
+  }
+
+  /// Enables a pattern. `only_service` restricts it to one service
+  /// (kInvalidService = applicable to every service).
+  void enable(AppPattern p, util::Fixed score, util::Fixed cost,
+              ServiceId only_service = kInvalidService) {
+    CS_REQUIRE(score > util::Fixed{} && score <= util::Fixed::from_int(10),
+               "app pattern score must lie in (0, 10]");
+    CS_REQUIRE(cost >= util::Fixed{}, "app pattern cost must be >= 0");
+    if (!is_enabled(p)) enabled_.push_back(p);
+    const auto i = static_cast<std::size_t>(app_pattern_index(p));
+    score_[i] = score;
+    cost_[i] = cost;
+    only_service_[i] = only_service;
+  }
+
+  const std::vector<AppPattern>& enabled() const { return enabled_; }
+  bool any() const { return !enabled_.empty(); }
+
+  bool is_enabled(AppPattern p) const {
+    for (const AppPattern e : enabled_)
+      if (e == p) return true;
+    return false;
+  }
+
+  /// True when the pattern may protect endpoints of service `g`.
+  bool applicable(AppPattern p, ServiceId g) const {
+    if (!is_enabled(p)) return false;
+    const ServiceId only =
+        only_service_[static_cast<std::size_t>(app_pattern_index(p))];
+    return only == kInvalidService || only == g;
+  }
+
+  util::Fixed score(AppPattern p) const {
+    return score_[static_cast<std::size_t>(app_pattern_index(p))];
+  }
+  util::Fixed cost(AppPattern p) const {
+    return cost_[static_cast<std::size_t>(app_pattern_index(p))];
+  }
+
+ private:
+  std::vector<AppPattern> enabled_;
+  std::array<util::Fixed, kAppPatternCount> score_{};
+  std::array<util::Fixed, kAppPatternCount> cost_{};
+  std::array<ServiceId, kAppPatternCount> only_service_{kInvalidService,
+                                                        kInvalidService};
+};
+
+}  // namespace cs::model

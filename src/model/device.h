@@ -1,0 +1,92 @@
+// Security devices (paper Table II) and their deployment costs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/error.h"
+#include "util/fixed.h"
+
+namespace cs::model {
+
+/// Device types the placement model can deploy on links. Values are dense
+/// indices; the paper's 1-based id d is `paper_id()`.
+enum class DeviceType : std::int8_t {
+  kFirewall = 0,
+  kIpsec = 1,
+  kIds = 2,
+  kProxy = 3,
+};
+
+inline constexpr int kDeviceCount = 4;
+
+inline constexpr std::array<DeviceType, kDeviceCount> kAllDevices = {
+    DeviceType::kFirewall, DeviceType::kIpsec, DeviceType::kIds,
+    DeviceType::kProxy};
+
+constexpr int device_index(DeviceType d) { return static_cast<int>(d); }
+
+/// The paper's 1-based device id (Table II).
+constexpr int paper_id(DeviceType d) { return device_index(d) + 1; }
+
+constexpr std::string_view device_name(DeviceType d) {
+  switch (d) {
+    case DeviceType::kFirewall:
+      return "Firewall";
+    case DeviceType::kIpsec:
+      return "IPSec";
+    case DeviceType::kIds:
+      return "IDS";
+    case DeviceType::kProxy:
+      return "Proxy";
+  }
+  return "?";
+}
+
+/// Short tag used in placement drawings ("FW", "IPS", ...).
+constexpr std::string_view device_tag(DeviceType d) {
+  switch (d) {
+    case DeviceType::kFirewall:
+      return "FW";
+    case DeviceType::kIpsec:
+      return "IPSec";
+    case DeviceType::kIds:
+      return "IDS";
+    case DeviceType::kProxy:
+      return "PXY";
+  }
+  return "?";
+}
+
+/// Average per-unit deployment cost C_d of each device type, in the same
+/// currency unit as the budget slider (thousand dollars in the paper).
+class DeviceCosts {
+ public:
+  DeviceCosts() { costs_.fill(util::Fixed::from_int(1)); }
+
+  /// The running example's price list: firewall $5K, IPSec gateway $10K,
+  /// IDS $8K, proxy $6K.
+  static DeviceCosts defaults() {
+    DeviceCosts c;
+    c.set(DeviceType::kFirewall, util::Fixed::from_int(5));
+    c.set(DeviceType::kIpsec, util::Fixed::from_int(10));
+    c.set(DeviceType::kIds, util::Fixed::from_int(8));
+    c.set(DeviceType::kProxy, util::Fixed::from_int(6));
+    return c;
+  }
+
+  void set(DeviceType d, util::Fixed cost) {
+    CS_REQUIRE(cost >= util::Fixed{}, "device cost must be non-negative");
+    costs_[static_cast<std::size_t>(device_index(d))] = cost;
+  }
+
+  util::Fixed cost(DeviceType d) const {
+    return costs_[static_cast<std::size_t>(device_index(d))];
+  }
+
+ private:
+  std::array<util::Fixed, kDeviceCount> costs_;
+};
+
+}  // namespace cs::model

@@ -1,0 +1,113 @@
+// Service flows g(i, j) — the unit the synthesis decides over.
+//
+// A flow is an ordered (source host, destination host, service) triple: host
+// i accessing service g running on host j. `FlowSet` owns the candidate
+// flows of a problem and provides the per-direction grouping the isolation
+// metric needs (|G_{i,j}|, the flow count of a directed pair).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/service.h"
+#include "topology/network.h"
+#include "util/error.h"
+
+namespace cs::model {
+
+/// Dense flow index into a FlowSet.
+using FlowId = std::int32_t;
+inline constexpr FlowId kInvalidFlow = -1;
+
+struct Flow {
+  topology::NodeId src = topology::kInvalidNode;
+  topology::NodeId dst = topology::kInvalidNode;
+  ServiceId service = kInvalidService;
+
+  bool operator==(const Flow&) const = default;
+};
+
+/// Key for a directed host pair.
+struct DirectedPair {
+  topology::NodeId src = topology::kInvalidNode;
+  topology::NodeId dst = topology::kInvalidNode;
+
+  bool operator==(const DirectedPair&) const = default;
+};
+
+namespace detail {
+inline std::uint64_t pair_key(topology::NodeId a, topology::NodeId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+inline std::uint64_t flow_key(const Flow& f) {
+  // Node ids are small; 24 bits each plus 16 bits of service is ample.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.src))
+          << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.dst))
+          << 16) |
+         static_cast<std::uint16_t>(f.service);
+}
+}  // namespace detail
+
+class FlowSet {
+ public:
+  /// Adds a flow; duplicates are rejected. src and dst must differ.
+  FlowId add(const Flow& f) {
+    CS_REQUIRE(f.src != f.dst, "flow endpoints must differ");
+    CS_REQUIRE(f.service != kInvalidService, "flow needs a service");
+    const auto key = detail::flow_key(f);
+    CS_REQUIRE(!index_.contains(key), "duplicate flow");
+    const FlowId id = static_cast<FlowId>(flows_.size());
+    flows_.push_back(f);
+    index_.emplace(key, id);
+    by_pair_[detail::pair_key(f.src, f.dst)].push_back(id);
+    return id;
+  }
+
+  const Flow& flow(FlowId id) const {
+    CS_ENSURE(id >= 0 && id < static_cast<FlowId>(flows_.size()),
+              "bad flow id");
+    return flows_[static_cast<std::size_t>(id)];
+  }
+
+  /// Id of an exact flow, if present.
+  std::optional<FlowId> find(const Flow& f) const {
+    const auto it = index_.find(detail::flow_key(f));
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Flows from src to dst (G_{i,j}); empty if none.
+  const std::vector<FlowId>& directed(topology::NodeId src,
+                                      topology::NodeId dst) const {
+    static const std::vector<FlowId> kEmpty;
+    const auto it = by_pair_.find(detail::pair_key(src, dst));
+    return it == by_pair_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<Flow>& all() const { return flows_; }
+  std::size_t size() const { return flows_.size(); }
+  bool empty() const { return flows_.empty(); }
+
+  /// All directed pairs that carry at least one flow.
+  std::vector<DirectedPair> directed_pairs() const {
+    std::vector<DirectedPair> out;
+    out.reserve(by_pair_.size());
+    for (const auto& [key, ids] : by_pair_) {
+      (void)ids;
+      out.push_back(DirectedPair{
+          static_cast<topology::NodeId>(key >> 32),
+          static_cast<topology::NodeId>(key & 0xffffffffu)});
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Flow> flows_;
+  std::unordered_map<std::uint64_t, FlowId> index_;
+  std::unordered_map<std::uint64_t, std::vector<FlowId>> by_pair_;
+};
+
+}  // namespace cs::model

@@ -1,0 +1,100 @@
+// Host-level isolation patterns (the paper's §VII future-work extension).
+//
+// Network-level patterns protect a flow on its route; host-level patterns
+// protect the *destination host itself* (host firewall, antivirus/EDR).
+// Semantics chosen for this extension (documented in DESIGN.md):
+//
+//   * at most one host-level pattern is deployed per host;
+//   * a host-level pattern at host j contributes its score to every flow
+//     towards j that carries NO network-level pattern (a host firewall
+//     does not add isolation on top of an IPSec tunnel in this model, it
+//     covers the flows the network design left open);
+//   * deployment costs are per host, drawn from the same budget;
+//   * usability is unaffected (host-side controls are transparent).
+//
+// Scores live on the same 0..10 scale as Table I and are expected to sit
+// below the network patterns' scores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+#include "util/fixed.h"
+
+namespace cs::model {
+
+enum class HostPattern : std::int8_t {
+  kHostFirewall = 0,
+  kAntivirus = 1,
+};
+
+inline constexpr int kHostPatternCount = 2;
+
+inline constexpr std::array<HostPattern, kHostPatternCount> kAllHostPatterns =
+    {HostPattern::kHostFirewall, HostPattern::kAntivirus};
+
+constexpr int host_pattern_index(HostPattern p) {
+  return static_cast<int>(p);
+}
+
+constexpr std::string_view host_pattern_name(HostPattern p) {
+  switch (p) {
+    case HostPattern::kHostFirewall:
+      return "Host Firewall";
+    case HostPattern::kAntivirus:
+      return "Antivirus";
+  }
+  return "?";
+}
+
+/// Configuration of the host-level extension. Disabled (no patterns
+/// enabled) by default, which reproduces the paper's network-only model.
+class HostPatternConfig {
+ public:
+  /// The extension's stock configuration: host firewall (score 2, $1K per
+  /// host) and antivirus (score 1.5, $0.5K per host).
+  static HostPatternConfig defaults() {
+    HostPatternConfig cfg;
+    cfg.enable(HostPattern::kHostFirewall, util::Fixed::from_int(2),
+               util::Fixed::from_int(1));
+    cfg.enable(HostPattern::kAntivirus, util::Fixed::from_double(1.5),
+               util::Fixed::from_double(0.5));
+    return cfg;
+  }
+
+  void enable(HostPattern p, util::Fixed score, util::Fixed cost) {
+    CS_REQUIRE(score > util::Fixed{} &&
+                   score <= util::Fixed::from_int(10),
+               "host pattern score must lie in (0, 10]");
+    CS_REQUIRE(cost >= util::Fixed{}, "host pattern cost must be >= 0");
+    if (!is_enabled(p)) enabled_.push_back(p);
+    score_[static_cast<std::size_t>(host_pattern_index(p))] = score;
+    cost_[static_cast<std::size_t>(host_pattern_index(p))] = cost;
+  }
+
+  const std::vector<HostPattern>& enabled() const { return enabled_; }
+  bool any() const { return !enabled_.empty(); }
+
+  bool is_enabled(HostPattern p) const {
+    for (const HostPattern e : enabled_)
+      if (e == p) return true;
+    return false;
+  }
+
+  util::Fixed score(HostPattern p) const {
+    return score_[static_cast<std::size_t>(host_pattern_index(p))];
+  }
+  util::Fixed cost(HostPattern p) const {
+    return cost_[static_cast<std::size_t>(host_pattern_index(p))];
+  }
+
+ private:
+  std::vector<HostPattern> enabled_;
+  std::array<util::Fixed, kHostPatternCount> score_{};
+  std::array<util::Fixed, kHostPatternCount> cost_{};
+};
+
+}  // namespace cs::model

@@ -1,0 +1,41 @@
+// Text input-file format (paper §IV, Table IV).
+//
+// ConfigSynth reads the problem from a sectioned text file; lines beginning
+// with '#' are comments, remaining tokens are whitespace-separated numbers.
+// Sections appear in this fixed order (matching the paper's Table IV):
+//
+//   1. number of enabled isolation patterns P (their paper ids follow:
+//      1 deny, 2 trusted, 3 inspection, 4 proxy, 5 proxy+trusted)
+//   2. P pattern ids
+//   3. number of partial-order rows, then rows "a b cmp" over pattern ids
+//      with cmp: 1 '=', 2 '>', 3 '>='
+//   4. cost of each security device: Firewall IPSec IDS Proxy (in $K)
+//   5. number of hosts H and routers R (nodes are numbered 1..H for hosts,
+//      H+1..H+R for routers)
+//   6. number of links, then rows "a b" of node numbers
+//   7. connectivity requirements: one row per source host, listing
+//      destination host numbers, terminated by 0 (paper: "each row for a
+//      host, which ends with 0"); a bare 0 row means none
+//   8. slider values: isolation (0-10), usability (0-10), budget ($K)
+//
+// The format covers the paper's single-service example; the richer
+// multi-service specs used elsewhere in the library are built in code.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/spec.h"
+
+namespace cs::model {
+
+/// Parses the Table IV format; throws SpecError with line context on
+/// malformed input. The returned spec is finalized and validated.
+ProblemSpec parse_input(std::istream& in);
+ProblemSpec parse_input_file(const std::string& path);
+
+/// Serializes a single-service spec back into the Table IV format.
+/// Requires: exactly one service and all flows using it.
+std::string serialize_input(const ProblemSpec& spec);
+
+}  // namespace cs::model

@@ -1,0 +1,148 @@
+#include "model/isolation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cs::model {
+
+std::string_view pattern_name(IsolationPattern p) {
+  switch (p) {
+    case IsolationPattern::kAccessDeny:
+      return "Access Deny";
+    case IsolationPattern::kTrustedComm:
+      return "Trusted Communication";
+    case IsolationPattern::kPayloadInspection:
+      return "Payload Inspection";
+    case IsolationPattern::kProxy:
+      return "Proxy Forwarding";
+    case IsolationPattern::kProxyTrusted:
+      return "Proxy + Trusted Communication";
+  }
+  return "?";
+}
+
+const std::vector<DeviceType>& devices_for(IsolationPattern p) {
+  static const std::vector<DeviceType> kDeny{DeviceType::kFirewall};
+  static const std::vector<DeviceType> kTrusted{DeviceType::kIpsec};
+  static const std::vector<DeviceType> kInspect{DeviceType::kIds};
+  static const std::vector<DeviceType> kProxy{DeviceType::kProxy};
+  static const std::vector<DeviceType> kProxyTrusted{DeviceType::kProxy,
+                                                     DeviceType::kIpsec};
+  switch (p) {
+    case IsolationPattern::kAccessDeny:
+      return kDeny;
+    case IsolationPattern::kTrustedComm:
+      return kTrusted;
+    case IsolationPattern::kPayloadInspection:
+      return kInspect;
+    case IsolationPattern::kProxy:
+      return kProxy;
+    case IsolationPattern::kProxyTrusted:
+      return kProxyTrusted;
+  }
+  CS_ENSURE(false, "unknown pattern");
+  return kDeny;  // unreachable
+}
+
+std::vector<OrderConstraint> paper_pattern_order() {
+  // Indices are pattern_index values: deny=0, trusted=1, inspect=2,
+  // proxy=3, proxy+trusted=4.
+  std::vector<OrderConstraint> order;
+  for (const IsolationPattern p : kAllPatterns) {
+    if (p == IsolationPattern::kAccessDeny) continue;
+    order.push_back(OrderConstraint{
+        0, static_cast<std::size_t>(pattern_index(p)),
+        OrderRelation::kGreater});  // L_1 > L_k
+  }
+  order.push_back(OrderConstraint{1, 2, OrderRelation::kGreater});  // L2 > L3
+  order.push_back(OrderConstraint{1, 3, OrderRelation::kGreater});  // L2 > L4
+  order.push_back(OrderConstraint{4, 1, OrderRelation::kGreater});  // L5 > L2
+  return order;
+}
+
+IsolationConfig IsolationConfig::defaults() {
+  std::vector<IsolationPattern> all(kAllPatterns.begin(), kAllPatterns.end());
+  return from_partial_order(std::move(all), paper_pattern_order());
+}
+
+IsolationConfig IsolationConfig::from_partial_order(
+    std::vector<IsolationPattern> enabled,
+    const std::vector<OrderConstraint>& order_over_enabled,
+    util::Fixed max_score) {
+  CS_REQUIRE(!enabled.empty(), "no isolation patterns enabled");
+  CS_REQUIRE(max_score > util::Fixed{}, "max_score must be positive");
+  {
+    auto sorted = enabled;
+    std::sort(sorted.begin(), sorted.end());
+    CS_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                   sorted.end(),
+               "duplicate enabled pattern");
+  }
+
+  // Constraint indices address positions within `enabled`.
+  const std::vector<int> raw =
+      complete_order(enabled.size(), order_over_enabled);
+  // Normalize onto (0, max_score]: lowest raw score maps to
+  // max_score / levels, highest to max_score, preserving the ratios the
+  // paper's Table I exhibits (1,2,3,4 -> 2.5, 5, 7.5, 10 on a 10 scale).
+  const int top = *std::max_element(raw.begin(), raw.end());
+  IsolationConfig cfg;
+  cfg.enabled_ = std::move(enabled);
+  cfg.score_.fill(util::Fixed{});
+  cfg.usability_.fill(util::Fixed::from_int(1));
+  for (std::size_t i = 0; i < cfg.enabled_.size(); ++i) {
+    const auto idx =
+        static_cast<std::size_t>(pattern_index(cfg.enabled_[i]));
+    cfg.score_[idx] = util::Fixed::from_raw(max_score.raw() * raw[i] / top);
+  }
+  cfg.usability_[static_cast<std::size_t>(
+      pattern_index(IsolationPattern::kAccessDeny))] = util::Fixed{};
+  return cfg;
+}
+
+bool IsolationConfig::is_enabled(IsolationPattern p) const {
+  return std::find(enabled_.begin(), enabled_.end(), p) != enabled_.end();
+}
+
+util::Fixed IsolationConfig::score(IsolationPattern p) const {
+  return score_[static_cast<std::size_t>(pattern_index(p))];
+}
+
+void IsolationConfig::set_score(IsolationPattern p, util::Fixed score) {
+  CS_REQUIRE(score >= util::Fixed{}, "isolation score must be >= 0");
+  score_[static_cast<std::size_t>(pattern_index(p))] = score;
+}
+
+util::Fixed IsolationConfig::usability(IsolationPattern p,
+                                       ServiceId g) const {
+  const auto it = usability_override_.find({pattern_index(p), g});
+  if (it != usability_override_.end()) return it->second;
+  return usability_[static_cast<std::size_t>(pattern_index(p))];
+}
+
+void IsolationConfig::set_usability(IsolationPattern p, util::Fixed b) {
+  CS_REQUIRE(b >= util::Fixed{} && b <= util::Fixed::from_int(1),
+             "usability impact must lie in [0, 1]");
+  usability_[static_cast<std::size_t>(pattern_index(p))] = b;
+}
+
+void IsolationConfig::set_usability_override(IsolationPattern p, ServiceId g,
+                                             util::Fixed b) {
+  CS_REQUIRE(b >= util::Fixed{} && b <= util::Fixed::from_int(1),
+             "usability impact must lie in [0, 1]");
+  usability_override_[{pattern_index(p), g}] = b;
+}
+
+void IsolationConfig::set_tunnel_margin(int t) {
+  CS_REQUIRE(t >= 1, "tunnel margin must be >= 1");
+  tunnel_margin_ = t;
+}
+
+util::Fixed IsolationConfig::max_enabled_score() const {
+  util::Fixed best{};
+  for (const IsolationPattern p : enabled_) best = std::max(best, score(p));
+  return best;
+}
+
+}  // namespace cs::model

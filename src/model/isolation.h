@@ -1,0 +1,101 @@
+// Isolation patterns (paper Table I) and the isolation configuration.
+//
+// An isolation pattern is the kind of security resistance applied to a flow:
+// primitive patterns map one-to-one onto a device type (eq. 1 / Table II);
+// the composite pattern "proxy with trusted communication" requires both a
+// proxy and an IPSec pair. Pattern scores L_k and usability impacts b_k are
+// derived from administrator-supplied partial orders (see order.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "model/device.h"
+#include "model/order.h"
+#include "model/service.h"
+#include "util/fixed.h"
+
+namespace cs::model {
+
+enum class IsolationPattern : std::int8_t {
+  kAccessDeny = 0,          // firewall block
+  kTrustedComm = 1,         // IPSec tunnel
+  kPayloadInspection = 2,   // IDS on path
+  kProxy = 3,               // traffic forwarded through a proxy
+  kProxyTrusted = 4,        // composite: proxy + trusted communication
+};
+
+inline constexpr int kPatternCount = 5;
+
+inline constexpr std::array<IsolationPattern, kPatternCount> kAllPatterns = {
+    IsolationPattern::kAccessDeny, IsolationPattern::kTrustedComm,
+    IsolationPattern::kPayloadInspection, IsolationPattern::kProxy,
+    IsolationPattern::kProxyTrusted};
+
+constexpr int pattern_index(IsolationPattern p) { return static_cast<int>(p); }
+
+/// The paper's 1-based pattern id k (Table I).
+constexpr int paper_id(IsolationPattern p) { return pattern_index(p) + 1; }
+
+std::string_view pattern_name(IsolationPattern p);
+
+/// Devices required to implement the pattern (eq. 1; composite patterns
+/// need several).
+const std::vector<DeviceType>& devices_for(IsolationPattern p);
+
+/// True if applying the pattern denies the flow entirely.
+constexpr bool denies_flow(IsolationPattern p) {
+  return p == IsolationPattern::kAccessDeny;
+}
+
+/// The paper's Table I partial order:
+///   ∀k≠1: L_k < L_1,  L_2 > L_3,  L_2 > L_4,  L_5 > L_2.
+std::vector<OrderConstraint> paper_pattern_order();
+
+/// Everything the encoder needs to know about isolation patterns.
+class IsolationConfig {
+ public:
+  /// Paper defaults: all five patterns enabled, Table I scores normalized
+  /// to (0, 10], usability b = 0 for access deny and 1 otherwise, tunnel
+  /// margin T = 2.
+  static IsolationConfig defaults();
+
+  /// Builds scores from a partial order over the *enabled* patterns, then
+  /// normalizes into (0, max_score].
+  static IsolationConfig from_partial_order(
+      std::vector<IsolationPattern> enabled,
+      const std::vector<OrderConstraint>& order_over_enabled,
+      util::Fixed max_score = util::Fixed::from_int(10));
+
+  const std::vector<IsolationPattern>& enabled() const { return enabled_; }
+  bool is_enabled(IsolationPattern p) const;
+
+  /// Relative isolation score L_k on the 0..10 scale.
+  util::Fixed score(IsolationPattern p) const;
+  void set_score(IsolationPattern p, util::Fixed score);
+
+  /// Usability impact b_k(g) in [0, 1]; per-service overrides win over the
+  /// per-pattern default.
+  util::Fixed usability(IsolationPattern p, ServiceId g) const;
+  void set_usability(IsolationPattern p, util::Fixed b);
+  void set_usability_override(IsolationPattern p, ServiceId g, util::Fixed b);
+
+  /// Max hops T that may lie outside an IPSec tunnel at each end (§III-C).
+  int tunnel_margin() const { return tunnel_margin_; }
+  void set_tunnel_margin(int t);
+
+  /// Largest enabled score (the per-flow isolation ceiling).
+  util::Fixed max_enabled_score() const;
+
+ private:
+  std::vector<IsolationPattern> enabled_;
+  std::array<util::Fixed, kPatternCount> score_{};
+  std::array<util::Fixed, kPatternCount> usability_{};
+  std::map<std::pair<int, ServiceId>, util::Fixed> usability_override_;
+  int tunnel_margin_ = 2;
+};
+
+}  // namespace cs::model

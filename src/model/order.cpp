@@ -1,0 +1,142 @@
+#include "model/order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace cs::model {
+
+namespace {
+
+/// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct Edge {
+  std::size_t to;
+  int weight;  // 1 for strict (>), 0 for weak (>=)
+};
+
+}  // namespace
+
+std::vector<int> complete_order(
+    std::size_t count, const std::vector<OrderConstraint>& constraints) {
+  CS_REQUIRE(count > 0, "complete_order: no items");
+  for (const OrderConstraint& c : constraints) {
+    CS_REQUIRE(c.a < count && c.b < count,
+               "complete_order: constraint references unknown item");
+  }
+
+  // Phase 1: merge explicit equalities.
+  UnionFind uf(count);
+  for (const OrderConstraint& c : constraints)
+    if (c.relation == OrderRelation::kEqual) uf.merge(c.a, c.b);
+
+  // Phase 2: collapse weak/strict cycles. We iterate: find strongly
+  // connected components over the remaining edges; an SCC containing a
+  // strict edge is contradictory, an SCC of weak edges forces equality.
+  // Because count is tiny (patterns/services), a simple O(n^3)
+  // reachability closure suffices and is easy to audit.
+  const auto build_edges = [&](std::vector<std::vector<Edge>>& adj) {
+    adj.assign(count, {});
+    for (const OrderConstraint& c : constraints) {
+      if (c.relation == OrderRelation::kEqual) continue;
+      const std::size_t a = uf.find(c.a);
+      const std::size_t b = uf.find(c.b);
+      const int w = c.relation == OrderRelation::kGreater ? 1 : 0;
+      if (a == b) {
+        CS_REQUIRE(w == 0, "contradictory order: item strictly above itself");
+        continue;
+      }
+      adj[a].push_back(Edge{b, w});  // a is above b
+    }
+  };
+
+  std::vector<std::vector<Edge>> adj;
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    build_edges(adj);
+    // reach[i][j] = max edge weight along some path i -> j (-1 unreachable).
+    std::vector<std::vector<int>> reach(count, std::vector<int>(count, -1));
+    for (std::size_t i = 0; i < count; ++i)
+      for (const Edge& e : adj[i])
+        reach[i][e.to] = std::max(reach[i][e.to], e.weight);
+    for (std::size_t k = 0; k < count; ++k)
+      for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t j = 0; j < count; ++j)
+          if (reach[i][k] >= 0 && reach[k][j] >= 0)
+            reach[i][j] =
+                std::max(reach[i][j], std::max(reach[i][k], reach[k][j]));
+    for (std::size_t i = 0; i < count && !merged; ++i) {
+      for (std::size_t j = 0; j < count && !merged; ++j) {
+        if (i == j || reach[i][j] < 0 || reach[j][i] < 0) continue;
+        CS_REQUIRE(reach[i][j] == 0 && reach[j][i] == 0,
+                   "contradictory order: strict cycle");
+        if (uf.find(i) != uf.find(j)) {
+          uf.merge(i, j);
+          merged = true;  // rebuild with the merged classes
+        }
+      }
+    }
+  }
+
+  // Phase 3: longest-path layering on the (now acyclic) class DAG.
+  build_edges(adj);
+  std::vector<int> score(count, -1);
+  // Recursive longest path with memoization over representatives.
+  const auto dfs = [&](auto&& self, std::size_t rep) -> int {
+    if (score[rep] >= 0) return score[rep];
+    int best = 1;  // bottom score
+    for (const Edge& e : adj[rep])
+      best = std::max(best, self(self, e.to) + e.weight);
+    score[rep] = best;
+    return best;
+  };
+  std::vector<int> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = dfs(dfs, uf.find(i));
+  return out;
+}
+
+std::vector<util::Fixed> normalize_scores(const std::vector<int>& scores,
+                                          util::Fixed lo, util::Fixed hi) {
+  CS_REQUIRE(!scores.empty(), "normalize_scores: no scores");
+  CS_REQUIRE(lo <= hi, "normalize_scores: empty range");
+  const auto [mn_it, mx_it] = std::minmax_element(scores.begin(), scores.end());
+  const int mn = *mn_it;
+  const int mx = *mx_it;
+  std::vector<util::Fixed> out(scores.size());
+  if (mn == mx) {
+    std::fill(out.begin(), out.end(), hi);
+    return out;
+  }
+  const util::Fixed span = hi - lo;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    // lo + span * (s - mn) / (mx - mn), computed in raw units with one
+    // rounding division so ties stay ties.
+    const std::int64_t num = span.raw() * (scores[i] - mn);
+    const std::int64_t den = mx - mn;
+    out[i] = lo + util::Fixed::from_raw((num + den / 2) / den);
+  }
+  return out;
+}
+
+}  // namespace cs::model

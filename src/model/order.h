@@ -1,0 +1,45 @@
+// Partial-order completion (paper §III-A, "Score of an Isolation Pattern").
+//
+// Administrators give *partial* information about relative capability —
+// e.g. "deny > trusted", "trusted >= inspection" — and the model derives a
+// complete relative order by assigning each item an integer score. This is
+// the paper's "simple formal model ... based on the given partial order".
+//
+// Semantics: build a constraint graph over the items; equality constraints
+// merge items; any cycle through a strict edge is contradictory; scores are
+// longest strict-edge distances from the bottom, so incomparable items may
+// tie. With the paper's Table I input the completion reproduces the paper's
+// scores (deny=4, trusted=2, inspect=1, proxy=1, proxy+trusted=3) exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/fixed.h"
+
+namespace cs::model {
+
+enum class OrderRelation {
+  kEqual,          // a = b
+  kGreater,        // a > b
+  kGreaterEqual,   // a >= b
+};
+
+struct OrderConstraint {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  OrderRelation relation = OrderRelation::kGreater;
+};
+
+/// Completes a partial order over `count` items into integer scores ≥ 1.
+/// Throws SpecError if the constraints are contradictory.
+std::vector<int> complete_order(std::size_t count,
+                                const std::vector<OrderConstraint>& constraints);
+
+/// Linearly rescales integer scores into fixed-point values spanning
+/// [lo, hi] (the paper normalizes onto a 0..10 slider scale). A uniform
+/// score list maps every item to hi.
+std::vector<util::Fixed> normalize_scores(const std::vector<int>& scores,
+                                          util::Fixed lo, util::Fixed hi);
+
+}  // namespace cs::model

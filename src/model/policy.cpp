@@ -1,0 +1,42 @@
+#include "model/policy.h"
+
+namespace cs::model {
+
+namespace {
+
+std::string flow_text(const Flow& f, const ServiceCatalog& services,
+                      const topology::Network& net) {
+  return net.node(f.src).name + "->" + net.node(f.dst).name + ":" +
+         services.service(f.service).name;
+}
+
+}  // namespace
+
+std::string describe(const UserConstraint& constraint,
+                     const ServiceCatalog& services,
+                     const topology::Network& net) {
+  struct Visitor {
+    const ServiceCatalog& services;
+    const topology::Network& net;
+
+    std::string operator()(const ForbidPatternForService& c) const {
+      return "forbid '" + std::string(pattern_name(c.pattern)) +
+             "' for service " + services.service(c.service).name;
+    }
+    std::string operator()(const ForbidPatternForFlow& c) const {
+      return "forbid '" + std::string(pattern_name(c.pattern)) +
+             "' on flow " + flow_text(c.flow, services, net);
+    }
+    std::string operator()(const RequirePatternForFlow& c) const {
+      return "require '" + std::string(pattern_name(c.pattern)) +
+             "' on flow " + flow_text(c.flow, services, net);
+    }
+    std::string operator()(const DenyOneOf& c) const {
+      return "deny " + flow_text(c.open_flow, services, net) + " or deny " +
+             flow_text(c.guard_flow, services, net);
+    }
+  };
+  return std::visit(Visitor{services, net}, constraint);
+}
+
+}  // namespace cs::model

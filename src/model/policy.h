@@ -1,0 +1,57 @@
+// User-defined isolation policy constraints (paper §III-D, UIC).
+//
+// UICs let an organization carve requirements into the synthesis beyond the
+// three sliders. The paper's three exemplars map onto:
+//   UIC1 "no IPSec for SSH"        -> ForbidPatternForService
+//   UIC2 "i may reach ĵ only if the Internet cannot reach i"
+//                                  -> DenyOneOf (a clause over two denies)
+//   UIC3 "no trusted comm for WEB" -> ForbidPatternForService
+// plus pinning constraints used by administrators to lock decisions in/out.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "model/flow.h"
+#include "model/isolation.h"
+#include "model/service.h"
+
+namespace cs::model {
+
+/// Forbids pattern k on every flow of a service (y^k_{i,j}(g) = false ∀i,j).
+struct ForbidPatternForService {
+  ServiceId service = kInvalidService;
+  IsolationPattern pattern = IsolationPattern::kAccessDeny;
+};
+
+/// Forbids pattern k on one specific flow.
+struct ForbidPatternForFlow {
+  Flow flow;
+  IsolationPattern pattern = IsolationPattern::kAccessDeny;
+};
+
+/// Forces pattern k on one specific flow (y^k = true).
+struct RequirePatternForFlow {
+  Flow flow;
+  IsolationPattern pattern = IsolationPattern::kAccessDeny;
+};
+
+/// "`open_flow` may be left open only if `guard_flow` is denied":
+/// y^1(open_flow) ∨ y^1(guard_flow). The paper's UIC2 instantiates this
+/// with guard_flow = (Internet → i).
+struct DenyOneOf {
+  Flow open_flow;
+  Flow guard_flow;
+};
+
+using UserConstraint = std::variant<ForbidPatternForService,
+                                    ForbidPatternForFlow,
+                                    RequirePatternForFlow, DenyOneOf>;
+
+/// Human-readable rendering for reports and unsat explanations.
+std::string describe(const UserConstraint& constraint,
+                     const ServiceCatalog& services,
+                     const topology::Network& net);
+
+}  // namespace cs::model

@@ -1,0 +1,48 @@
+#include "model/requirements.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cs::model {
+
+FlowRanks FlowRanks::uniform(const FlowSet& flows) {
+  FlowRanks r;
+  r.ranks_.assign(flows.size(), util::Fixed::from_int(1));
+  return r;
+}
+
+FlowRanks FlowRanks::from_service_order(
+    const FlowSet& flows, std::size_t service_count,
+    const std::vector<OrderConstraint>& order_over_services) {
+  CS_REQUIRE(service_count > 0, "FlowRanks: no services");
+  const std::vector<int> raw =
+      complete_order(service_count, order_over_services);
+  const int top = *std::max_element(raw.begin(), raw.end());
+  FlowRanks r;
+  r.ranks_.reserve(flows.size());
+  for (const Flow& f : flows.all()) {
+    CS_REQUIRE(static_cast<std::size_t>(f.service) < service_count,
+               "flow references service outside the ordered set");
+    r.ranks_.push_back(util::Fixed::from_raw(
+        util::Fixed::kScale * raw[static_cast<std::size_t>(f.service)] /
+        top));
+  }
+  return r;
+}
+
+void FlowRanks::set(FlowId flow, util::Fixed rank) {
+  CS_REQUIRE(rank > util::Fixed{} && rank <= util::Fixed::from_int(1),
+             "flow rank must lie in (0, 1]");
+  CS_ENSURE(flow >= 0 && static_cast<std::size_t>(flow) < ranks_.size(),
+            "FlowRanks::set: bad flow id");
+  ranks_[static_cast<std::size_t>(flow)] = rank;
+}
+
+util::Fixed FlowRanks::total() const {
+  util::Fixed sum{};
+  for (const util::Fixed r : ranks_) sum += r;
+  return sum;
+}
+
+}  // namespace cs::model

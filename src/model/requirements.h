@@ -1,0 +1,68 @@
+// Connectivity requirements and flow ranks (paper §III-B).
+//
+// A connectivity requirement CR_r marks a flow as business-essential: the
+// synthesized design must not deny it (hard clause; see IIC2). Flow ranks
+// a_{i,j}(g) weight each flow's contribution to the usability metric and are
+// derived from a partial order over services when the administrator gives
+// one (all flows rank equally otherwise).
+#pragma once
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "model/flow.h"
+#include "model/order.h"
+#include "util/fixed.h"
+
+namespace cs::model {
+
+class ConnectivityRequirements {
+ public:
+  /// Marks `flow` as required-to-communicate.
+  void add(FlowId flow) { required_.insert(flow); }
+
+  bool required(FlowId flow) const { return required_.contains(flow); }
+
+  std::size_t size() const { return required_.size(); }
+
+  /// Sorted list of required flows (deterministic iteration for encoding).
+  std::vector<FlowId> sorted() const {
+    std::vector<FlowId> out(required_.begin(), required_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::unordered_set<FlowId> required_;
+};
+
+/// Per-flow demand ranks a_{i,j}(g), normalized into (0, 1].
+class FlowRanks {
+ public:
+  /// All flows rank 1 (the paper's default when no demand is specified).
+  static FlowRanks uniform(const FlowSet& flows);
+
+  /// Ranks derived from a partial order over services: each flow inherits
+  /// its service's completed score, normalized into (0, 1].
+  static FlowRanks from_service_order(
+      const FlowSet& flows, std::size_t service_count,
+      const std::vector<OrderConstraint>& order_over_services);
+
+  /// Overrides one flow's rank (must lie in (0, 1]).
+  void set(FlowId flow, util::Fixed rank);
+
+  util::Fixed rank(FlowId flow) const {
+    return ranks_[static_cast<std::size_t>(flow)];
+  }
+
+  /// Σ_f a_f — the usability normalization denominator.
+  util::Fixed total() const;
+
+  std::size_t size() const { return ranks_.size(); }
+
+ private:
+  std::vector<util::Fixed> ranks_;
+};
+
+}  // namespace cs::model

@@ -1,0 +1,25 @@
+// Risk-based isolation constraints (RMC).
+//
+// The paper's evaluation methodology (§V) mentions "user-defined
+// risk-based constraints for the choice of isolation patterns (RMC)" as a
+// model feature it disables for the scalability runs. RMCs here are
+// per-host minimum-isolation requirements: a host the organization deems
+// risky (an internet-facing server, a till system) must reach at least a
+// given isolation score I_j (paper eq. 3), where incoming traffic weighs α
+// and outgoing 1−α (eq. 2). This is the one place the α weight changes
+// satisfiability — it cancels out of the network-level metric (see
+// synth/encoder.cpp).
+#pragma once
+
+#include "topology/network.h"
+#include "util/fixed.h"
+
+namespace cs::model {
+
+struct HostIsolationRequirement {
+  topology::NodeId host = topology::kInvalidNode;
+  /// Minimum per-host isolation I_j on the 0..10 scale.
+  util::Fixed min_isolation;
+};
+
+}  // namespace cs::model

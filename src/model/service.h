@@ -1,0 +1,55 @@
+// Network services (paper §III: g ∈ G, encoded as protocol/port pairs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cs::model {
+
+/// Dense service index into the catalog.
+using ServiceId = std::int32_t;
+inline constexpr ServiceId kInvalidService = -1;
+
+struct Service {
+  ServiceId id = kInvalidService;
+  std::string name;  // e.g. "WEB", "SSH"
+  int protocol = 6;  // IP protocol number (6 = TCP)
+  int port = 0;      // destination port
+};
+
+/// Registry of the services in scope for a synthesis problem.
+class ServiceCatalog {
+ public:
+  /// Registers a service; names must be unique.
+  ServiceId add(std::string name, int protocol = 6, int port = 0) {
+    CS_REQUIRE(!find(name).has_value(),
+               "duplicate service name '" + name + "'");
+    const ServiceId id = static_cast<ServiceId>(services_.size());
+    services_.push_back(Service{id, std::move(name), protocol, port});
+    return id;
+  }
+
+  const Service& service(ServiceId id) const {
+    CS_ENSURE(id >= 0 && id < static_cast<ServiceId>(services_.size()),
+              "bad service id");
+    return services_[static_cast<std::size_t>(id)];
+  }
+
+  std::optional<ServiceId> find(const std::string& name) const {
+    for (const Service& s : services_)
+      if (s.name == name) return s.id;
+    return std::nullopt;
+  }
+
+  const std::vector<Service>& all() const { return services_; }
+  std::size_t size() const { return services_.size(); }
+
+ private:
+  std::vector<Service> services_;
+};
+
+}  // namespace cs::model

@@ -1,0 +1,85 @@
+// The complete synthesis problem specification.
+//
+// `ProblemSpec` bundles everything §III of the paper takes as input: the
+// topology, the candidate flows, the isolation configuration (patterns,
+// scores, usability impacts, tunnel margin), device costs, connectivity
+// requirements, user-defined constraints, flow ranks, the three sliders and
+// the incoming-traffic weight α. The encoder (synth/encoder.h) consumes a
+// validated spec; the workload generator below fills one randomly for the
+// evaluation experiments.
+#pragma once
+
+#include <vector>
+
+#include "model/app_pattern.h"
+#include "model/device.h"
+#include "model/flow.h"
+#include "model/host_pattern.h"
+#include "model/isolation.h"
+#include "model/policy.h"
+#include "model/requirements.h"
+#include "model/risk.h"
+#include "model/service.h"
+#include "model/thresholds.h"
+#include "topology/network.h"
+#include "topology/routes.h"
+#include "util/fixed.h"
+#include "util/rng.h"
+
+namespace cs::model {
+
+struct ProblemSpec {
+  topology::Network network;
+  ServiceCatalog services;
+  FlowSet flows;
+  IsolationConfig isolation = IsolationConfig::defaults();
+  /// Host-level isolation patterns (§VII extension); disabled by default.
+  HostPatternConfig host_patterns;
+  /// Application-level isolation patterns (§VII extension); disabled by
+  /// default.
+  AppPatternConfig app_patterns;
+  DeviceCosts device_costs = DeviceCosts::defaults();
+  ConnectivityRequirements connectivity;
+  std::vector<UserConstraint> user_constraints;
+  /// Risk-based minimum-isolation constraints per host (RMC, paper §V).
+  std::vector<HostIsolationRequirement> host_requirements;
+  FlowRanks ranks;  // empty => finalize() installs uniform ranks
+  Sliders sliders;
+  /// Weight α of incoming traffic in per-host isolation (paper eq. 2);
+  /// incoming dominates, per the paper's discussion.
+  util::Fixed alpha = util::Fixed::from_double(0.7);
+  topology::RouteOptions route_options;
+
+  /// Installs defaults that depend on the populated flows (uniform ranks).
+  void finalize();
+
+  /// Throws SpecError when internally inconsistent (bad flow endpoints,
+  /// rank/flow size mismatch, denied CRs pinned by UICs, slider ranges...).
+  void validate() const;
+};
+
+/// Registers the example service catalog used by examples and tests:
+/// WEB(80), SSH(22), DNS(53), SMTP(25), DB(3306), FTP(21).
+void add_standard_services(ServiceCatalog& catalog);
+
+/// Random-workload knobs matching the paper's evaluation methodology (§V):
+/// 1–3 services per host pair, connectivity requirements as a percentage of
+/// all flows.
+struct WorkloadConfig {
+  /// Size of the service catalog.
+  int service_count = 3;
+  /// Flows per *ordered* host pair, drawn uniformly from this range.
+  int min_services_per_pair = 1;
+  int max_services_per_pair = 3;
+  /// Fraction of ordered host pairs that carry any flows.
+  double pair_density = 1.0;
+  /// Fraction of all generated flows marked as connectivity requirements.
+  double cr_fraction = 0.1;
+};
+
+/// Fills spec.services, spec.flows, spec.connectivity and uniform ranks.
+/// The network must already be populated.
+void populate_random_workload(ProblemSpec& spec, const WorkloadConfig& config,
+                              util::Rng& rng);
+
+}  // namespace cs::model

@@ -1,0 +1,31 @@
+// The three slider thresholds (paper §III-D, eq. 9).
+//
+//   isolation  Th_I : network isolation must reach at least this (0..10)
+//   usability  Th_U : network usability must reach at least this (0..10)
+//   budget     Th_C : total device deployment cost must not exceed this
+//                     (same unit as DeviceCosts, thousand dollars)
+#pragma once
+
+#include "util/error.h"
+#include "util/fixed.h"
+
+namespace cs::model {
+
+/// Top of the isolation/usability slider scales.
+inline const util::Fixed kSliderMax = util::Fixed::from_int(10);
+
+struct Sliders {
+  util::Fixed isolation;   // Th_I in [0, 10]
+  util::Fixed usability;   // Th_U in [0, 10]
+  util::Fixed budget;      // Th_C >= 0, in $K
+
+  void validate() const {
+    CS_REQUIRE(isolation >= util::Fixed{} && isolation <= kSliderMax,
+               "isolation slider out of [0, 10]");
+    CS_REQUIRE(usability >= util::Fixed{} && usability <= kSliderMax,
+               "usability slider out of [0, 10]");
+    CS_REQUIRE(budget >= util::Fixed{}, "budget must be non-negative");
+  }
+};
+
+}  // namespace cs::model

@@ -1,0 +1,24 @@
+#include "smt/ir.h"
+#include "smt/mini_backend.h"
+#include "smt/z3_backend.h"
+#include "util/error.h"
+
+namespace cs::smt {
+
+std::unique_ptr<Backend> make_backend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kZ3:
+      return std::make_unique<Z3Backend>();
+    case BackendKind::kMiniPb:
+      return std::make_unique<MiniBackend>();
+  }
+  throw util::InternalError("unknown backend kind");
+}
+
+BackendKind backend_from_name(const std::string& name) {
+  if (name == "z3") return BackendKind::kZ3;
+  if (name == "minipb" || name == "mini") return BackendKind::kMiniPb;
+  throw util::SpecError("unknown backend '" + name + "' (use z3|minipb)");
+}
+
+}  // namespace cs::smt

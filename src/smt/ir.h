@@ -1,0 +1,127 @@
+// Backend-neutral constraint interface.
+//
+// The ConfigSynth encoder (synth/encoder.h) emits three constraint shapes:
+// Boolean clauses, linear "at least" constraints and linear "at most"
+// constraints over Boolean decision variables — plus *guarded* linear
+// constraints whose guard literal can be assumed or dropped per check,
+// which is how the paper's threshold constraints become retractable
+// assumptions for unsat-core analysis (Algorithm 1).
+//
+// Two interchangeable backends implement the interface:
+//   * Z3Backend   — the paper's actual solver, via the native z3++ API.
+//   * MiniBackend — this repo's from-scratch CDCL PB solver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cs::smt {
+
+/// Dense Boolean decision-variable index within a backend.
+using BoolVar = std::int32_t;
+inline constexpr BoolVar kNoVar = -1;
+
+/// Literal: a variable or its negation.
+struct Lit {
+  BoolVar var = kNoVar;
+  bool negated = false;
+
+  friend Lit operator!(Lit l) { return Lit{l.var, !l.negated}; }
+  bool operator==(const Lit&) const = default;
+};
+
+inline Lit pos(BoolVar v) { return Lit{v, false}; }
+inline Lit neg(BoolVar v) { return Lit{v, true}; }
+
+/// Weighted literal of a linear constraint: coeff · [lit is true].
+struct Term {
+  Lit lit;
+  std::int64_t coeff = 0;
+};
+
+enum class CheckResult { kSat, kUnsat, kUnknown };
+
+/// Solver backend interface. All constraint additions happen before (or
+/// between) `check` calls; models and cores are valid until the next call
+/// that mutates the backend.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Creates a fresh Boolean variable. `name` aids debugging/dumps only.
+  virtual BoolVar new_bool(const std::string& name) = 0;
+
+  virtual std::size_t num_vars() const = 0;
+
+  /// Adds a disjunction of literals (must be non-empty).
+  virtual void add_clause(const std::vector<Lit>& lits) = 0;
+
+  /// Adds Σ terms ≥ bound.
+  virtual void add_linear_ge(const std::vector<Term>& terms,
+                             std::int64_t bound) = 0;
+
+  /// Adds Σ terms ≤ bound.
+  virtual void add_linear_le(const std::vector<Term>& terms,
+                             std::int64_t bound) = 0;
+
+  /// Adds guard ⇒ (Σ terms ≥ bound). Assume `guard` in check() to enable.
+  virtual void add_guarded_linear_ge(Lit guard,
+                                     const std::vector<Term>& terms,
+                                     std::int64_t bound) = 0;
+
+  /// Adds guard ⇒ (Σ terms ≤ bound).
+  virtual void add_guarded_linear_le(Lit guard,
+                                     const std::vector<Term>& terms,
+                                     std::int64_t bound) = 0;
+
+  /// Solves under the given assumptions.
+  virtual CheckResult check(const std::vector<Lit>& assumptions) = 0;
+  CheckResult check() { return check({}); }
+
+  /// Caps each subsequent check's wall-clock time; 0 = unlimited. A capped
+  /// check returns kUnknown when the budget runs out. Near-boundary
+  /// threshold probes are genuinely exponential (the paper's Fig. 5a), so
+  /// drivers that sweep thresholds set this.
+  virtual void set_time_limit_ms(std::int64_t ms) = 0;
+
+  /// Model value of a variable after kSat.
+  virtual bool model_value(BoolVar v) const = 0;
+
+  /// After kUnsat under assumptions: a subset of the assumptions that is
+  /// jointly inconsistent with the constraints.
+  virtual std::vector<Lit> unsat_core() const = 0;
+
+  /// Rough memory footprint of the solver state, in bytes.
+  virtual std::size_t memory_bytes() const = 0;
+
+  /// Backend identifier ("z3", "minipb").
+  virtual std::string name() const = 0;
+
+  // ---- convenience helpers built on the primitives ---------------------
+
+  /// a ⇒ b.
+  void add_implies(Lit a, Lit b) { add_clause({!a, b}); }
+
+  /// At most one of the literals is true (pairwise encoding; the pattern
+  /// sets here are ≤5 wide, where pairwise is optimal).
+  void add_at_most_one(const std::vector<Lit>& lits) {
+    for (std::size_t i = 0; i < lits.size(); ++i)
+      for (std::size_t j = i + 1; j < lits.size(); ++j)
+        add_clause({!lits[i], !lits[j]});
+  }
+
+  /// Fixes a literal true.
+  void add_unit(Lit l) { add_clause({l}); }
+};
+
+enum class BackendKind { kZ3, kMiniPb };
+
+/// Creates a backend instance.
+std::unique_ptr<Backend> make_backend(BackendKind kind);
+
+/// Parses "z3" / "minipb" (for CLI flags); throws SpecError otherwise.
+BackendKind backend_from_name(const std::string& name);
+
+}  // namespace cs::smt

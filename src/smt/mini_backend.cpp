@@ -1,0 +1,114 @@
+#include "smt/mini_backend.h"
+
+#include "util/error.h"
+
+namespace cs::smt {
+
+namespace {
+
+std::vector<minisolver::PbTerm> to_mini_terms(const std::vector<Term>& terms) {
+  std::vector<minisolver::PbTerm> out;
+  out.reserve(terms.size());
+  for (const Term& t : terms) {
+    out.push_back(minisolver::PbTerm{
+        t.lit.negated ? minisolver::Lit::neg(t.lit.var)
+                      : minisolver::Lit::pos(t.lit.var),
+        t.coeff});
+  }
+  return out;
+}
+
+/// Minimum possible value of Σ terms (negative coefficients contribute).
+std::int64_t min_sum(const std::vector<Term>& terms) {
+  std::int64_t s = 0;
+  for (const Term& t : terms)
+    if (t.coeff < 0) s += t.coeff;
+  return s;
+}
+
+/// Maximum possible value of Σ terms.
+std::int64_t max_sum(const std::vector<Term>& terms) {
+  std::int64_t s = 0;
+  for (const Term& t : terms)
+    if (t.coeff > 0) s += t.coeff;
+  return s;
+}
+
+}  // namespace
+
+BoolVar MiniBackend::new_bool(const std::string& name) {
+  (void)name;  // MiniPB variables are anonymous
+  return solver_.new_var();
+}
+
+void MiniBackend::add_clause(const std::vector<Lit>& lits) {
+  CS_REQUIRE(!lits.empty(), "empty clause");
+  std::vector<minisolver::Lit> mini;
+  mini.reserve(lits.size());
+  for (const Lit l : lits) mini.push_back(to_mini(l));
+  solver_.add_clause(std::move(mini));
+}
+
+void MiniBackend::add_linear_ge(const std::vector<Term>& terms,
+                                std::int64_t bound) {
+  solver_.add_linear_ge(to_mini_terms(terms), bound);
+}
+
+void MiniBackend::add_linear_le(const std::vector<Term>& terms,
+                                std::int64_t bound) {
+  solver_.add_linear_le(to_mini_terms(terms), bound);
+}
+
+void MiniBackend::add_guarded_linear_ge(Lit guard,
+                                        const std::vector<Term>& terms,
+                                        std::int64_t bound) {
+  // guard=false must satisfy the constraint vacuously: add ¬guard with a
+  // coefficient that lifts the sum above the bound on its own.
+  const std::int64_t relax = bound - min_sum(terms);
+  if (relax <= 0) {
+    // Constraint holds for every assignment; nothing to add.
+    return;
+  }
+  std::vector<Term> relaxed = terms;
+  relaxed.push_back(Term{!guard, relax});
+  add_linear_ge(relaxed, bound);
+}
+
+void MiniBackend::add_guarded_linear_le(Lit guard,
+                                        const std::vector<Term>& terms,
+                                        std::int64_t bound) {
+  const std::int64_t relax = max_sum(terms) - bound;
+  if (relax <= 0) return;  // holds unconditionally
+  std::vector<Term> relaxed = terms;
+  relaxed.push_back(Term{!guard, -relax});
+  add_linear_le(relaxed, bound);
+}
+
+CheckResult MiniBackend::check(const std::vector<Lit>& assumptions) {
+  std::vector<minisolver::Lit> mini;
+  mini.reserve(assumptions.size());
+  for (const Lit l : assumptions) mini.push_back(to_mini(l));
+  switch (solver_.solve(mini)) {
+    case minisolver::Solver::Result::kSat:
+      return CheckResult::kSat;
+    case minisolver::Solver::Result::kUnsat:
+      return CheckResult::kUnsat;
+    case minisolver::Solver::Result::kUnknown:
+      return CheckResult::kUnknown;
+  }
+  return CheckResult::kUnknown;
+}
+
+bool MiniBackend::model_value(BoolVar v) const {
+  return solver_.model_value(v);
+}
+
+std::vector<Lit> MiniBackend::unsat_core() const {
+  std::vector<Lit> core;
+  core.reserve(solver_.unsat_core().size());
+  for (const minisolver::Lit l : solver_.unsat_core())
+    core.push_back(from_mini(l));
+  return core;
+}
+
+}  // namespace cs::smt

@@ -1,0 +1,228 @@
+#include "smt/z3_backend.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace cs::smt {
+
+namespace {
+
+/// Normalizes to positive coefficients over literals: merges duplicate
+/// variables, flips negative coefficients (a·x = a − a·(¬x)), adjusts the
+/// bound. Mirrors minisolver::normalize_pb so both backends see the same
+/// constraint.
+struct NormalizedGe {
+  std::vector<Term> terms;  // all coeff > 0
+  std::int64_t bound = 0;
+};
+
+NormalizedGe normalize_ge(const std::vector<Term>& terms,
+                          std::int64_t bound) {
+  std::unordered_map<BoolVar, std::int64_t> signed_coeff;
+  signed_coeff.reserve(terms.size());
+  for (const Term& t : terms) {
+    CS_REQUIRE(t.lit.var != kNoVar, "linear term without variable");
+    if (t.coeff == 0) continue;
+    if (t.lit.negated) {
+      signed_coeff[t.lit.var] -= t.coeff;
+      bound -= t.coeff;
+    } else {
+      signed_coeff[t.lit.var] += t.coeff;
+    }
+  }
+  NormalizedGe out;
+  out.terms.reserve(signed_coeff.size());
+  for (const auto& [var, coeff] : signed_coeff) {
+    if (coeff == 0) continue;
+    if (coeff > 0) {
+      out.terms.push_back(Term{pos(var), coeff});
+    } else {
+      out.terms.push_back(Term{neg(var), -coeff});
+      bound += -coeff;
+    }
+  }
+  out.bound = bound;
+  std::sort(out.terms.begin(), out.terms.end(),
+            [](const Term& a, const Term& b) { return a.lit.var < b.lit.var; });
+  return out;
+}
+
+}  // namespace
+
+// "QF_FD" selects Z3's finite-domain solver: a CDCL SAT core with native
+// counter-based pseudo-Boolean propagation, which handles the model's few
+// large weighted constraints orders of magnitude faster than the default
+// SMT core's PB compilation. All ConfigSynth constraints are Bool/PB, so
+// the restricted logic suffices.
+Z3Backend::Z3Backend() : solver_(ctx_, "QF_FD") {}
+
+BoolVar Z3Backend::new_bool(const std::string& name) {
+  const BoolVar id = static_cast<BoolVar>(vars_.size());
+  const std::string unique =
+      name.empty() ? ("b" + std::to_string(id))
+                   : (name + "#" + std::to_string(id));
+  vars_.push_back(ctx_.bool_const(unique.c_str()));
+  var_by_ast_id_.emplace(Z3_get_ast_id(ctx_, vars_.back()), id);
+  return id;
+}
+
+z3::expr Z3Backend::lit_expr(Lit l) const {
+  CS_ENSURE(l.var >= 0 && static_cast<std::size_t>(l.var) < vars_.size(),
+            "literal references unknown variable");
+  const z3::expr& v = vars_[static_cast<std::size_t>(l.var)];
+  return l.negated ? !v : v;
+}
+
+void Z3Backend::add_clause(const std::vector<Lit>& lits) {
+  CS_REQUIRE(!lits.empty(), "empty clause");
+  if (lits.size() == 1) {
+    assert_expr(lit_expr(lits[0]));
+    return;
+  }
+  z3::expr_vector disj(ctx_);
+  for (const Lit l : lits) disj.push_back(lit_expr(l));
+  assert_expr(z3::mk_or(disj));
+}
+
+z3::expr Z3Backend::linear_ge_expr(const std::vector<Term>& terms,
+                                   std::int64_t bound) {
+  const NormalizedGe n = normalize_ge(terms, bound);
+  if (n.bound <= 0) return ctx_.bool_val(true);
+  std::int64_t total = 0;
+  for (const Term& t : n.terms) total += t.coeff;
+  if (total < n.bound) return ctx_.bool_val(false);
+
+  // Z3's native PB atoms handle weighted Boolean sums far better than an
+  // ite-based integer-arithmetic encoding (which forces per-term case
+  // splits); arithmetic is only the fallback for coefficients beyond the
+  // PB API's int parameters.
+  const bool use_pb =
+      n.bound <= std::numeric_limits<int>::max() &&
+      std::all_of(n.terms.begin(), n.terms.end(), [](const Term& t) {
+        return t.coeff <= std::numeric_limits<int>::max();
+      });
+  if (use_pb) {
+    z3::expr_vector lits(ctx_);
+    std::vector<int> coeffs;
+    coeffs.reserve(n.terms.size());
+    for (const Term& t : n.terms) {
+      lits.push_back(lit_expr(t.lit));
+      coeffs.push_back(static_cast<int>(t.coeff));
+    }
+    return z3::pbge(lits, coeffs.data(), static_cast<int>(n.bound));
+  }
+  // Integer arithmetic over indicators.
+  z3::expr sum = ctx_.int_val(0);
+  for (const Term& t : n.terms) {
+    sum = sum + z3::ite(lit_expr(t.lit),
+                        ctx_.int_val(static_cast<std::int64_t>(t.coeff)),
+                        ctx_.int_val(0));
+  }
+  return sum >= ctx_.int_val(static_cast<std::int64_t>(n.bound));
+}
+
+void Z3Backend::add_linear_ge(const std::vector<Term>& terms,
+                              std::int64_t bound) {
+  assert_expr(linear_ge_expr(terms, bound));
+}
+
+void Z3Backend::add_linear_le(const std::vector<Term>& terms,
+                              std::int64_t bound) {
+  // Σ t ≤ b  ≡  Σ (−t) ≥ −b.
+  std::vector<Term> negated = terms;
+  for (Term& t : negated) t.coeff = -t.coeff;
+  assert_expr(linear_ge_expr(negated, -bound));
+}
+
+void Z3Backend::add_guarded_linear_ge(Lit guard,
+                                      const std::vector<Term>& terms,
+                                      std::int64_t bound) {
+  assert_expr(z3::implies(lit_expr(guard), linear_ge_expr(terms, bound)));
+}
+
+void Z3Backend::add_guarded_linear_le(Lit guard,
+                                      const std::vector<Term>& terms,
+                                      std::int64_t bound) {
+  std::vector<Term> negated = terms;
+  for (Term& t : negated) t.coeff = -t.coeff;
+  assert_expr(z3::implies(lit_expr(guard), linear_ge_expr(negated, -bound)));
+}
+
+void Z3Backend::assert_expr(const z3::expr& e) {
+  asserted_.push_back(e);
+  solver_.add(e);
+}
+
+void Z3Backend::rebuild_solver() {
+  solver_ = z3::solver(ctx_, "QF_FD");
+  for (const z3::expr& e : asserted_) solver_.add(e);
+  if (time_limit_ms_ > 0) {
+    z3::params p(ctx_);
+    p.set("timeout", static_cast<unsigned>(time_limit_ms_));
+    solver_.set(p);
+  }
+  needs_rebuild_ = false;
+}
+
+void Z3Backend::set_time_limit_ms(std::int64_t ms) {
+  time_limit_ms_ = ms;
+  z3::params p(ctx_);
+  p.set("timeout", ms <= 0 ? 4294967295u : static_cast<unsigned>(ms));
+  solver_.set(p);
+}
+
+CheckResult Z3Backend::check(const std::vector<Lit>& assumptions) {
+  if (needs_rebuild_) rebuild_solver();
+  z3::expr_vector assume(ctx_);
+  for (const Lit l : assumptions) assume.push_back(lit_expr(l));
+  const z3::check_result r = solver_.check(assume);
+
+  if (r == z3::sat) {
+    const z3::model m = solver_.get_model();
+    model_.assign(vars_.size(), 0);
+    for (std::size_t v = 0; v < vars_.size(); ++v) {
+      const z3::expr value = m.eval(vars_[v], /*model_completion=*/true);
+      model_[v] = value.is_true() ? 1 : 0;
+    }
+    core_.clear();
+    return CheckResult::kSat;
+  }
+  if (r == z3::unsat) {
+    core_.clear();
+    const z3::expr_vector z3core = solver_.unsat_core();
+    for (unsigned i = 0; i < z3core.size(); ++i) {
+      z3::expr e = z3core[static_cast<int>(i)];
+      bool negated = false;
+      if (e.is_app() && e.decl().decl_kind() == Z3_OP_NOT) {
+        negated = true;
+        e = e.arg(0);
+      }
+      const auto it = var_by_ast_id_.find(Z3_get_ast_id(ctx_, e));
+      CS_ENSURE(it != var_by_ast_id_.end(),
+                "unsat core entry is not an assumption literal");
+      core_.push_back(Lit{it->second, negated});
+    }
+    return CheckResult::kUnsat;
+  }
+  // A timed-out QF_FD check leaves the solver cancelled; rebuild before
+  // the next query.
+  needs_rebuild_ = true;
+  return CheckResult::kUnknown;
+}
+
+bool Z3Backend::model_value(BoolVar v) const {
+  CS_ENSURE(v >= 0 && static_cast<std::size_t>(v) < model_.size(),
+            "model_value before a SAT result");
+  return model_[static_cast<std::size_t>(v)] != 0;
+}
+
+std::vector<Lit> Z3Backend::unsat_core() const { return core_; }
+
+std::size_t Z3Backend::memory_bytes() const {
+  return static_cast<std::size_t>(Z3_get_estimated_alloc_size());
+}
+
+}  // namespace cs::smt

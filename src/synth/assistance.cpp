@@ -1,0 +1,109 @@
+#include "synth/assistance.h"
+
+#include "synth/design.h"
+#include "synth/metrics.h"
+#include "util/table.h"
+
+namespace cs::synth {
+
+namespace {
+
+/// Assigns `pattern` to the first ⌈fraction·flows⌉ flows that are neither
+/// connectivity requirements (when the pattern denies) nor already set.
+void assign_fraction(const model::ProblemSpec& spec, SecurityDesign& design,
+                     model::IsolationPattern pattern, double fraction) {
+  const auto target = static_cast<std::size_t>(
+      fraction * static_cast<double>(spec.flows.size()) + 0.5);
+  std::size_t assigned = 0;
+  for (std::size_t f = 0; f < spec.flows.size() && assigned < target; ++f) {
+    const auto id = static_cast<model::FlowId>(f);
+    if (design.pattern(id).has_value()) continue;
+    if (model::denies_flow(pattern) && spec.connectivity.required(id))
+      continue;
+    design.set_pattern(id, pattern);
+    ++assigned;
+  }
+}
+
+}  // namespace
+
+std::vector<SliderChoice> slider_assistance(const model::ProblemSpec& spec) {
+  std::vector<SliderChoice> rows;
+  const auto measure = [&](const SecurityDesign& d) {
+    return compute_metrics(spec, d);
+  };
+  const std::size_t flows = spec.flows.size();
+  const std::size_t links = spec.network.link_count();
+  const bool deny_enabled =
+      spec.isolation.is_enabled(model::IsolationPattern::kAccessDeny);
+  const bool trusted_enabled =
+      spec.isolation.is_enabled(model::IsolationPattern::kTrustedComm);
+
+  {
+    // Every flow denied — each host fully isolated (ignores CRs; this row
+    // shows the top of the scale, as in the paper).
+    SecurityDesign d(flows, links);
+    if (deny_enabled) {
+      for (std::size_t f = 0; f < flows; ++f)
+        d.set_pattern(static_cast<model::FlowId>(f),
+                      model::IsolationPattern::kAccessDeny);
+    }
+    const DesignMetrics m = measure(d);
+    rows.push_back(SliderChoice{
+        "No flow is allowed to communicate. Each host is isolated from "
+        "other hosts.",
+        m.isolation, m.usability});
+  }
+  {
+    // No isolation at all.
+    const SecurityDesign d(flows, links);
+    const DesignMetrics m = measure(d);
+    rows.push_back(SliderChoice{
+        "No isolation measure is taken on any flow.", m.isolation,
+        m.usability});
+  }
+  if (deny_enabled) {
+    // Deny everything except the connectivity requirements.
+    SecurityDesign d(flows, links);
+    for (std::size_t f = 0; f < flows; ++f) {
+      const auto id = static_cast<model::FlowId>(f);
+      if (!spec.connectivity.required(id))
+        d.set_pattern(id, model::IsolationPattern::kAccessDeny);
+    }
+    const DesignMetrics m = measure(d);
+    rows.push_back(SliderChoice{
+        "Each flow is protected by access deny except connectivity "
+        "requirements.",
+        m.isolation, m.usability});
+  }
+  if (deny_enabled) {
+    SecurityDesign d(flows, links);
+    assign_fraction(spec, d, model::IsolationPattern::kAccessDeny, 0.5);
+    const DesignMetrics m = measure(d);
+    rows.push_back(SliderChoice{
+        "1/2 of the flows (50%) are protected by access deny.", m.isolation,
+        m.usability});
+  }
+  if (deny_enabled && trusted_enabled) {
+    SecurityDesign d(flows, links);
+    assign_fraction(spec, d, model::IsolationPattern::kAccessDeny, 0.25);
+    assign_fraction(spec, d, model::IsolationPattern::kTrustedComm, 0.25);
+    const DesignMetrics m = measure(d);
+    rows.push_back(SliderChoice{
+        "1/4 of the flows (25%) are protected by access deny, 1/4 of the "
+        "flows (25%) are protected by trusted communication.",
+        m.isolation, m.usability});
+  }
+  return rows;
+}
+
+std::string render_assistance(const std::vector<SliderChoice>& rows) {
+  util::TextTable table({"Isolation", "Usability", "Configuration"});
+  for (const SliderChoice& row : rows) {
+    table.add_row({row.isolation.to_string(), row.usability.to_string(),
+                   row.description});
+  }
+  return table.render();
+}
+
+}  // namespace cs::synth

@@ -1,0 +1,33 @@
+// Slider-value assistance (paper §IV-A, Table III).
+//
+// A raw slider number is hard to interpret, so ConfigSynth shows the
+// administrator representative operating points: characteristic security
+// configurations together with the isolation and usability scores they
+// yield under the loaded requirements. Each row is computed by building
+// the described concrete design and measuring it with compute_metrics — no
+// solving involved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/spec.h"
+#include "util/fixed.h"
+
+namespace cs::synth {
+
+struct SliderChoice {
+  std::string description;
+  util::Fixed isolation;
+  util::Fixed usability;
+};
+
+/// Computes the paper's assistance rows for a spec: full isolation, no
+/// isolation, deny-all-but-connectivity-requirements, 50% deny, and the
+/// 25% deny + 25% trusted mix.
+std::vector<SliderChoice> slider_assistance(const model::ProblemSpec& spec);
+
+/// Renders rows as a Table III-style text table.
+std::string render_assistance(const std::vector<SliderChoice>& rows);
+
+}  // namespace cs::synth

@@ -1,0 +1,226 @@
+#include "synth/baseline.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace cs::synth {
+
+namespace {
+
+using topology::LinkId;
+using topology::NodeId;
+using topology::Route;
+
+class GreedyState {
+ public:
+  GreedyState(const model::ProblemSpec& spec, topology::RouteTable& routes)
+      : spec_(spec),
+        routes_(routes),
+        design_(spec.flows.size(), spec.network.link_count()) {
+    // Usability-penalty budget, same floor arithmetic as the encoder.
+    const std::int64_t total_rank = spec.ranks.total().raw();
+    pen_budget_ = total_rank *
+                  (model::kSliderMax.raw() - spec.sliders.usability.raw()) /
+                  model::kSliderMax.raw();
+    cost_budget_ = spec.sliders.budget.raw();
+  }
+
+  /// Attempts to protect flow `f` with pattern `k`; commits and returns
+  /// true when all local checks pass.
+  bool try_assign(model::FlowId f, model::IsolationPattern k) {
+    if (design_.pattern(f).has_value()) return false;
+    if (!legal(f, k)) return false;
+
+    const model::Flow& flow = spec_.flows.flow(f);
+    const util::Fixed rank = spec_.ranks.rank(f);
+    const util::Fixed kept =
+        rank * spec_.isolation.usability(k, flow.service);
+    const std::int64_t penalty = rank.raw() - kept.raw();
+    if (pen_used_ + penalty > pen_budget_) return false;
+
+    // Work out the incremental placements the pattern needs.
+    std::vector<std::pair<LinkId, model::DeviceType>> additions;
+    std::int64_t added_cost = 0;
+    for (const model::DeviceType d : model::devices_for(k)) {
+      if (!plan_placement(flow.src, flow.dst, d, additions, added_cost))
+        return false;  // e.g. IPSec on a too-short route
+    }
+    if (cost_used_ + added_cost > cost_budget_) return false;
+
+    for (const auto& [link, d] : additions) design_.set_placed(link, d, true);
+    cost_used_ += added_cost;
+    pen_used_ += penalty;
+    design_.set_pattern(f, k);
+    return true;
+  }
+
+  /// Post-pass for DenyOneOf constraints: if neither side is denied, deny
+  /// the guard flow (or the open flow) when legal.
+  void settle_deny_one_of() {
+    if (!spec_.isolation.is_enabled(model::IsolationPattern::kAccessDeny))
+      return;
+    for (const model::UserConstraint& uc : spec_.user_constraints) {
+      const auto* dn = std::get_if<model::DenyOneOf>(&uc);
+      if (dn == nullptr) continue;
+      const model::FlowId open = *spec_.flows.find(dn->open_flow);
+      const model::FlowId guard = *spec_.flows.find(dn->guard_flow);
+      const auto denied = [&](model::FlowId f) {
+        return design_.pattern(f) == model::IsolationPattern::kAccessDeny;
+      };
+      if (denied(open) || denied(guard)) continue;
+      if (design_.pattern(guard).has_value() ||
+          !try_assign(guard, model::IsolationPattern::kAccessDeny)) {
+        // Fall back to denying the open flow; may fail, leaving the
+        // constraint violated (reported via meets_thresholds=false).
+        if (!design_.pattern(open).has_value())
+          try_assign(open, model::IsolationPattern::kAccessDeny);
+      }
+    }
+  }
+
+  SecurityDesign take_design() { return std::move(design_); }
+
+ private:
+  bool legal(model::FlowId f, model::IsolationPattern k) const {
+    const model::Flow& flow = spec_.flows.flow(f);
+    if (model::denies_flow(k) && spec_.connectivity.required(f))
+      return false;
+    for (const model::UserConstraint& uc : spec_.user_constraints) {
+      if (const auto* fs =
+              std::get_if<model::ForbidPatternForService>(&uc)) {
+        if (fs->service == flow.service && fs->pattern == k) return false;
+      } else if (const auto* ff =
+                     std::get_if<model::ForbidPatternForFlow>(&uc)) {
+        if (ff->pattern == k && spec_.flows.find(ff->flow) ==
+                                    std::optional<model::FlowId>(f))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  /// Plans the links still needed so that device d covers every route of
+  /// the pair. Returns false when impossible (IPSec margin violations).
+  bool plan_placement(
+      NodeId src, NodeId dst, model::DeviceType d,
+      std::vector<std::pair<LinkId, model::DeviceType>>& additions,
+      std::int64_t& added_cost) {
+    const std::vector<Route>& route_set = routes_.routes(src, dst);
+    const auto has_device = [&](LinkId e) {
+      if (design_.placed(e, d)) return true;
+      return std::any_of(additions.begin(), additions.end(),
+                         [&](const auto& a) {
+                           return a.first == e && a.second == d;
+                         });
+    };
+    const auto add = [&](LinkId e) {
+      additions.emplace_back(e, d);
+      added_cost += spec_.device_costs.cost(d).raw();
+    };
+
+    if (d == model::DeviceType::kIpsec) {
+      const auto margin =
+          static_cast<std::size_t>(spec_.isolation.tunnel_margin());
+      for (const Route& r : route_set) {
+        if (r.length() < 2 * margin + 1) return false;
+        const auto covered = [&](std::size_t from, std::size_t count) {
+          for (std::size_t t = from; t < from + count; ++t)
+            if (has_device(r.links[t])) return true;
+          return false;
+        };
+        if (!covered(0, margin)) add(r.links[0]);
+        if (!covered(r.length() - margin, margin))
+          add(r.links[r.length() - 1]);
+      }
+      return true;
+    }
+
+    // Greedy set cover: repeatedly place on the link shared by the most
+    // still-uncovered routes.
+    std::vector<const Route*> uncovered;
+    for (const Route& r : route_set) {
+      const bool ok = std::any_of(r.links.begin(), r.links.end(),
+                                  [&](LinkId e) { return has_device(e); });
+      if (!ok) uncovered.push_back(&r);
+    }
+    while (!uncovered.empty()) {
+      std::unordered_map<LinkId, int> tally;
+      for (const Route* r : uncovered)
+        for (const LinkId e : r->links) ++tally[e];
+      LinkId best = uncovered.front()->links.front();
+      int best_count = -1;
+      for (const auto& [e, count] : tally) {
+        if (count > best_count || (count == best_count && e < best)) {
+          best = e;
+          best_count = count;
+        }
+      }
+      add(best);
+      std::erase_if(uncovered, [&](const Route* r) {
+        return std::find(r->links.begin(), r->links.end(), best) !=
+               r->links.end();
+      });
+    }
+    return true;
+  }
+
+  const model::ProblemSpec& spec_;
+  topology::RouteTable& routes_;
+  SecurityDesign design_;
+  std::int64_t pen_budget_ = 0;
+  std::int64_t pen_used_ = 0;
+  std::int64_t cost_budget_ = 0;
+  std::int64_t cost_used_ = 0;
+};
+
+}  // namespace
+
+BaselineResult greedy_baseline(const model::ProblemSpec& spec) {
+  util::Stopwatch watch;
+  topology::RouteTable routes(spec.network, spec.route_options);
+  GreedyState state(spec, routes);
+
+  // Honor pinned patterns first.
+  for (const model::UserConstraint& uc : spec.user_constraints) {
+    if (const auto* rf = std::get_if<model::RequirePatternForFlow>(&uc))
+      state.try_assign(*spec.flows.find(rf->flow), rf->pattern);
+  }
+
+  // Patterns from the strongest isolation score downward.
+  std::vector<model::IsolationPattern> order = spec.isolation.enabled();
+  std::sort(order.begin(), order.end(),
+            [&](model::IsolationPattern a, model::IsolationPattern b) {
+              return spec.isolation.score(a) > spec.isolation.score(b);
+            });
+  for (const model::IsolationPattern k : order) {
+    for (std::size_t f = 0; f < spec.flows.size(); ++f)
+      state.try_assign(static_cast<model::FlowId>(f), k);
+  }
+  state.settle_deny_one_of();
+
+  BaselineResult result;
+  result.design = state.take_design();
+  result.metrics = compute_metrics(spec, result.design);
+  result.meets_thresholds =
+      result.metrics.isolation >= spec.sliders.isolation &&
+      result.metrics.usability >= spec.sliders.usability &&
+      result.metrics.cost <= spec.sliders.budget;
+  // The greedy pass has no per-host targeting, so RMCs (which the SMT
+  // encoding satisfies by construction) may fail here — part of the
+  // bottom-up gap the ablation measures.
+  for (const model::HostIsolationRequirement& req : spec.host_requirements) {
+    const auto& hosts = spec.network.hosts();
+    const auto pos = static_cast<std::size_t>(
+        std::find(hosts.begin(), hosts.end(), req.host) - hosts.begin());
+    if (pos < hosts.size() &&
+        result.metrics.host_isolation[pos] < req.min_isolation)
+      result.meets_thresholds = false;
+  }
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace cs::synth

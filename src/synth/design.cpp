@@ -1,0 +1,217 @@
+#include "synth/design.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace cs::synth {
+
+SecurityDesign::SecurityDesign(std::size_t flow_count,
+                               std::size_t link_count,
+                               std::size_t node_count)
+    : patterns_(flow_count, -1),
+      placements_(link_count, std::array<bool, model::kDeviceCount>{}),
+      host_patterns_(node_count, -1) {}
+
+std::optional<model::HostPattern> SecurityDesign::host_pattern(
+    topology::NodeId n) const {
+  if (n < 0 || static_cast<std::size_t>(n) >= host_patterns_.size())
+    return std::nullopt;  // node outside the (optional) host-pattern layer
+  const std::int8_t p = host_patterns_[static_cast<std::size_t>(n)];
+  if (p < 0) return std::nullopt;
+  return static_cast<model::HostPattern>(p);
+}
+
+void SecurityDesign::set_host_pattern(topology::NodeId n,
+                                      std::optional<model::HostPattern> p) {
+  if (static_cast<std::size_t>(n) >= host_patterns_.size())
+    host_patterns_.resize(static_cast<std::size_t>(n) + 1, -1);
+  host_patterns_[static_cast<std::size_t>(n)] =
+      p.has_value()
+          ? static_cast<std::int8_t>(model::host_pattern_index(*p))
+          : -1;
+}
+
+std::size_t SecurityDesign::host_pattern_count() const {
+  std::size_t count = 0;
+  for (const std::int8_t p : host_patterns_) count += p >= 0 ? 1 : 0;
+  return count;
+}
+
+std::optional<model::AppPattern> SecurityDesign::app_pattern(
+    topology::NodeId host, model::ServiceId service) const {
+  const auto it = app_patterns_.find({host, service});
+  if (it == app_patterns_.end()) return std::nullopt;
+  return static_cast<model::AppPattern>(it->second);
+}
+
+void SecurityDesign::set_app_pattern(topology::NodeId host,
+                                     model::ServiceId service,
+                                     std::optional<model::AppPattern> p) {
+  if (p.has_value()) {
+    app_patterns_[{host, service}] =
+        static_cast<std::int8_t>(model::app_pattern_index(*p));
+  } else {
+    app_patterns_.erase({host, service});
+  }
+}
+
+std::vector<std::tuple<topology::NodeId, model::ServiceId,
+                       model::AppPattern>>
+SecurityDesign::app_patterns() const {
+  std::vector<std::tuple<topology::NodeId, model::ServiceId,
+                         model::AppPattern>>
+      out;
+  out.reserve(app_patterns_.size());
+  for (const auto& [key, p] : app_patterns_)
+    out.emplace_back(key.first, key.second,
+                     static_cast<model::AppPattern>(p));
+  return out;
+}
+
+std::optional<model::IsolationPattern> SecurityDesign::pattern(
+    model::FlowId f) const {
+  CS_ENSURE(f >= 0 && static_cast<std::size_t>(f) < patterns_.size(),
+            "pattern: bad flow id");
+  const std::int8_t p = patterns_[static_cast<std::size_t>(f)];
+  if (p < 0) return std::nullopt;
+  return static_cast<model::IsolationPattern>(p);
+}
+
+void SecurityDesign::set_pattern(model::FlowId f,
+                                 std::optional<model::IsolationPattern> p) {
+  CS_ENSURE(f >= 0 && static_cast<std::size_t>(f) < patterns_.size(),
+            "set_pattern: bad flow id");
+  patterns_[static_cast<std::size_t>(f)] =
+      p.has_value() ? static_cast<std::int8_t>(model::pattern_index(*p)) : -1;
+}
+
+bool SecurityDesign::placed(topology::LinkId link, model::DeviceType d) const {
+  CS_ENSURE(link >= 0 && static_cast<std::size_t>(link) < placements_.size(),
+            "placed: bad link id");
+  return placements_[static_cast<std::size_t>(link)]
+                    [static_cast<std::size_t>(model::device_index(d))];
+}
+
+void SecurityDesign::set_placed(topology::LinkId link, model::DeviceType d,
+                                bool value) {
+  CS_ENSURE(link >= 0 && static_cast<std::size_t>(link) < placements_.size(),
+            "set_placed: bad link id");
+  placements_[static_cast<std::size_t>(link)]
+             [static_cast<std::size_t>(model::device_index(d))] = value;
+}
+
+std::size_t SecurityDesign::device_count() const {
+  std::size_t count = 0;
+  for (const auto& link : placements_)
+    for (const bool placed : link) count += placed ? 1 : 0;
+  return count;
+}
+
+std::array<std::size_t, model::kPatternCount + 1>
+SecurityDesign::pattern_histogram() const {
+  std::array<std::size_t, model::kPatternCount + 1> hist{};
+  for (const std::int8_t p : patterns_) {
+    if (p < 0)
+      ++hist[model::kPatternCount];
+    else
+      ++hist[static_cast<std::size_t>(p)];
+  }
+  return hist;
+}
+
+std::map<topology::LinkId, std::string> SecurityDesign::link_labels() const {
+  std::map<topology::LinkId, std::string> labels;
+  for (std::size_t l = 0; l < placements_.size(); ++l) {
+    std::string tag;
+    for (const model::DeviceType d : model::kAllDevices) {
+      if (placements_[l][static_cast<std::size_t>(model::device_index(d))]) {
+        if (!tag.empty()) tag += ",";
+        tag += model::device_tag(d);
+      }
+    }
+    if (!tag.empty())
+      labels.emplace(static_cast<topology::LinkId>(l), std::move(tag));
+  }
+  return labels;
+}
+
+std::string SecurityDesign::to_string(const model::ProblemSpec& spec) const {
+  std::ostringstream out;
+  out << "Isolation decisions:\n";
+  for (std::size_t f = 0; f < patterns_.size(); ++f) {
+    const model::Flow& flow =
+        spec.flows.flow(static_cast<model::FlowId>(f));
+    out << "  " << spec.network.node(flow.src).name << " -> "
+        << spec.network.node(flow.dst).name << " ["
+        << spec.services.service(flow.service).name << "]: ";
+    const std::int8_t p = patterns_[f];
+    out << (p < 0 ? "no isolation"
+                  : std::string(model::pattern_name(
+                        static_cast<model::IsolationPattern>(p))));
+    out << "\n";
+  }
+  out << "Device placements:\n";
+  for (const auto& [link, tag] : link_labels()) {
+    const topology::Link& l = spec.network.link(link);
+    out << "  link " << spec.network.node(l.a).name << " -- "
+        << spec.network.node(l.b).name << ": " << tag << "\n";
+  }
+  if (host_pattern_count() > 0) {
+    out << "Host-level patterns:\n";
+    for (const topology::NodeId j : spec.network.hosts()) {
+      if (const auto t = host_pattern(j); t.has_value()) {
+        out << "  " << spec.network.node(j).name << ": "
+            << model::host_pattern_name(*t) << "\n";
+      }
+    }
+  }
+  if (app_pattern_count() > 0) {
+    out << "Application-level patterns:\n";
+    for (const auto& [host, service, p] : app_patterns()) {
+      out << "  " << spec.network.node(host).name << ":"
+          << spec.services.service(service).name << ": "
+          << model::app_pattern_name(p) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string SecurityDesign::isolation_table(
+    const model::ProblemSpec& spec) const {
+  std::vector<std::string> headers{"Destination"};
+  for (const model::IsolationPattern p : model::kAllPatterns)
+    if (spec.isolation.is_enabled(p))
+      headers.emplace_back(model::pattern_name(p));
+  headers.emplace_back("No Isolation");
+  util::TextTable table(std::move(headers));
+
+  for (const topology::NodeId j : spec.network.hosts()) {
+    std::vector<std::string> row;
+    row.push_back(spec.network.node(j).name);
+    // Column per enabled pattern, in kAllPatterns order.
+    std::vector<std::string> cells;
+    const auto cell_for = [&](std::optional<model::IsolationPattern> want) {
+      std::string cell;
+      for (const topology::NodeId i : spec.network.hosts()) {
+        if (i == j) continue;
+        for (const model::FlowId f : spec.flows.directed(i, j)) {
+          if (pattern(f) == want) {
+            if (!cell.empty()) cell += ", ";
+            cell += spec.network.node(i).name;
+            break;  // one mention per source
+          }
+        }
+      }
+      return cell;
+    };
+    for (const model::IsolationPattern p : model::kAllPatterns)
+      if (spec.isolation.is_enabled(p)) row.push_back(cell_for(p));
+    row.push_back(cell_for(std::nullopt));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace cs::synth

@@ -1,0 +1,94 @@
+// The synthesis output: isolation decisions per flow plus security-device
+// placements per link (the paper's SAT-instance content, §IV-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "model/spec.h"
+#include "topology/network.h"
+
+namespace cs::synth {
+
+class SecurityDesign {
+ public:
+  SecurityDesign() = default;
+  SecurityDesign(std::size_t flow_count, std::size_t link_count,
+                 std::size_t node_count = 0);
+
+  /// Pattern chosen for a flow; nullopt = no isolation measure.
+  std::optional<model::IsolationPattern> pattern(model::FlowId f) const;
+  void set_pattern(model::FlowId f,
+                   std::optional<model::IsolationPattern> p);
+
+  /// Host-level pattern deployed at a node (§VII extension); nullopt =
+  /// none. Only meaningful for host nodes.
+  std::optional<model::HostPattern> host_pattern(topology::NodeId n) const;
+  void set_host_pattern(topology::NodeId n,
+                        std::optional<model::HostPattern> p);
+
+  /// Number of deployed host-level patterns.
+  std::size_t host_pattern_count() const;
+
+  /// Application-level pattern at a (destination host, service) endpoint
+  /// (§VII extension); nullopt = none.
+  std::optional<model::AppPattern> app_pattern(topology::NodeId host,
+                                               model::ServiceId service)
+      const;
+  void set_app_pattern(topology::NodeId host, model::ServiceId service,
+                       std::optional<model::AppPattern> p);
+
+  /// Number of deployed application-level patterns.
+  std::size_t app_pattern_count() const { return app_patterns_.size(); }
+
+  /// All deployed endpoint patterns, sorted (host, service).
+  std::vector<std::tuple<topology::NodeId, model::ServiceId,
+                         model::AppPattern>>
+  app_patterns() const;
+
+  /// Whether a device of type d is deployed on the link.
+  bool placed(topology::LinkId link, model::DeviceType d) const;
+  void set_placed(topology::LinkId link, model::DeviceType d, bool value);
+
+  std::size_t flow_count() const { return patterns_.size(); }
+  std::size_t link_count() const { return placements_.size(); }
+  /// Size of the (optional) host-pattern layer; 0 when unused.
+  std::size_t node_count() const { return host_patterns_.size(); }
+
+  /// Total number of deployed devices (links × types).
+  std::size_t device_count() const;
+
+  /// Number of flows assigned each pattern (index by pattern_index; the
+  /// last slot counts unprotected flows).
+  std::array<std::size_t, model::kPatternCount + 1> pattern_histogram()
+      const;
+
+  /// Graphviz link decorations ("FW,IDS") for topology::to_dot.
+  std::map<topology::LinkId, std::string> link_labels() const;
+
+  /// Multi-line textual summary of decisions and placements.
+  std::string to_string(const model::ProblemSpec& spec) const;
+
+  /// The paper's Table V: one row per destination host, sources classified
+  /// by the selected isolation pattern. Single-service specs only.
+  std::string isolation_table(const model::ProblemSpec& spec) const;
+
+  bool operator==(const SecurityDesign&) const = default;
+
+ private:
+  // patterns_[f]: -1 = none, otherwise pattern_index.
+  std::vector<std::int8_t> patterns_;
+  std::vector<std::array<bool, model::kDeviceCount>> placements_;
+  // host_patterns_[node]: -1 = none, otherwise host_pattern_index.
+  std::vector<std::int8_t> host_patterns_;
+  // (host, service) -> app_pattern_index; absent = none.
+  std::map<std::pair<topology::NodeId, model::ServiceId>, std::int8_t>
+      app_patterns_;
+};
+
+}  // namespace cs::synth

@@ -1,0 +1,675 @@
+#include "synth/encoder.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cs::synth {
+
+namespace {
+
+/// Rounded division for non-negative operands.
+std::int64_t round_div(std::int64_t num, std::int64_t den) {
+  CS_ENSURE(den > 0 && num >= 0, "round_div domain");
+  return (num + den / 2) / den;
+}
+
+}  // namespace
+
+std::uint64_t Encoding::pair_key(topology::NodeId a, topology::NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+Encoding::Encoding(const model::ProblemSpec& spec,
+                   topology::RouteTable& routes, smt::Backend& backend)
+    : spec_(spec), routes_(routes), backend_(backend) {
+  spec_.validate();
+  create_flow_vars();
+  create_pair_and_link_vars();
+  create_host_pattern_vars();
+  create_app_pattern_vars();
+  add_pattern_constraints();
+  create_score_ladders();
+  add_placement_constraints();
+  add_user_constraints();
+  add_host_requirements();
+  build_metric_terms();
+}
+
+void Encoding::counted_clause(const std::vector<smt::Lit>& lits) {
+  backend_.add_clause(lits);
+  ++stats_.clauses;
+}
+
+void Encoding::counted_unit(smt::Lit l) { counted_clause({l}); }
+
+void Encoding::create_flow_vars() {
+  const std::size_t n = spec_.flows.size();
+  y_.assign(n, {});
+  for (auto& row : y_) row.fill(smt::kNoVar);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+      y_[f][static_cast<std::size_t>(model::pattern_index(k))] =
+          backend_.new_bool("y_f" + std::to_string(f) + "_k" +
+                            std::to_string(model::paper_id(k)));
+      ++stats_.flow_vars;
+    }
+  }
+}
+
+void Encoding::create_pair_and_link_vars() {
+  // Which device types any enabled pattern can demand.
+  device_used_.fill(false);
+  for (const model::IsolationPattern k : spec_.isolation.enabled())
+    for (const model::DeviceType d : model::devices_for(k))
+      device_used_[static_cast<std::size_t>(model::device_index(d))] = true;
+
+  // x vars per unordered host pair that carries flows (placement is
+  // direction-agnostic: the reverse of a route uses the same links).
+  for (const model::Flow& f : spec_.flows.all()) {
+    const std::uint64_t key = pair_key(f.src, f.dst);
+    if (x_.contains(key)) continue;
+    DeviceArray arr;
+    arr.fill(smt::kNoVar);
+    for (const model::DeviceType d : model::kAllDevices) {
+      const auto di = static_cast<std::size_t>(model::device_index(d));
+      if (!device_used_[di]) continue;
+      arr[di] = backend_.new_bool("x_p" + std::to_string(key) + "_d" +
+                                  std::to_string(model::paper_id(d)));
+      ++stats_.pair_device_vars;
+    }
+    x_.emplace(key, arr);
+  }
+
+  // l vars per link and used device type.
+  l_.assign(spec_.network.link_count(), DeviceArray{});
+  for (auto& arr : l_) arr.fill(smt::kNoVar);
+  for (std::size_t e = 0; e < spec_.network.link_count(); ++e) {
+    for (const model::DeviceType d : model::kAllDevices) {
+      const auto di = static_cast<std::size_t>(model::device_index(d));
+      if (!device_used_[di]) continue;
+      l_[e][di] = backend_.new_bool("l_e" + std::to_string(e) + "_d" +
+                                    std::to_string(model::paper_id(d)));
+      ++stats_.placement_vars;
+    }
+  }
+}
+
+void Encoding::create_host_pattern_vars() {
+  if (!spec_.host_patterns.any()) return;
+  const auto& hcfg = spec_.host_patterns;
+
+  hp_.assign(spec_.network.node_count(), {});
+  for (auto& row : hp_) row.fill(smt::kNoVar);
+  for (const topology::NodeId j : spec_.network.hosts()) {
+    std::vector<smt::Lit> at_most;
+    for (const model::HostPattern t : hcfg.enabled()) {
+      const auto ti = static_cast<std::size_t>(model::host_pattern_index(t));
+      hp_[static_cast<std::size_t>(j)][ti] =
+          backend_.new_bool("hp_n" + std::to_string(j) + "_t" +
+                            std::to_string(model::host_pattern_index(t)));
+      ++stats_.host_pattern_vars;
+      at_most.push_back(
+          smt::pos(hp_[static_cast<std::size_t>(j)][ti]));
+    }
+    backend_.add_at_most_one(at_most);
+    stats_.clauses += at_most.size() * (at_most.size() - 1) / 2;
+  }
+
+  // z[f][t] ≡ hp[dst(f)][t] ∧ (no network pattern on f).
+  z_.assign(spec_.flows.size(), {});
+  for (auto& row : z_) row.fill(smt::kNoVar);
+  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+    const model::Flow& flow =
+        spec_.flows.flow(static_cast<model::FlowId>(f));
+    for (const model::HostPattern t : hcfg.enabled()) {
+      const auto ti = static_cast<std::size_t>(model::host_pattern_index(t));
+      const smt::BoolVar z = backend_.new_bool(
+          "z_f" + std::to_string(f) + "_t" +
+          std::to_string(model::host_pattern_index(t)));
+      ++stats_.host_pattern_vars;
+      z_[f][ti] = z;
+      const smt::BoolVar hp =
+          hp_[static_cast<std::size_t>(flow.dst)][ti];
+      counted_clause({smt::neg(z), smt::pos(hp)});
+      std::vector<smt::Lit> back{smt::pos(z), smt::neg(hp)};
+      for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+        const smt::BoolVar y =
+            y_[f][static_cast<std::size_t>(model::pattern_index(k))];
+        counted_clause({smt::neg(z), smt::neg(y)});
+        back.push_back(smt::pos(y));
+      }
+      counted_clause(back);
+    }
+  }
+}
+
+void Encoding::add_pattern_constraints() {
+  const auto& enabled = spec_.isolation.enabled();
+  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+    // IIC1: at most one isolation pattern per flow.
+    std::vector<smt::Lit> ys;
+    for (const model::IsolationPattern k : enabled)
+      ys.push_back(smt::pos(
+          y_[f][static_cast<std::size_t>(model::pattern_index(k))]));
+    backend_.add_at_most_one(ys);
+    stats_.clauses += ys.size() * (ys.size() - 1) / 2;
+
+    // eq. 1: pattern selection requires its devices between the pair.
+    const model::Flow& flow =
+        spec_.flows.flow(static_cast<model::FlowId>(f));
+    const DeviceArray& xs = x_.at(pair_key(flow.src, flow.dst));
+    for (const model::IsolationPattern k : enabled) {
+      const smt::BoolVar y =
+          y_[f][static_cast<std::size_t>(model::pattern_index(k))];
+      for (const model::DeviceType d : model::devices_for(k)) {
+        const smt::BoolVar x =
+            xs[static_cast<std::size_t>(model::device_index(d))];
+        CS_ENSURE(x != smt::kNoVar, "missing pair-device variable");
+        counted_clause({smt::neg(y), smt::pos(x)});
+      }
+    }
+
+    // CR + IIC2: a connectivity-required flow cannot be denied.
+    if (spec_.connectivity.required(static_cast<model::FlowId>(f)) &&
+        spec_.isolation.is_enabled(model::IsolationPattern::kAccessDeny)) {
+      counted_unit(smt::neg(
+          y_[f][static_cast<std::size_t>(model::pattern_index(
+              model::IsolationPattern::kAccessDeny))]));
+    }
+  }
+}
+
+void Encoding::create_app_pattern_vars() {
+  if (!spec_.app_patterns.any()) return;
+  const auto& acfg = spec_.app_patterns;
+
+  // Endpoint variables for (destination, service) pairs that carry flows,
+  // restricted to applicable patterns; at most one pattern per endpoint.
+  for (const model::Flow& flow : spec_.flows.all()) {
+    const std::pair<topology::NodeId, model::ServiceId> key{flow.dst,
+                                                            flow.service};
+    if (ap_.contains(key)) continue;
+    std::array<smt::BoolVar, model::kAppPatternCount> arr;
+    arr.fill(smt::kNoVar);
+    std::vector<smt::Lit> at_most;
+    for (const model::AppPattern t : acfg.enabled()) {
+      if (!acfg.applicable(t, flow.service)) continue;
+      const auto ti = static_cast<std::size_t>(model::app_pattern_index(t));
+      arr[ti] = backend_.new_bool(
+          "ap_n" + std::to_string(flow.dst) + "_g" +
+          std::to_string(flow.service) + "_t" + std::to_string(ti));
+      ++stats_.app_pattern_vars;
+      at_most.push_back(smt::pos(arr[ti]));
+    }
+    if (at_most.size() > 1) {
+      backend_.add_at_most_one(at_most);
+      stats_.clauses += at_most.size() * (at_most.size() - 1) / 2;
+    }
+    ap_.emplace(key, arr);
+  }
+
+  // w[f][t] ⇔ ap[endpoint][t] ∧ no network pattern ∧ no host coverage.
+  w_.assign(spec_.flows.size(), {});
+  for (auto& row : w_) row.fill(smt::kNoVar);
+  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+    const model::Flow& flow =
+        spec_.flows.flow(static_cast<model::FlowId>(f));
+    const auto& arr = ap_.at({flow.dst, flow.service});
+    for (const model::AppPattern t : acfg.enabled()) {
+      const auto ti = static_cast<std::size_t>(model::app_pattern_index(t));
+      if (arr[ti] == smt::kNoVar) continue;
+      const smt::BoolVar w = backend_.new_bool(
+          "w_f" + std::to_string(f) + "_t" + std::to_string(ti));
+      ++stats_.app_pattern_vars;
+      w_[f][ti] = w;
+      counted_clause({smt::neg(w), smt::pos(arr[ti])});
+      std::vector<smt::Lit> back{smt::pos(w), smt::neg(arr[ti])};
+      for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+        const smt::BoolVar y =
+            y_[f][static_cast<std::size_t>(model::pattern_index(k))];
+        counted_clause({smt::neg(w), smt::neg(y)});
+        back.push_back(smt::pos(y));
+      }
+      if (spec_.host_patterns.any()) {
+        for (const model::HostPattern ht : spec_.host_patterns.enabled()) {
+          const smt::BoolVar z =
+              z_[f][static_cast<std::size_t>(model::host_pattern_index(ht))];
+          counted_clause({smt::neg(w), smt::neg(z)});
+          back.push_back(smt::pos(z));
+        }
+      }
+      counted_clause(back);
+    }
+  }
+}
+
+void Encoding::create_score_ladders() {
+  // Collect the candidate (score, selector) protections of each flow and
+  // emit the order encoding described in encoder.h.
+  ladder_.assign(spec_.flows.size(), {});
+  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+    // Candidate selectors with their scores (y patterns, z host patterns).
+    std::vector<std::pair<std::int64_t, smt::BoolVar>> candidates;
+    for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+      candidates.emplace_back(
+          spec_.isolation.score(k).raw(),
+          y_[f][static_cast<std::size_t>(model::pattern_index(k))]);
+    }
+    if (spec_.host_patterns.any()) {
+      for (const model::HostPattern t : spec_.host_patterns.enabled()) {
+        candidates.emplace_back(
+            spec_.host_patterns.score(t).raw(),
+            z_[f][static_cast<std::size_t>(model::host_pattern_index(t))]);
+      }
+    }
+    if (spec_.app_patterns.any()) {
+      for (const model::AppPattern t : spec_.app_patterns.enabled()) {
+        const smt::BoolVar w =
+            w_[f][static_cast<std::size_t>(model::app_pattern_index(t))];
+        if (w != smt::kNoVar)
+          candidates.emplace_back(spec_.app_patterns.score(t).raw(), w);
+      }
+    }
+
+    // Ascending distinct positive levels.
+    std::vector<std::int64_t> levels;
+    for (const auto& [score, var] : candidates)
+      if (score > 0) levels.push_back(score);
+    std::sort(levels.begin(), levels.end());
+    levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+    std::vector<LadderStep>& steps = ladder_[f];
+    steps.reserve(levels.size());
+    for (const std::int64_t level : levels) {
+      const smt::BoolVar u = backend_.new_bool(
+          "u_f" + std::to_string(f) + "_l" + std::to_string(level));
+      steps.push_back(LadderStep{level, u});
+    }
+    for (std::size_t j = 0; j + 1 < steps.size(); ++j)
+      counted_clause({smt::neg(steps[j + 1].var), smt::pos(steps[j].var)});
+
+    for (std::size_t j = 0; j < steps.size(); ++j) {
+      // Support: u_j holds only if some protection of level >= ℓj is on.
+      std::vector<smt::Lit> support{smt::neg(steps[j].var)};
+      for (const auto& [score, var] : candidates) {
+        if (score >= steps[j].level_raw)
+          support.push_back(smt::pos(var));
+        else
+          // A weaker protection caps the ladder below ℓj.
+          counted_clause({smt::neg(var), smt::neg(steps[j].var)});
+      }
+      counted_clause(support);
+    }
+    // Selecting a protection raises the ladder to its own level.
+    for (const auto& [score, var] : candidates) {
+      for (std::size_t j = 0; j < steps.size(); ++j) {
+        if (steps[j].level_raw <= score)
+          counted_clause({smt::neg(var), smt::pos(steps[j].var)});
+      }
+    }
+  }
+}
+
+void Encoding::add_placement_constraints() {
+  const int margin = spec_.isolation.tunnel_margin();
+  const auto ipsec_idx =
+      static_cast<std::size_t>(model::device_index(model::DeviceType::kIpsec));
+
+  for (const auto& [key, xs] : x_) {
+    const auto a = static_cast<topology::NodeId>(key >> 32);
+    const auto b = static_cast<topology::NodeId>(key & 0xffffffffu);
+    const std::vector<topology::Route>& route_set = routes_.routes(a, b);
+
+    for (const model::DeviceType d : model::kAllDevices) {
+      const auto di = static_cast<std::size_t>(model::device_index(d));
+      const smt::BoolVar x = xs[di];
+      if (x == smt::kNoVar) continue;
+
+      if (d == model::DeviceType::kIpsec) {
+        // Tunnel feasibility: every route must be at least 2T+1 links.
+        const bool feasible = std::all_of(
+            route_set.begin(), route_set.end(),
+            [&](const topology::Route& r) {
+              return r.length() >=
+                     static_cast<std::size_t>(2 * margin + 1);
+            });
+        if (!feasible) {
+          counted_unit(smt::neg(x));
+          continue;
+        }
+        // Source-side gateway within the first T links and
+        // destination-side gateway within the last T links of each route.
+        for (const topology::Route& r : route_set) {
+          std::vector<smt::Lit> head{smt::neg(x)};
+          std::vector<smt::Lit> tail{smt::neg(x)};
+          const std::size_t len = r.length();
+          for (std::size_t t = 0; t < static_cast<std::size_t>(margin);
+               ++t) {
+            head.push_back(smt::pos(
+                l_[static_cast<std::size_t>(r.links[t])][ipsec_idx]));
+            tail.push_back(smt::pos(
+                l_[static_cast<std::size_t>(r.links[len - 1 - t])]
+                  [ipsec_idx]));
+          }
+          counted_clause(head);
+          counted_clause(tail);
+        }
+      } else {
+        // eq. 7: the device must sit on some link of every route.
+        for (const topology::Route& r : route_set) {
+          std::vector<smt::Lit> clause{smt::neg(x)};
+          for (const topology::LinkId e : r.links)
+            clause.push_back(
+                smt::pos(l_[static_cast<std::size_t>(e)][di]));
+          counted_clause(clause);
+        }
+      }
+    }
+  }
+}
+
+void Encoding::add_user_constraints() {
+  const auto y_of = [&](const model::Flow& flow,
+                        model::IsolationPattern k) -> smt::BoolVar {
+    const auto id = spec_.flows.find(flow);
+    CS_ENSURE(id.has_value(), "UIC references unknown flow");
+    return y_[static_cast<std::size_t>(*id)]
+             [static_cast<std::size_t>(model::pattern_index(k))];
+  };
+
+  for (const model::UserConstraint& uc : spec_.user_constraints) {
+    if (const auto* fs = std::get_if<model::ForbidPatternForService>(&uc)) {
+      if (!spec_.isolation.is_enabled(fs->pattern)) continue;
+      for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+        if (spec_.flows.flow(static_cast<model::FlowId>(f)).service ==
+            fs->service) {
+          counted_unit(smt::neg(
+              y_[f][static_cast<std::size_t>(
+                  model::pattern_index(fs->pattern))]));
+        }
+      }
+    } else if (const auto* ff =
+                   std::get_if<model::ForbidPatternForFlow>(&uc)) {
+      if (!spec_.isolation.is_enabled(ff->pattern)) continue;
+      counted_unit(smt::neg(y_of(ff->flow, ff->pattern)));
+    } else if (const auto* rf =
+                   std::get_if<model::RequirePatternForFlow>(&uc)) {
+      CS_REQUIRE(spec_.isolation.is_enabled(rf->pattern),
+                 "RequirePatternForFlow uses a disabled pattern");
+      counted_unit(smt::pos(y_of(rf->flow, rf->pattern)));
+    } else if (const auto* dn = std::get_if<model::DenyOneOf>(&uc)) {
+      CS_REQUIRE(
+          spec_.isolation.is_enabled(model::IsolationPattern::kAccessDeny),
+          "DenyOneOf requires the access-deny pattern");
+      counted_clause(
+          {smt::pos(y_of(dn->open_flow,
+                         model::IsolationPattern::kAccessDeny)),
+           smt::pos(y_of(dn->guard_flow,
+                         model::IsolationPattern::kAccessDeny))});
+    }
+  }
+}
+
+void Encoding::add_host_requirements() {
+  // RMC (risk-based constraints): per-host minimum isolation I_j ≥ min
+  // (eqs. 2-3), with incoming traffic weighted α and outgoing 1−α. These
+  // are hard constraints, mirrored exactly by compute_metrics'
+  // host_isolation arithmetic.
+  const std::int64_t alpha = spec_.alpha.raw();
+  const std::int64_t one = util::Fixed::from_int(1).raw();
+
+  for (const model::HostIsolationRequirement& req :
+       spec_.host_requirements) {
+    std::vector<smt::Term> terms;
+    std::int64_t constant = 0;
+    std::int64_t counted = 0;
+
+    const auto add_direction = [&](topology::NodeId src,
+                                   topology::NodeId dst,
+                                   std::int64_t weight) {
+      const auto& group = spec_.flows.directed(src, dst);
+      if (group.empty()) {
+        constant +=
+            util::round_div(weight * model::kSliderMax.raw(), one);
+        return;
+      }
+      for (const model::FlowId f : group) {
+        // α-weighted ladder increments; telescopes to
+        // round_div(weight · round_div(score, |G|), 1) exactly as the
+        // metrics compute the host score.
+        std::int64_t prev = 0;
+        for (const LadderStep& step :
+             ladder_[static_cast<std::size_t>(f)]) {
+          const std::int64_t contrib = util::round_div(
+              step.level_raw, static_cast<std::int64_t>(group.size()));
+          const std::int64_t weighted =
+              util::round_div(weight * contrib, one);
+          const std::int64_t delta = weighted - prev;
+          prev = weighted;
+          if (delta == 0) continue;
+          terms.push_back(smt::Term{smt::pos(step.var), delta});
+        }
+      }
+    };
+
+    for (const topology::NodeId i : spec_.network.hosts()) {
+      if (i == req.host) continue;
+      if (spec_.flows.directed(i, req.host).empty() &&
+          spec_.flows.directed(req.host, i).empty())
+        continue;
+      ++counted;
+      add_direction(i, req.host, alpha);        // incoming to the host
+      add_direction(req.host, i, one - alpha);  // outgoing from the host
+    }
+    if (counted == 0) continue;  // isolated host: vacuously at maximum
+
+    backend_.add_linear_ge(terms,
+                           req.min_isolation.raw() * counted - constant);
+    ++stats_.linear_constraints;
+  }
+}
+
+void Encoding::build_metric_terms() {
+  // --- isolation (eqs. 2-4) --------------------------------------------
+  // Network isolation I = (Σ over ordered flow-bearing pairs p of Ī_p)/|Q|
+  // where Ī_{i,j} = Σ_{f ∈ G_ij} Σ_k y·L_k / |G_ij| and a direction with
+  // no flows counts as fully isolated (Ī = 10). The α/(1−α) incoming/
+  // outgoing weights cancel over the symmetric pair set Q (each direction
+  // appears once with weight α and once with weight 1−α); they still
+  // matter for the per-host scores reported by analysis::metrics.
+  std::unordered_map<std::uint64_t, bool> seen_pair;
+  for (const model::Flow& f : spec_.flows.all())
+    seen_pair[pair_key(f.src, f.dst)] = true;
+  iso_pairs_ = 2 * static_cast<std::int64_t>(seen_pair.size());
+  stats_.directed_pairs = static_cast<std::size_t>(iso_pairs_);
+
+  iso_const_ = 0;
+  for (const auto& [key, used] : seen_pair) {
+    (void)used;
+    const auto a = static_cast<topology::NodeId>(key >> 32);
+    const auto b = static_cast<topology::NodeId>(key & 0xffffffffu);
+    if (spec_.flows.directed(a, b).empty())
+      iso_const_ += model::kSliderMax.raw();
+    if (spec_.flows.directed(b, a).empty())
+      iso_const_ += model::kSliderMax.raw();
+  }
+
+  // Per-flow score through the order-encoded ladder: summing level
+  // increments Δj = round_div(ℓj,|G|) − round_div(ℓ{j−1},|G|) over the u
+  // variables telescopes to round_div(selected score, |G|) — exactly the
+  // value compute_metrics assigns the flow.
+  iso_terms_.clear();
+  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+    const model::Flow& flow =
+        spec_.flows.flow(static_cast<model::FlowId>(f));
+    const auto group_size = static_cast<std::int64_t>(
+        spec_.flows.directed(flow.src, flow.dst).size());
+    std::int64_t prev = 0;
+    for (const LadderStep& step : ladder_[f]) {
+      const std::int64_t delta =
+          round_div(step.level_raw, group_size) - prev;
+      prev = round_div(step.level_raw, group_size);
+      if (delta == 0) continue;
+      iso_terms_.push_back(smt::Term{smt::pos(step.var), delta});
+    }
+  }
+
+  // --- usability (eqs. 5-6) ---------------------------------------------
+  // U = 10 · Σ_f a_f·b(pattern_f) / Σ_f a_f, with b(none) = 1. Selecting
+  // pattern k on flow f costs penalty a_f − a_f·b_k(g) relative to the
+  // all-open maximum.
+  usab_total_rank_raw_ = spec_.ranks.total().raw();
+  usab_penalty_terms_.clear();
+  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+    const model::Flow& flow =
+        spec_.flows.flow(static_cast<model::FlowId>(f));
+    const util::Fixed rank =
+        spec_.ranks.rank(static_cast<model::FlowId>(f));
+    for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+      const util::Fixed kept = rank * spec_.isolation.usability(k, flow.service);
+      const std::int64_t penalty = rank.raw() - kept.raw();
+      if (penalty == 0) continue;
+      usab_penalty_terms_.push_back(smt::Term{
+          smt::pos(y_[f][static_cast<std::size_t>(
+              model::pattern_index(k))]),
+          penalty});
+    }
+  }
+
+  // --- cost (eq. 8, plus per-host pattern costs) --------------------------
+  cost_terms_.clear();
+  for (std::size_t e = 0; e < l_.size(); ++e) {
+    for (const model::DeviceType d : model::kAllDevices) {
+      const auto di = static_cast<std::size_t>(model::device_index(d));
+      if (l_[e][di] == smt::kNoVar) continue;
+      const std::int64_t c = spec_.device_costs.cost(d).raw();
+      if (c == 0) continue;
+      cost_terms_.push_back(smt::Term{smt::pos(l_[e][di]), c});
+    }
+  }
+  if (spec_.host_patterns.any()) {
+    for (const topology::NodeId j : spec_.network.hosts()) {
+      for (const model::HostPattern t : spec_.host_patterns.enabled()) {
+        const std::int64_t c = spec_.host_patterns.cost(t).raw();
+        if (c == 0) continue;
+        cost_terms_.push_back(smt::Term{
+            smt::pos(hp_[static_cast<std::size_t>(j)]
+                        [static_cast<std::size_t>(
+                            model::host_pattern_index(t))]),
+            c});
+      }
+    }
+  }
+  for (const auto& [endpoint, arr] : ap_) {
+    (void)endpoint;
+    for (const model::AppPattern t : spec_.app_patterns.enabled()) {
+      const auto ti = static_cast<std::size_t>(model::app_pattern_index(t));
+      if (arr[ti] == smt::kNoVar) continue;
+      const std::int64_t c = spec_.app_patterns.cost(t).raw();
+      if (c == 0) continue;
+      cost_terms_.push_back(smt::Term{smt::pos(arr[ti]), c});
+    }
+  }
+}
+
+smt::Lit Encoding::isolation_guard(util::Fixed threshold) {
+  const smt::Lit guard = smt::pos(backend_.new_bool("g_iso"));
+  // Σ iso_terms + iso_const ≥ threshold.raw × |Q|   (all in Fixed raw).
+  const std::int64_t bound = threshold.raw() * iso_pairs_ - iso_const_;
+  backend_.add_guarded_linear_ge(guard, iso_terms_, bound);
+  ++stats_.linear_constraints;
+  return guard;
+}
+
+smt::Lit Encoding::usability_guard(util::Fixed threshold) {
+  const smt::Lit guard = smt::pos(backend_.new_bool("g_usab"));
+  // 10·(A − Σ penalties) ≥ Th·A  ⇔  Σ penalties ≤ A·(10 − Th)/10.
+  // The left side is an integer, so flooring the right side is exact.
+  const std::int64_t bound =
+      usab_total_rank_raw_ * (model::kSliderMax.raw() - threshold.raw()) /
+      model::kSliderMax.raw();
+  backend_.add_guarded_linear_le(guard, usab_penalty_terms_, bound);
+  ++stats_.linear_constraints;
+  return guard;
+}
+
+smt::Lit Encoding::cost_guard(util::Fixed budget) {
+  const smt::Lit guard = smt::pos(backend_.new_bool("g_cost"));
+  backend_.add_guarded_linear_le(guard, cost_terms_, budget.raw());
+  ++stats_.linear_constraints;
+  return guard;
+}
+
+SecurityDesign Encoding::decode() const {
+  SecurityDesign design(spec_.flows.size(), spec_.network.link_count(),
+                        spec_.network.node_count());
+  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+    std::optional<model::IsolationPattern> chosen;
+    for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+      if (backend_.model_value(
+              y_[f][static_cast<std::size_t>(model::pattern_index(k))])) {
+        CS_ENSURE(!chosen.has_value(), "model selects two patterns (IIC1)");
+        chosen = k;
+      }
+    }
+    design.set_pattern(static_cast<model::FlowId>(f), chosen);
+  }
+  for (std::size_t e = 0; e < l_.size(); ++e) {
+    for (const model::DeviceType d : model::kAllDevices) {
+      const auto di = static_cast<std::size_t>(model::device_index(d));
+      if (l_[e][di] == smt::kNoVar) continue;
+      design.set_placed(static_cast<topology::LinkId>(e), d,
+                        backend_.model_value(l_[e][di]));
+    }
+  }
+  if (spec_.host_patterns.any()) {
+    for (const topology::NodeId j : spec_.network.hosts()) {
+      std::optional<model::HostPattern> chosen;
+      for (const model::HostPattern t : spec_.host_patterns.enabled()) {
+        if (backend_.model_value(
+                hp_[static_cast<std::size_t>(j)]
+                   [static_cast<std::size_t>(
+                       model::host_pattern_index(t))])) {
+          CS_ENSURE(!chosen.has_value(),
+                    "model deploys two host patterns on one host");
+          chosen = t;
+        }
+      }
+      design.set_host_pattern(j, chosen);
+    }
+  }
+  for (const auto& [endpoint, arr] : ap_) {
+    std::optional<model::AppPattern> chosen;
+    for (const model::AppPattern t : spec_.app_patterns.enabled()) {
+      const auto ti = static_cast<std::size_t>(model::app_pattern_index(t));
+      if (arr[ti] != smt::kNoVar && backend_.model_value(arr[ti])) {
+        CS_ENSURE(!chosen.has_value(),
+                  "model deploys two app patterns on one endpoint");
+        chosen = t;
+      }
+    }
+    design.set_app_pattern(endpoint.first, endpoint.second, chosen);
+  }
+  return design;
+}
+
+smt::BoolVar Encoding::y_var(model::FlowId f,
+                             model::IsolationPattern k) const {
+  CS_ENSURE(f >= 0 && static_cast<std::size_t>(f) < y_.size(),
+            "y_var: bad flow");
+  return y_[static_cast<std::size_t>(f)]
+           [static_cast<std::size_t>(model::pattern_index(k))];
+}
+
+smt::BoolVar Encoding::l_var(topology::LinkId link,
+                             model::DeviceType d) const {
+  CS_ENSURE(link >= 0 && static_cast<std::size_t>(link) < l_.size(),
+            "l_var: bad link");
+  return l_[static_cast<std::size_t>(link)]
+           [static_cast<std::size_t>(model::device_index(d))];
+}
+
+}  // namespace cs::synth

@@ -1,0 +1,160 @@
+#include "synth/metrics.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace cs::synth {
+
+namespace {
+
+using topology::NodeId;
+
+std::uint64_t key_of(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+DesignMetrics compute_metrics(const model::ProblemSpec& spec,
+                              const SecurityDesign& design) {
+  CS_REQUIRE(design.flow_count() == spec.flows.size(),
+             "design/spec flow count mismatch");
+  CS_REQUIRE(design.link_count() == spec.network.link_count(),
+             "design/spec link count mismatch");
+
+  DesignMetrics out;
+
+  // Per-flow raw score with the §VII precedence chain: the network
+  // pattern's L_k, else a host-level pattern at the destination, else an
+  // application-level pattern at the (destination, service) endpoint,
+  // else 0.
+  const auto flow_score_raw = [&](model::FlowId id) -> std::int64_t {
+    if (const auto k = design.pattern(id); k.has_value())
+      return spec.isolation.score(*k).raw();
+    const model::Flow& flow = spec.flows.flow(id);
+    if (const auto t = design.host_pattern(flow.dst);
+        t.has_value() && spec.host_patterns.is_enabled(*t))
+      return spec.host_patterns.score(*t).raw();
+    if (const auto t = design.app_pattern(flow.dst, flow.service);
+        t.has_value() && spec.app_patterns.applicable(*t, flow.service))
+      return spec.app_patterns.score(*t).raw();
+    return 0;
+  };
+
+  // --- per-direction isolation Ī_{i,j} (raw 0..10000) --------------------
+  // Same rounding as the encoder: each flow contributes
+  // round_div(score.raw, |G_ij|); a direction with no flows scores 10.
+  std::unordered_map<std::uint64_t, std::int64_t> dir_raw;
+  std::unordered_set<std::uint64_t> pairs;  // unordered pair keys (a<b)
+  for (const model::Flow& f : spec.flows.all()) {
+    const auto group = static_cast<std::int64_t>(
+        spec.flows.directed(f.src, f.dst).size());
+    const auto id = *spec.flows.find(f);
+    dir_raw[key_of(f.src, f.dst)] +=
+        util::round_div(flow_score_raw(id), group);
+    pairs.insert(f.src < f.dst ? key_of(f.src, f.dst)
+                               : key_of(f.dst, f.src));
+  }
+
+  const auto dir_isolation = [&](NodeId i, NodeId j) -> std::int64_t {
+    if (spec.flows.directed(i, j).empty()) return model::kSliderMax.raw();
+    return dir_raw[key_of(i, j)];
+  };
+
+  // --- network isolation I (eq. 4) ---------------------------------------
+  // Sum over ordered flow-bearing pairs; α cancels (see encoder.cpp).
+  std::int64_t iso_total = 0;
+  const auto q = static_cast<std::int64_t>(2 * pairs.size());
+  for (const std::uint64_t key : pairs) {
+    const auto a = static_cast<NodeId>(key >> 32);
+    const auto b = static_cast<NodeId>(key & 0xffffffffu);
+    iso_total += dir_isolation(a, b) + dir_isolation(b, a);
+  }
+  out.isolation =
+      q == 0 ? model::kSliderMax
+             : util::Fixed::from_raw(util::round_div(iso_total, q));
+
+  // --- per-host isolation I_j (eqs. 2-3), α-weighted ----------------------
+  // The α weighting is applied per flow with the same rounding the RMC
+  // encoder uses (synth/encoder.cpp), so host requirements decided by the
+  // solver always verify here.
+  const std::int64_t alpha_raw = spec.alpha.raw();
+  const std::int64_t one_raw = util::Fixed::from_int(1).raw();
+  const auto weighted_dir = [&](NodeId src, NodeId dst,
+                                std::int64_t weight) -> std::int64_t {
+    const auto& group = spec.flows.directed(src, dst);
+    if (group.empty())
+      return util::round_div(weight * model::kSliderMax.raw(), one_raw);
+    std::int64_t sum = 0;
+    for (const model::FlowId f : group) {
+      const std::int64_t contrib = util::round_div(
+          flow_score_raw(f), static_cast<std::int64_t>(group.size()));
+      sum += util::round_div(weight * contrib, one_raw);
+    }
+    return sum;
+  };
+  out.host_isolation.reserve(spec.network.hosts().size());
+  for (const NodeId j : spec.network.hosts()) {
+    std::int64_t total = 0;
+    std::int64_t counted = 0;
+    for (const NodeId i : spec.network.hosts()) {
+      if (i == j) continue;
+      if (spec.flows.directed(i, j).empty() &&
+          spec.flows.directed(j, i).empty())
+        continue;
+      // I_{i,j} = α·Ī_{i,j} + (1−α)·Ī_{j,i} with j the protected host:
+      // incoming traffic is i→j.
+      total += weighted_dir(i, j, alpha_raw) +
+               weighted_dir(j, i, one_raw - alpha_raw);
+      ++counted;
+    }
+    out.host_isolation.push_back(
+        counted == 0 ? model::kSliderMax
+                     : util::Fixed::from_raw(util::round_div(total, counted)));
+  }
+
+  // --- network usability U (eqs. 5-6) -------------------------------------
+  // Same penalty arithmetic as the encoder.
+  const std::int64_t total_rank = spec.ranks.total().raw();
+  std::int64_t penalties = 0;
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const auto id = static_cast<model::FlowId>(f);
+    const auto k = design.pattern(id);
+    if (!k.has_value()) continue;
+    const model::Flow& flow = spec.flows.flow(id);
+    const util::Fixed rank = spec.ranks.rank(id);
+    const util::Fixed kept = rank * spec.isolation.usability(*k, flow.service);
+    penalties += rank.raw() - kept.raw();
+  }
+  out.usability =
+      total_rank == 0
+          ? model::kSliderMax
+          : util::Fixed::from_raw(util::round_div(
+                (total_rank - penalties) * model::kSliderMax.raw(),
+                total_rank));
+
+  // --- deployment cost C (eq. 8, plus per-host pattern costs) -------------
+  util::Fixed cost;
+  for (std::size_t e = 0; e < design.link_count(); ++e)
+    for (const model::DeviceType d : model::kAllDevices)
+      if (design.placed(static_cast<topology::LinkId>(e), d))
+        cost += spec.device_costs.cost(d);
+  for (const NodeId j : spec.network.hosts()) {
+    if (const auto t = design.host_pattern(j);
+        t.has_value() && spec.host_patterns.is_enabled(*t))
+      cost += spec.host_patterns.cost(*t);
+  }
+  for (const auto& [host, service, t] : design.app_patterns()) {
+    (void)host;
+    if (spec.app_patterns.applicable(t, service))
+      cost += spec.app_patterns.cost(t);
+  }
+  out.cost = cost;
+
+  return out;
+}
+
+}  // namespace cs::synth

@@ -1,0 +1,35 @@
+// Metric computation for a concrete SecurityDesign (paper §III eqs. 2-8).
+//
+// Computes the three slider metrics — network isolation I, network
+// usability U and deployment cost C — directly from the design, using the
+// same fixed-point rounding as the SMT encoding. This is the ground truth
+// the threshold constraints talk about: for every model the backend
+// returns, `compute_metrics(spec, design)` satisfies the asserted slider
+// bounds exactly (tested in tests/synth_test.cpp).
+#pragma once
+
+#include <vector>
+
+#include "model/spec.h"
+#include "synth/design.h"
+#include "util/fixed.h"
+
+namespace cs::synth {
+
+struct DesignMetrics {
+  /// Network isolation I on the 0..10 slider scale (eq. 4).
+  util::Fixed isolation;
+  /// Network usability U on the 0..10 slider scale (eq. 6).
+  util::Fixed usability;
+  /// Total deployment cost C in the budget unit ($K) (eq. 8).
+  util::Fixed cost;
+  /// Per-host isolation scores I_j (eq. 3), α-weighted between incoming
+  /// and outgoing traffic, normalized to 0..10; indexed by position in
+  /// network.hosts().
+  std::vector<util::Fixed> host_isolation;
+};
+
+DesignMetrics compute_metrics(const model::ProblemSpec& spec,
+                              const SecurityDesign& design);
+
+}  // namespace cs::synth

@@ -1,0 +1,105 @@
+#include "synth/optimizer.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cs::synth {
+
+OptimizeResult maximize_isolation(Synthesizer& synth,
+                                  const model::ProblemSpec& spec,
+                                  util::Fixed usability, util::Fixed budget,
+                                  const OptimizeOptions& options) {
+  CS_REQUIRE(options.resolution > util::Fixed{}, "resolution must be > 0");
+  const std::int64_t res = options.resolution.raw();
+  const std::int64_t top = model::kSliderMax.raw() / res;  // grid steps
+
+  OptimizeResult out;
+
+  const auto probe = [&](std::int64_t step) {
+    ++out.probes;
+    SynthesisResult r = synth.synthesize_partial(
+        util::Fixed::from_raw(step * res), usability, budget);
+    out.solve_seconds += r.solve_seconds;
+    return r;
+  };
+
+  // Feasibility at the bottom of the scale.
+  SynthesisResult base = probe(0);
+  if (base.status != smt::CheckResult::kSat) {
+    out.exact = base.status == smt::CheckResult::kUnsat;
+    return out;
+  }
+  out.feasible = true;
+  out.design = std::move(base.design);
+  out.metrics = compute_metrics(spec, *out.design);
+
+  // Invariant: SAT at `lo`, UNSAT at every step > `hi`.
+  std::int64_t lo = std::min(out.metrics.isolation.raw() / res, top);
+  std::int64_t hi = top;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo + 1) / 2;
+    SynthesisResult r = probe(mid);
+    if (r.status == smt::CheckResult::kUnknown) out.exact = false;
+    if (r.status == smt::CheckResult::kSat) {
+      out.design = std::move(r.design);
+      out.metrics = compute_metrics(spec, *out.design);
+      // The model's achieved isolation is a certificate for a (possibly
+      // much) higher bound — jump instead of stepping.
+      lo = std::max(mid, std::min(out.metrics.isolation.raw() / res, top));
+    } else {
+      hi = mid - 1;
+    }
+  }
+  out.max_threshold = util::Fixed::from_raw(lo * res);
+  return out;
+}
+
+MinCostResult minimize_cost(Synthesizer& synth,
+                            const model::ProblemSpec& spec,
+                            util::Fixed isolation, util::Fixed usability,
+                            const MinCostOptions& options) {
+  CS_REQUIRE(options.resolution > util::Fixed{}, "resolution must be > 0");
+  CS_REQUIRE(options.max_budget >= util::Fixed{}, "negative max budget");
+  const std::int64_t res = options.resolution.raw();
+  const std::int64_t top = options.max_budget.raw() / res;
+
+  MinCostResult out;
+  const auto probe = [&](std::int64_t step) {
+    ++out.probes;
+    SynthesisResult r = synth.synthesize_partial(
+        isolation, usability, util::Fixed::from_raw(step * res));
+    out.solve_seconds += r.solve_seconds;
+    return r;
+  };
+
+  SynthesisResult roof = probe(top);
+  if (roof.status != smt::CheckResult::kSat) {
+    out.exact = roof.status == smt::CheckResult::kUnsat;
+    return out;
+  }
+  out.feasible = true;
+  out.design = std::move(roof.design);
+  out.metrics = compute_metrics(spec, *out.design);
+
+  // Invariant: SAT at `hi`, UNSAT/unknown below `lo`.
+  std::int64_t lo = 0;
+  // Jump down to the witnessing design's actual cost (rounded up to grid).
+  std::int64_t hi = (out.metrics.cost.raw() + res - 1) / res;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    SynthesisResult r = probe(mid);
+    if (r.status == smt::CheckResult::kUnknown) out.exact = false;
+    if (r.status == smt::CheckResult::kSat) {
+      out.design = std::move(r.design);
+      out.metrics = compute_metrics(spec, *out.design);
+      hi = std::min(mid, (out.metrics.cost.raw() + res - 1) / res);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  out.min_budget = util::Fixed::from_raw(hi * res);
+  return out;
+}
+
+}  // namespace cs::synth

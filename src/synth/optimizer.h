@@ -1,0 +1,75 @@
+// Max-isolation optimization (used by the paper's Fig. 3 experiments).
+//
+// The core solver answers feasibility for a slider triple; "maximum
+// possible isolation under a usability and budget constraint" is obtained
+// by binary search over the isolation threshold, accelerated by jumping to
+// the isolation actually achieved by each SAT model (often far above the
+// probed threshold). All probes run against one incremental Synthesizer,
+// so the backend keeps its learnt state across the search.
+#pragma once
+
+#include <optional>
+
+#include "synth/metrics.h"
+#include "synth/synthesizer.h"
+
+namespace cs::synth {
+
+struct OptimizeOptions {
+  /// Search grid granularity on the 0..10 slider scale.
+  util::Fixed resolution = util::Fixed::from_raw(50);  // 0.05
+};
+
+struct OptimizeResult {
+  /// False when even isolation ≥ 0 is unsatisfiable (thresholds conflict).
+  bool feasible = false;
+  /// True when every probe returned SAT/UNSAT; false when a time-capped
+  /// probe returned unknown, making max_threshold a certified lower bound
+  /// rather than the exact maximum.
+  bool exact = true;
+  /// Largest isolation threshold proven satisfiable (grid-aligned).
+  util::Fixed max_threshold;
+  /// Metrics of the best design found (metrics.isolation ≥ max_threshold).
+  DesignMetrics metrics;
+  std::optional<SecurityDesign> design;
+  int probes = 0;
+  double solve_seconds = 0;
+};
+
+/// Maximizes network isolation subject to usability ≥ `usability` and
+/// cost ≤ `budget`.
+OptimizeResult maximize_isolation(Synthesizer& synth,
+                                  const model::ProblemSpec& spec,
+                                  util::Fixed usability, util::Fixed budget,
+                                  const OptimizeOptions& options = {});
+
+struct MinCostResult {
+  /// False when the isolation/usability floors are infeasible at any cost.
+  bool feasible = false;
+  /// False when a capped probe made min_budget an upper bound only.
+  bool exact = true;
+  /// Smallest budget (grid-aligned) proven satisfiable.
+  util::Fixed min_budget;
+  DesignMetrics metrics;
+  std::optional<SecurityDesign> design;
+  int probes = 0;
+  double solve_seconds = 0;
+};
+
+struct MinCostOptions {
+  /// Budget search grid in the cost unit ($K).
+  util::Fixed resolution = util::Fixed::from_int(1);
+  /// Upper bound of the search; infeasible above this means "infeasible".
+  util::Fixed max_budget = util::Fixed::from_int(1000);
+};
+
+/// Finds the cheapest deployment meeting isolation ≥ `isolation` and
+/// usability ≥ `usability` — the "cost-effective" side of the paper's
+/// objective. Uses the same incremental probing as maximize_isolation,
+/// jumping down to each SAT model's actual cost.
+MinCostResult minimize_cost(Synthesizer& synth,
+                            const model::ProblemSpec& spec,
+                            util::Fixed isolation, util::Fixed usability,
+                            const MinCostOptions& options = {});
+
+}  // namespace cs::synth

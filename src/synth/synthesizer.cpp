@@ -1,0 +1,95 @@
+#include "synth/synthesizer.h"
+
+#include "util/error.h"
+
+namespace cs::synth {
+
+std::string_view threshold_name(ThresholdKind kind) {
+  switch (kind) {
+    case ThresholdKind::kIsolation:
+      return "isolation";
+    case ThresholdKind::kUsability:
+      return "usability";
+    case ThresholdKind::kCost:
+      return "cost";
+  }
+  return "?";
+}
+
+Synthesizer::Synthesizer(const model::ProblemSpec& spec,
+                         SynthesisOptions options)
+    : spec_(spec),
+      options_(options),
+      routes_(spec.network, spec.route_options),
+      backend_(smt::make_backend(options.backend)) {
+  util::Stopwatch watch;
+  encoding_ = std::make_unique<Encoding>(spec_, routes_, *backend_);
+  encode_seconds_ = watch.elapsed_seconds();
+  if (options_.check_time_limit_ms > 0)
+    backend_->set_time_limit_ms(options_.check_time_limit_ms);
+}
+
+smt::Lit Synthesizer::guard_for(ThresholdKind kind, util::Fixed value) {
+  const std::pair<int, std::int64_t> key{static_cast<int>(kind),
+                                         value.raw()};
+  if (const auto it = guard_cache_.find(key); it != guard_cache_.end())
+    return it->second;
+  smt::Lit guard;
+  switch (kind) {
+    case ThresholdKind::kIsolation:
+      guard = encoding_->isolation_guard(value);
+      break;
+    case ThresholdKind::kUsability:
+      guard = encoding_->usability_guard(value);
+      break;
+    case ThresholdKind::kCost:
+      guard = encoding_->cost_guard(value);
+      break;
+  }
+  guard_cache_.emplace(key, guard);
+  guard_kind_.emplace(guard.var, kind);
+  return guard;
+}
+
+SynthesisResult Synthesizer::synthesize() {
+  return synthesize(spec_.sliders);
+}
+
+SynthesisResult Synthesizer::synthesize(const model::Sliders& sliders) {
+  return synthesize_partial(sliders.isolation, sliders.usability,
+                            sliders.budget);
+}
+
+SynthesisResult Synthesizer::synthesize_partial(
+    std::optional<util::Fixed> isolation, std::optional<util::Fixed> usability,
+    std::optional<util::Fixed> budget) {
+  std::vector<smt::Lit> assumptions;
+  if (isolation)
+    assumptions.push_back(guard_for(ThresholdKind::kIsolation, *isolation));
+  if (usability)
+    assumptions.push_back(guard_for(ThresholdKind::kUsability, *usability));
+  if (budget)
+    assumptions.push_back(guard_for(ThresholdKind::kCost, *budget));
+
+  SynthesisResult result;
+  result.encode_seconds = encode_seconds_;
+  result.encoding = encoding_->stats();
+
+  util::Stopwatch watch;
+  result.status = backend_->check(assumptions);
+  result.solve_seconds = watch.elapsed_seconds();
+  result.solver_memory_bytes = backend_->memory_bytes();
+
+  if (result.status == smt::CheckResult::kSat) {
+    result.design = encoding_->decode();
+  } else if (result.status == smt::CheckResult::kUnsat) {
+    for (const smt::Lit l : backend_->unsat_core()) {
+      const auto it = guard_kind_.find(l.var);
+      if (it != guard_kind_.end())
+        result.conflicting.push_back(it->second);
+    }
+  }
+  return result;
+}
+
+}  // namespace cs::synth

@@ -1,0 +1,84 @@
+// The synthesis driver: encode once, probe thresholds incrementally.
+//
+// A `Synthesizer` owns the backend, the route table and the encoding for
+// one ProblemSpec. Every distinct slider value becomes a named guard
+// literal (cached), so repeated checks — the optimizer's binary search,
+// Algorithm 1's subset re-solves — reuse the learnt state of the backend
+// instead of re-encoding the network.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "model/spec.h"
+#include "smt/ir.h"
+#include "synth/design.h"
+#include "synth/encoder.h"
+#include "util/timer.h"
+
+namespace cs::synth {
+
+enum class ThresholdKind { kIsolation, kUsability, kCost };
+
+std::string_view threshold_name(ThresholdKind kind);
+
+struct SynthesisOptions {
+  smt::BackendKind backend = smt::BackendKind::kZ3;
+  /// Per-check wall-clock cap in milliseconds (0 = unlimited). Checks that
+  /// exceed it return kUnknown — expected near threshold boundaries, where
+  /// the problem is genuinely hard (paper Fig. 5a).
+  std::int64_t check_time_limit_ms = 0;
+};
+
+struct SynthesisResult {
+  smt::CheckResult status = smt::CheckResult::kUnknown;
+  std::optional<SecurityDesign> design;           // set on kSat
+  std::vector<ThresholdKind> conflicting;         // unsat core on kUnsat
+  double encode_seconds = 0;
+  double solve_seconds = 0;
+  std::size_t solver_memory_bytes = 0;
+  EncodingStats encoding;
+};
+
+class Synthesizer {
+ public:
+  /// Encodes the structural constraints immediately; `spec` must outlive
+  /// the synthesizer.
+  explicit Synthesizer(const model::ProblemSpec& spec,
+                       SynthesisOptions options = {});
+
+  /// Solves with the spec's own slider values (paper eq. 12).
+  SynthesisResult synthesize();
+
+  /// Solves with explicit slider values (reusing the encoding).
+  SynthesisResult synthesize(const model::Sliders& sliders);
+
+  /// Solves with an arbitrary subset of thresholds enforced — the re-solve
+  /// primitive of Algorithm 1. Absent optionals drop that assumption.
+  SynthesisResult synthesize_partial(
+      std::optional<util::Fixed> isolation,
+      std::optional<util::Fixed> usability,
+      std::optional<util::Fixed> budget);
+
+  double encode_seconds() const { return encode_seconds_; }
+  const EncodingStats& encoding_stats() const { return encoding_->stats(); }
+  const smt::Backend& backend() const { return *backend_; }
+
+ private:
+  smt::Lit guard_for(ThresholdKind kind, util::Fixed value);
+
+  const model::ProblemSpec& spec_;
+  SynthesisOptions options_;
+  topology::RouteTable routes_;
+  std::unique_ptr<smt::Backend> backend_;
+  std::unique_ptr<Encoding> encoding_;
+  double encode_seconds_ = 0;
+
+  std::map<std::pair<int, std::int64_t>, smt::Lit> guard_cache_;
+  std::unordered_map<smt::BoolVar, ThresholdKind> guard_kind_;
+};
+
+}  // namespace cs::synth

@@ -1,0 +1,75 @@
+#include "synth/unsat_analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cs::synth {
+
+std::string UnsatReport::to_string() const {
+  std::ostringstream out;
+  if (!was_unsat) {
+    out << "constraints are satisfiable; no relaxation needed\n";
+    return out.str();
+  }
+  out << "UNSAT. Conflicting threshold constraints:";
+  for (const ThresholdKind k : core) out << " " << threshold_name(k);
+  out << "\n";
+  for (const Relaxation& r : relaxations) {
+    out << "  relax {";
+    for (std::size_t i = 0; i < r.dropped.size(); ++i)
+      out << (i ? ", " : " ") << threshold_name(r.dropped[i]);
+    out << " } -> achievable: isolation=" << r.achievable.isolation
+        << " usability=" << r.achievable.usability
+        << " cost=" << r.achievable.cost << "\n";
+  }
+  if (relaxations.empty())
+    out << "  no relaxation of the threshold constraints suffices (hard "
+           "constraints conflict)\n";
+  return out.str();
+}
+
+UnsatReport analyze_unsat(Synthesizer& synth,
+                          const model::ProblemSpec& spec) {
+  UnsatReport report;
+  const SynthesisResult base = synth.synthesize();
+  if (base.status == smt::CheckResult::kSat) return report;
+
+  report.was_unsat = true;
+  report.core = base.conflicting;
+
+  // Enumerate non-empty subsets of the core, smallest first (Algorithm 1
+  // takes 1, 2, ..., |U| assumptions at a time).
+  std::vector<std::vector<ThresholdKind>> subsets;
+  const std::size_t n = report.core.size();
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<ThresholdKind> subset;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask & (1u << i)) subset.push_back(report.core[i]);
+    subsets.push_back(std::move(subset));
+  }
+  std::stable_sort(subsets.begin(), subsets.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() < b.size();
+                   });
+
+  for (const std::vector<ThresholdKind>& drop : subsets) {
+    const auto dropped = [&](ThresholdKind k) {
+      return std::find(drop.begin(), drop.end(), k) != drop.end();
+    };
+    std::optional<util::Fixed> iso = spec.sliders.isolation;
+    std::optional<util::Fixed> usab = spec.sliders.usability;
+    std::optional<util::Fixed> cost = spec.sliders.budget;
+    if (dropped(ThresholdKind::kIsolation)) iso.reset();
+    if (dropped(ThresholdKind::kUsability)) usab.reset();
+    if (dropped(ThresholdKind::kCost)) cost.reset();
+
+    const SynthesisResult r = synth.synthesize_partial(iso, usab, cost);
+    if (r.status == smt::CheckResult::kSat) {
+      report.relaxations.push_back(
+          Relaxation{drop, compute_metrics(spec, *r.design)});
+    }
+  }
+  return report;
+}
+
+}  // namespace cs::synth

@@ -1,0 +1,41 @@
+// Systematic analysis of UNSAT results (paper §IV-B, Algorithm 1).
+//
+// When the slider thresholds conflict, the backend's unsat core names the
+// threshold assumptions involved. Algorithm 1 then enumerates subsets of
+// the core (smallest first), re-solves with those assumptions dropped, and
+// for each satisfiable combination reports the threshold values the found
+// model actually achieves — the "satisfiable choices" ConfigSynth shows
+// the administrator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/metrics.h"
+#include "synth/synthesizer.h"
+
+namespace cs::synth {
+
+struct Relaxation {
+  /// Threshold assumptions dropped from the query.
+  std::vector<ThresholdKind> dropped;
+  /// Metrics achieved by the satisfying model found after the drop —
+  /// suggested new values for the dropped sliders.
+  DesignMetrics achievable;
+};
+
+struct UnsatReport {
+  /// False when the original sliders were already satisfiable (the report
+  /// then carries no core or relaxations).
+  bool was_unsat = false;
+  /// The threshold assumptions in the solver's unsat core.
+  std::vector<ThresholdKind> core;
+  std::vector<Relaxation> relaxations;
+
+  std::string to_string() const;
+};
+
+/// Runs Algorithm 1 against the spec's slider values.
+UnsatReport analyze_unsat(Synthesizer& synth, const model::ProblemSpec& spec);
+
+}  // namespace cs::synth

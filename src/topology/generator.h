@@ -1,0 +1,40 @@
+// Random enterprise-style topology generator (paper §V "Methodology").
+//
+// The paper evaluates on randomly generated test networks parameterized by
+// the number of hosts and routers. We reproduce that: a connected random
+// core of routers (spanning tree + extra links, which create the alternative
+// routing paths the placement model must secure), with each logical host
+// attached to one edge router (optionally dual-homed).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/network.h"
+#include "util/rng.h"
+
+namespace cs::topology {
+
+struct GeneratorConfig {
+  /// Number of logical hosts (host groups, §V-B discussion).
+  int hosts = 10;
+  /// Number of core routers.
+  int routers = 8;
+  /// Extra router-router links beyond the spanning tree, as a fraction of
+  /// the router count. These create alternative flow routes.
+  double extra_core_link_ratio = 0.5;
+  /// Probability that a host gets a second uplink to a different router.
+  double dual_homing_prob = 0.15;
+  /// Adds a logical "Internet" host attached to one border router.
+  bool include_internet = false;
+};
+
+/// Generates a connected topology; throws SpecError for degenerate configs.
+Network generate_topology(const GeneratorConfig& config, util::Rng& rng);
+
+/// The fixed 10-host / 8-router example network of the paper's Fig. 2(a),
+/// reconstructed: three subnets of hosts hanging off a partially meshed
+/// core with redundant paths. Host names are "h1".."h10", routers
+/// "r1".."r8". Deterministic.
+Network make_paper_example();
+
+}  // namespace cs::topology

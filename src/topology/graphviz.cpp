@@ -1,0 +1,32 @@
+#include "topology/graphviz.h"
+
+#include <sstream>
+
+namespace cs::topology {
+
+std::string to_dot(const Network& net,
+                   const std::map<LinkId, std::string>& link_labels) {
+  std::ostringstream out;
+  out << "graph network {\n";
+  out << "  overlap=false;\n  splines=true;\n";
+  for (const Node& n : net.nodes()) {
+    out << "  n" << n.id << " [label=\"" << n.name << "\"";
+    if (n.kind == NodeKind::kRouter)
+      out << ", shape=diamond, style=filled, fillcolor=lightgray";
+    else if (n.is_internet)
+      out << ", shape=doublecircle";
+    else
+      out << ", shape=box";
+    out << "];\n";
+  }
+  for (const Link& l : net.links()) {
+    out << "  n" << l.a << " -- n" << l.b;
+    if (const auto it = link_labels.find(l.id); it != link_labels.end())
+      out << " [label=\"" << it->second << "\", fontcolor=red, color=red]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace cs::topology

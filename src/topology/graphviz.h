@@ -1,0 +1,17 @@
+// Graphviz (DOT) export of a topology, optionally decorated with device
+// placements — the textual equivalent of the paper's Fig. 2(a)/(b).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "topology/network.h"
+
+namespace cs::topology {
+
+/// Renders the network as an undirected DOT graph. `link_labels` decorates
+/// links (e.g. "FW,IDS" for placed devices); missing entries are unlabeled.
+std::string to_dot(const Network& net,
+                   const std::map<LinkId, std::string>& link_labels = {});
+
+}  // namespace cs::topology

@@ -1,0 +1,104 @@
+#include "topology/network.h"
+
+#include <algorithm>
+
+namespace cs::topology {
+
+NodeId Network::add_node(NodeKind kind, std::string name, int group_size,
+                         bool is_internet) {
+  CS_REQUIRE(group_size >= 1, "host group size must be >= 1");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, kind, std::move(name), group_size, is_internet});
+  adjacency_.emplace_back();
+  if (kind == NodeKind::kHost)
+    hosts_.push_back(id);
+  else
+    routers_.push_back(id);
+  return id;
+}
+
+NodeId Network::add_host(std::string name, int group_size) {
+  return add_node(NodeKind::kHost, std::move(name), group_size, false);
+}
+
+NodeId Network::add_internet(std::string name) {
+  return add_node(NodeKind::kHost, std::move(name), 1, true);
+}
+
+NodeId Network::add_router(std::string name) {
+  return add_node(NodeKind::kRouter, std::move(name), 1, false);
+}
+
+LinkId Network::add_link(NodeId a, NodeId b) {
+  CS_REQUIRE(a >= 0 && a < static_cast<NodeId>(nodes_.size()),
+             "add_link: bad endpoint a");
+  CS_REQUIRE(b >= 0 && b < static_cast<NodeId>(nodes_.size()),
+             "add_link: bad endpoint b");
+  CS_REQUIRE(a != b, "add_link: self-loop");
+  CS_REQUIRE(!has_link(a, b), "add_link: parallel link");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, a, b});
+  adjacency_[static_cast<std::size_t>(a)].push_back(Adjacency{id, b});
+  adjacency_[static_cast<std::size_t>(b)].push_back(Adjacency{id, a});
+  return id;
+}
+
+bool Network::has_link(NodeId a, NodeId b) const {
+  return find_link(a, b).has_value();
+}
+
+std::optional<LinkId> Network::find_link(NodeId a, NodeId b) const {
+  if (a < 0 || a >= static_cast<NodeId>(nodes_.size())) return std::nullopt;
+  for (const Adjacency& adj : adjacency_[static_cast<std::size_t>(a)])
+    if (adj.peer == b) return adj.link;
+  return std::nullopt;
+}
+
+const Node& Network::node(NodeId id) const {
+  CS_ENSURE(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+            "Network::node: bad id");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Link& Network::link(LinkId id) const {
+  CS_ENSURE(id >= 0 && id < static_cast<LinkId>(links_.size()),
+            "Network::link: bad id");
+  return links_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<Adjacency>& Network::neighbors(NodeId id) const {
+  CS_ENSURE(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+            "Network::neighbors: bad id");
+  return adjacency_[static_cast<std::size_t>(id)];
+}
+
+bool Network::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const Adjacency& adj : adjacency_[static_cast<std::size_t>(n)]) {
+      if (!seen[static_cast<std::size_t>(adj.peer)]) {
+        seen[static_cast<std::size_t>(adj.peer)] = 1;
+        ++visited;
+        stack.push_back(adj.peer);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+void Network::validate() const {
+  CS_REQUIRE(host_count() >= 2, "topology needs at least two hosts");
+  CS_REQUIRE(connected(), "topology must be connected");
+  for (const NodeId h : hosts_) {
+    CS_REQUIRE(!neighbors(h).empty(),
+               "host '" + node(h).name + "' has no link");
+  }
+}
+
+}  // namespace cs::topology

@@ -1,0 +1,117 @@
+// Network topology model (paper §III, "N,L" with N = H ∪ R).
+//
+// A `Network` is an undirected multigraph of hosts and routers joined by
+// links. Hosts are traffic endpoints; routers form the core. A host may
+// stand for a *group* of identically-configured machines (paper §V-B): the
+// synthesis treats the group as one logical endpoint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cs::topology {
+
+/// Dense node index; hosts and routers share the same id space.
+using NodeId = std::int32_t;
+/// Dense link index.
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind : std::uint8_t { kHost, kRouter };
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+  /// Number of physical machines this logical host stands for (≥1).
+  int group_size = 1;
+  /// True for the logical "Internet" host (used by UIC2-style policies).
+  bool is_internet = false;
+};
+
+/// Undirected link between two nodes.
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+
+  /// The endpoint that is not `n`; requires n ∈ {a, b}.
+  NodeId other(NodeId n) const {
+    CS_ENSURE(n == a || n == b, "Link::other: node not on link");
+    return n == a ? b : a;
+  }
+};
+
+/// One edge of a node's adjacency list.
+struct Adjacency {
+  LinkId link = kInvalidLink;
+  NodeId peer = kInvalidNode;
+};
+
+class Network {
+ public:
+  /// Adds a host; returns its id. `group_size` counts collapsed machines.
+  NodeId add_host(std::string name, int group_size = 1);
+
+  /// Adds the logical Internet endpoint (a host flagged `is_internet`).
+  NodeId add_internet(std::string name = "Internet");
+
+  /// Adds a router; returns its id.
+  NodeId add_router(std::string name);
+
+  /// Adds an undirected link; parallel links and self-loops are rejected.
+  LinkId add_link(NodeId a, NodeId b);
+
+  /// True if an a–b link already exists.
+  bool has_link(NodeId a, NodeId b) const;
+
+  /// Link joining a and b, if any.
+  std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+
+  const Node& node(NodeId id) const;
+  const Link& link(LinkId id) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<Adjacency>& neighbors(NodeId id) const;
+
+  /// Ids of all hosts, in insertion order.
+  const std::vector<NodeId>& hosts() const { return hosts_; }
+  /// Ids of all routers, in insertion order.
+  const std::vector<NodeId>& routers() const { return routers_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t router_count() const { return routers_.size(); }
+
+  bool is_host(NodeId id) const { return node(id).kind == NodeKind::kHost; }
+  bool is_router(NodeId id) const {
+    return node(id).kind == NodeKind::kRouter;
+  }
+
+  /// True if every node can reach every other node.
+  bool connected() const;
+
+  /// Throws SpecError when the topology cannot carry any traffic
+  /// (disconnected, or a host with no link).
+  void validate() const;
+
+ private:
+  NodeId add_node(NodeKind kind, std::string name, int group_size,
+                  bool is_internet);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<NodeId> hosts_;
+  std::vector<NodeId> routers_;
+};
+
+}  // namespace cs::topology

@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+#include "util/error.h"
+
+namespace cs::util {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  if (out_) write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  CS_REQUIRE(cells.size() == width_, "CSV row width mismatch");
+  if (out_) write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace cs::util

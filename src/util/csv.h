@@ -1,0 +1,34 @@
+// CSV writer for bench results.
+//
+// Each bench binary writes `<name>.csv` beside its text output so the
+// figures can be re-plotted without re-running the sweep.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cs::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; must match the header width.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// True if the file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+/// Quotes a CSV field if needed (commas, quotes, newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace cs::util

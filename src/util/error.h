@@ -1,0 +1,46 @@
+// Error handling primitives shared by all ConfigSynth modules.
+//
+// The library reports programming errors and malformed inputs through
+// exceptions derived from `cs::util::Error`; recoverable "no answer"
+// situations (e.g. UNSAT) are ordinary return values, never exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cs::util {
+
+/// Base class for all errors raised by ConfigSynth.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input file or specification is malformed.
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error("spec error: " + what) {}
+};
+
+/// Raised when an internal invariant is violated (a bug in this library).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+}  // namespace cs::util
+
+/// Validates a user-facing precondition; throws SpecError on failure.
+#define CS_REQUIRE(cond, msg)                      \
+  do {                                             \
+    if (!(cond)) throw ::cs::util::SpecError(msg); \
+  } while (0)
+
+/// Validates an internal invariant; throws InternalError on failure.
+#define CS_ENSURE(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      throw ::cs::util::InternalError(std::string(msg) + " at " __FILE__ \
+                                      ":" + std::to_string(__LINE__));    \
+  } while (0)

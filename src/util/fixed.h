@@ -1,0 +1,111 @@
+// Fixed-point arithmetic for isolation/usability scores.
+//
+// The paper (§IV-A) normalizes real-valued scores into integers so the whole
+// synthesis problem stays in integer linear arithmetic. `Fixed` is that
+// normalization: a value x is stored as round(x * kScale) in an int64.
+// All score math in the encoder, the checker and the optimizer uses Fixed,
+// which guarantees the independent checker and the SMT encoding agree bit
+// for bit.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+namespace cs::util {
+
+class Fixed {
+ public:
+  /// Number of fixed-point units per 1.0.
+  static constexpr std::int64_t kScale = 1000;
+
+  constexpr Fixed() = default;
+
+  /// Constructs from a raw count of fixed-point units.
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Constructs from an integer value (exact).
+  static constexpr Fixed from_int(std::int64_t v) {
+    return from_raw(v * kScale);
+  }
+
+  /// Constructs from a double (rounded to the nearest unit).
+  static Fixed from_double(double v) {
+    const double scaled = v * static_cast<double>(kScale);
+    return from_raw(static_cast<std::int64_t>(scaled < 0 ? scaled - 0.5
+                                                         : scaled + 0.5));
+  }
+
+  constexpr std::int64_t raw() const { return raw_; }
+  double to_double() const { return static_cast<double>(raw_) / kScale; }
+
+  constexpr Fixed operator+(Fixed o) const { return from_raw(raw_ + o.raw_); }
+  constexpr Fixed operator-(Fixed o) const { return from_raw(raw_ - o.raw_); }
+  constexpr Fixed operator-() const { return from_raw(-raw_); }
+
+  /// Multiplication by a plain integer is exact.
+  constexpr Fixed operator*(std::int64_t k) const {
+    return from_raw(raw_ * k);
+  }
+
+  /// Fixed*Fixed rounds to the nearest unit (round half away from zero).
+  constexpr Fixed operator*(Fixed o) const {
+    const std::int64_t prod = raw_ * o.raw_;
+    const std::int64_t half = kScale / 2;
+    return from_raw(prod >= 0 ? (prod + half) / kScale
+                              : (prod - half) / kScale);
+  }
+
+  /// Division by a plain integer rounds to the nearest unit.
+  constexpr Fixed operator/(std::int64_t k) const {
+    const std::int64_t half = (k >= 0 ? k : -k) / 2;
+    return from_raw(raw_ >= 0 ? (raw_ + half) / k : (raw_ - half) / k);
+  }
+
+  Fixed& operator+=(Fixed o) {
+    raw_ += o.raw_;
+    return *this;
+  }
+  Fixed& operator-=(Fixed o) {
+    raw_ -= o.raw_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Fixed&) const = default;
+
+  /// Renders with up to three decimals, trailing zeros trimmed ("2.5", "4").
+  std::string to_string() const {
+    const std::int64_t whole = raw_ / kScale;
+    std::int64_t frac = raw_ % kScale;
+    if (frac == 0) return std::to_string(whole);
+    if (frac < 0) frac = -frac;
+    std::string s = (raw_ < 0 && whole == 0) ? "-0" : std::to_string(whole);
+    std::string f = std::to_string(frac);
+    f.insert(0, 3 - f.size(), '0');
+    while (!f.empty() && f.back() == '0') f.pop_back();
+    return s + "." + f;
+  }
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+inline constexpr Fixed operator*(std::int64_t k, Fixed f) { return f * k; }
+
+/// Rounded division for non-negative operands; shared by the SMT encoder
+/// and the independent metric computation so both round identically.
+inline constexpr std::int64_t round_div(std::int64_t num, std::int64_t den) {
+  return (num + den / 2) / den;
+}
+
+inline std::ostream& operator<<(std::ostream& os, Fixed f) {
+  return os << f.to_string();
+}
+
+}  // namespace cs::util

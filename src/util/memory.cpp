@@ -1,0 +1,33 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cs::util {
+
+namespace {
+
+std::int64_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::int64_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      std::sscanf(line + key_len, " %lld", static_cast<long long*>(
+                                               static_cast<void*>(&kb)));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+std::int64_t current_rss_bytes() { return read_status_kb("VmRSS:"); }
+
+std::int64_t peak_rss_bytes() { return read_status_kb("VmHWM:"); }
+
+}  // namespace cs::util

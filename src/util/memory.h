@@ -1,0 +1,17 @@
+// Process-memory probe for the Table VI experiment.
+//
+// The paper reports the solver's memory footprint per problem size; we read
+// the same quantity from /proc/self/status (Linux) as resident-set size.
+#pragma once
+
+#include <cstdint>
+
+namespace cs::util {
+
+/// Current resident set size in bytes; 0 if unavailable.
+std::int64_t current_rss_bytes();
+
+/// Peak resident set size in bytes; 0 if unavailable.
+std::int64_t peak_rss_bytes();
+
+}  // namespace cs::util

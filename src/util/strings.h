@@ -1,0 +1,32 @@
+// Small string helpers used by the input-file parser and report renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs::util {
+
+/// Splits on a delimiter character; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strips leading/trailing whitespace.
+std::string trim(std::string_view text);
+
+/// Joins the elements with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses a signed integer; throws SpecError with context on failure.
+long long parse_int(std::string_view text, std::string_view context);
+
+/// Parses a double; throws SpecError with context on failure.
+double parse_double(std::string_view text, std::string_view context);
+
+}  // namespace cs::util

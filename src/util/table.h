@@ -1,0 +1,31 @@
+// Plain-text table renderer.
+//
+// Every bench binary prints its figure/table as an aligned text table (the
+// same rows the paper reports) before writing CSV, so results are readable
+// straight off the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cs::util {
+
+class TextTable {
+ public:
+  /// Column headers; fixes the column count for subsequent rows.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header separator and column padding.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cs::util

@@ -1,0 +1,117 @@
+// Tests for the independent checker, placement minimizer and reports.
+#include <gtest/gtest.h>
+
+#include "analysis/checker.h"
+#include "analysis/report.h"
+#include "spec_helpers.h"
+#include "synth/synthesizer.h"
+
+namespace cs::analysis {
+namespace {
+
+using cs::testing::make_example_spec;
+using synth::SecurityDesign;
+
+TEST(Checker, EmptyDesignHasNoStructuralIssues) {
+  const model::ProblemSpec spec = make_example_spec();
+  const SecurityDesign design(spec.flows.size(), spec.network.link_count());
+  const CheckReport report = check_design(spec, design,
+                                          /*check_thresholds=*/false);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Checker, FlagsDeniedConnectivityRequirement) {
+  const model::ProblemSpec spec = make_example_spec();
+  SecurityDesign design(spec.flows.size(), spec.network.link_count());
+  const model::FlowId required = spec.connectivity.sorted().front();
+  design.set_pattern(required, model::IsolationPattern::kAccessDeny);
+  const CheckReport report = check_design(spec, design, false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues.front().find("connectivity requirement denied"),
+            std::string::npos);
+}
+
+TEST(Checker, FlagsMissingDevice) {
+  const model::ProblemSpec spec = make_example_spec();
+  SecurityDesign design(spec.flows.size(), spec.network.link_count());
+  // Deny a non-required flow without placing any firewall.
+  model::FlowId victim = 0;
+  while (spec.connectivity.required(victim)) ++victim;
+  design.set_pattern(victim, model::IsolationPattern::kAccessDeny);
+  const CheckReport report = check_design(spec, design, false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues.front().find("Firewall missing"),
+            std::string::npos);
+}
+
+TEST(Checker, AcceptsCoveredDeny) {
+  const model::ProblemSpec spec = make_example_spec();
+  SecurityDesign design(spec.flows.size(), spec.network.link_count());
+  model::FlowId victim = 0;
+  while (spec.connectivity.required(victim)) ++victim;
+  design.set_pattern(victim, model::IsolationPattern::kAccessDeny);
+  // Firewalls everywhere trivially cover all routes.
+  for (std::size_t e = 0; e < spec.network.link_count(); ++e)
+    design.set_placed(static_cast<topology::LinkId>(e),
+                      model::DeviceType::kFirewall, true);
+  const CheckReport report = check_design(spec, design, false);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Checker, FlagsIpsecMarginViolation) {
+  const model::ProblemSpec spec = make_example_spec();
+  SecurityDesign design(spec.flows.size(), spec.network.link_count());
+  // Pick a pair whose shortest route has >= 2T+1 links (cross-subnet), and
+  // select trusted communication with gateways *not* near the endpoints.
+  topology::RouteTable routes(spec.network, spec.route_options);
+  const auto& hosts = spec.network.hosts();
+  model::FlowId chosen = model::kInvalidFlow;
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const model::Flow& flow =
+        spec.flows.flow(static_cast<model::FlowId>(f));
+    const auto& rs = routes.routes(flow.src, flow.dst);
+    if (!rs.empty() && rs.front().length() >= 5) {
+      chosen = static_cast<model::FlowId>(f);
+      break;
+    }
+  }
+  ASSERT_NE(chosen, model::kInvalidFlow);
+  (void)hosts;
+  design.set_pattern(chosen, model::IsolationPattern::kTrustedComm);
+  const CheckReport report = check_design(spec, design, false);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Checker, ThresholdViolationsReported) {
+  model::ProblemSpec spec = make_example_spec();
+  spec.sliders.isolation = util::Fixed::from_int(9);
+  const SecurityDesign design(spec.flows.size(), spec.network.link_count());
+  const CheckReport report = check_design(spec, design, true);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& issue : report.issues)
+    found |= issue.find("isolation") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Checker, ReportRenders) {
+  const model::ProblemSpec spec = make_example_spec();
+  const SecurityDesign design(spec.flows.size(), spec.network.link_count());
+  const CheckReport report = check_design(spec, design, false);
+  EXPECT_NE(report.to_string().find("metrics:"), std::string::npos);
+}
+
+TEST(MinimizePlacements, DropsUnusedDevices) {
+  const model::ProblemSpec spec = make_example_spec();
+  SecurityDesign design(spec.flows.size(), spec.network.link_count());
+  // No flow protected, but devices littered everywhere.
+  for (std::size_t e = 0; e < spec.network.link_count(); ++e)
+    design.set_placed(static_cast<topology::LinkId>(e),
+                      model::DeviceType::kIds, true);
+  const std::size_t removed = minimize_placements(spec, design);
+  EXPECT_EQ(removed, spec.network.link_count());
+  EXPECT_EQ(design.device_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cs::analysis

@@ -1,0 +1,163 @@
+// Tests for the application-level isolation pattern extension (§VII).
+#include <gtest/gtest.h>
+
+#include "analysis/checker.h"
+#include "smt/ir.h"
+#include "spec_helpers.h"
+#include "synth/metrics.h"
+#include "synth/synthesizer.h"
+
+namespace cs::synth {
+namespace {
+
+using smt::BackendKind;
+using smt::CheckResult;
+using util::Fixed;
+
+/// Two hosts exchanging WEB and SSH through one router.
+model::ProblemSpec two_service_spec() {
+  model::ProblemSpec spec;
+  const topology::NodeId h1 = spec.network.add_host("h1");
+  const topology::NodeId h2 = spec.network.add_host("h2");
+  const topology::NodeId r1 = spec.network.add_router("r1");
+  spec.network.add_link(h1, r1);
+  spec.network.add_link(r1, h2);
+  const model::ServiceId web = spec.services.add("WEB", 6, 80);
+  const model::ServiceId ssh = spec.services.add("SSH", 6, 22);
+  spec.flows.add(model::Flow{h1, h2, web});
+  spec.flows.add(model::Flow{h1, h2, ssh});
+  spec.flows.add(model::Flow{h2, h1, web});
+  spec.finalize();
+  return spec;
+}
+
+TEST(AppPatternConfig, DefaultsAndApplicability) {
+  model::ServiceCatalog services;
+  model::add_standard_services(services);
+  const model::AppPatternConfig cfg =
+      model::AppPatternConfig::defaults(services);
+  EXPECT_TRUE(cfg.any());
+  const model::ServiceId web = *services.find("WEB");
+  const model::ServiceId ssh = *services.find("SSH");
+  EXPECT_TRUE(cfg.applicable(model::AppPattern::kWaf, web));
+  EXPECT_FALSE(cfg.applicable(model::AppPattern::kWaf, ssh));
+  EXPECT_TRUE(cfg.applicable(model::AppPattern::kAppHardening, ssh));
+  EXPECT_EQ(cfg.score(model::AppPattern::kWaf), Fixed::from_int(3));
+}
+
+TEST(AppPatternConfig, Validation) {
+  model::AppPatternConfig cfg;
+  EXPECT_FALSE(cfg.any());
+  EXPECT_THROW(cfg.enable(model::AppPattern::kWaf, Fixed{}, Fixed{}),
+               util::SpecError);
+  EXPECT_THROW(cfg.enable(model::AppPattern::kWaf, Fixed::from_int(11),
+                          Fixed{}),
+               util::SpecError);
+}
+
+TEST(AppPatternMetrics, PrecedenceNetworkHostApp) {
+  model::ProblemSpec spec = two_service_spec();
+  spec.host_patterns = model::HostPatternConfig::defaults();
+  spec.app_patterns = model::AppPatternConfig::defaults(spec.services);
+
+  SecurityDesign d(spec.flows.size(), spec.network.link_count(),
+                   spec.network.node_count());
+  const topology::NodeId h2 = spec.network.hosts()[1];
+  const model::ServiceId web = *spec.services.find("WEB");
+  d.set_app_pattern(h2, web, model::AppPattern::kWaf);
+
+  // App pattern alone protects the WEB flow into h2 (score 3).
+  const DesignMetrics app_only = compute_metrics(spec, d);
+  EXPECT_GT(app_only.isolation, Fixed{});
+  EXPECT_EQ(app_only.cost, Fixed::from_int(2));  // WAF $2K
+
+  // With a host pattern deployed too, the host layer takes precedence on
+  // every uncovered flow: the metrics equal a host-only design (the WAF
+  // contributes nothing on top), yet its cost is still paid.
+  SecurityDesign host_only(spec.flows.size(), spec.network.link_count(),
+                           spec.network.node_count());
+  host_only.set_host_pattern(h2, model::HostPattern::kHostFirewall);
+  SecurityDesign both = d;
+  both.set_host_pattern(h2, model::HostPattern::kHostFirewall);
+  const DesignMetrics m_host = compute_metrics(spec, host_only);
+  const DesignMetrics m_both = compute_metrics(spec, both);
+  EXPECT_EQ(m_both.isolation, m_host.isolation);
+  EXPECT_EQ(m_both.cost, m_host.cost + Fixed::from_int(2));
+
+  // A network pattern outranks both layers.
+  SecurityDesign with_net = both;
+  with_net.set_pattern(*spec.flows.find(model::Flow{
+                           spec.network.hosts()[0], h2, web}),
+                       model::IsolationPattern::kAccessDeny);
+  const DesignMetrics net_wins = compute_metrics(spec, with_net);
+  EXPECT_GT(net_wins.isolation, m_both.isolation);
+}
+
+TEST(AppPatternMetrics, InapplicableDeploymentIgnored) {
+  model::ProblemSpec spec = two_service_spec();
+  spec.app_patterns = model::AppPatternConfig::defaults(spec.services);
+  SecurityDesign d(spec.flows.size(), spec.network.link_count(),
+                   spec.network.node_count());
+  const model::ServiceId ssh = *spec.services.find("SSH");
+  // WAF on an SSH endpoint: not applicable, contributes nothing.
+  d.set_app_pattern(spec.network.hosts()[1], ssh, model::AppPattern::kWaf);
+  const DesignMetrics m = compute_metrics(spec, d);
+  EXPECT_EQ(m.isolation, Fixed{});
+  EXPECT_EQ(m.cost, Fixed{});
+  // And the checker flags it.
+  const analysis::CheckReport report =
+      analysis::check_design(spec, d, /*check_thresholds=*/false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues.front().find("inapplicable app pattern"),
+            std::string::npos);
+}
+
+class AppPatternBackendTest : public ::testing::TestWithParam<BackendKind> {
+};
+
+TEST_P(AppPatternBackendTest, SolverUsesEndpointProtection) {
+  // Budget $3K: no network device fits, but WAF($2K)+hardening($0.5K)
+  // endpoints do. Isolation floor 1 forces the solver to use them.
+  model::ProblemSpec spec = two_service_spec();
+  spec.app_patterns = model::AppPatternConfig::defaults(spec.services);
+  spec.sliders = model::Sliders{Fixed::from_int(1), Fixed{},
+                                Fixed::from_int(3)};
+  Synthesizer synth(spec, SynthesisOptions{GetParam()});
+  const SynthesisResult r = synth.synthesize();
+  ASSERT_EQ(r.status, CheckResult::kSat);
+  EXPECT_GT(r.design->app_pattern_count(), 0u);
+  const analysis::CheckReport report =
+      analysis::check_design(spec, *r.design);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Without the extension the floor is unreachable at $3K.
+  model::ProblemSpec plain = two_service_spec();
+  plain.sliders = spec.sliders;
+  Synthesizer synth_plain(plain, SynthesisOptions{GetParam()});
+  EXPECT_EQ(synth_plain.synthesize().status, CheckResult::kUnsat);
+}
+
+TEST_P(AppPatternBackendTest, AllThreeLayersCompose) {
+  model::ProblemSpec spec = cs::testing::make_example_spec();
+  spec.host_patterns = model::HostPatternConfig::defaults();
+  spec.app_patterns = model::AppPatternConfig::defaults(spec.services);
+  spec.sliders = model::Sliders{Fixed::from_int(2), Fixed::from_int(8),
+                                Fixed::from_int(30)};
+  Synthesizer synth(spec, SynthesisOptions{GetParam()});
+  const SynthesisResult r = synth.synthesize();
+  ASSERT_EQ(r.status, CheckResult::kSat);
+  const analysis::CheckReport report =
+      analysis::check_design(spec, *r.design);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, AppPatternBackendTest,
+                         ::testing::Values(BackendKind::kZ3,
+                                           BackendKind::kMiniPb),
+                         [](const auto& info) {
+                           return info.param == BackendKind::kZ3 ? "z3"
+                                                                 : "minipb";
+                         });
+
+}  // namespace
+}  // namespace cs::synth

@@ -1,0 +1,155 @@
+// Cross-backend soundness audit (also registered as a ctest regression).
+//
+// Encodes one spec into both backends, solves with Z3, audits every clause
+// MiniPB learns against Z3 entailment, and replays Z3's full model as
+// assumptions into MiniPB. Exits non-zero on any soundness violation.
+// This caught a real bug: stale `seen_` bits left by conflict-clause
+// minimization corrupted subsequent analyses into learning unsound units.
+#include <cstdio>
+
+#include "model/spec.h"
+#include "smt/ir.h"
+#include "smt/mini_backend.h"
+#include "smt/z3_backend.h"
+#include "synth/encoder.h"
+#include "topology/generator.h"
+#include "util/strings.h"
+
+using namespace cs;
+
+namespace {
+
+model::ProblemSpec example_spec() {
+  model::ProblemSpec spec;
+  spec.network = topology::make_paper_example();
+  const model::ServiceId svc = spec.services.add("svc");
+  const auto& hosts = spec.network.hosts();
+  for (const topology::NodeId i : hosts)
+    for (const topology::NodeId j : hosts)
+      if (i != j) spec.flows.add(model::Flow{i, j, svc});
+  const auto require = [&](int from, int to) {
+    spec.connectivity.add(*spec.flows.find(
+        model::Flow{hosts[static_cast<std::size_t>(from - 1)],
+                    hosts[static_cast<std::size_t>(to - 1)], svc}));
+  };
+  require(1, 5);
+  require(1, 6);
+  require(2, 5);
+  require(3, 7);
+  require(4, 8);
+  require(9, 5);
+  require(10, 6);
+  spec.finalize();
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setbuf(stdout, nullptr);
+  const double iso = argc > 1 ? util::parse_double(argv[1], "iso") : 6;
+  const double usab = argc > 2 ? util::parse_double(argv[2], "usab") : 0;
+  const double cost = argc > 3 ? util::parse_double(argv[3], "cost") : 200;
+
+  const model::ProblemSpec spec = example_spec();
+
+  smt::Z3Backend z3;
+  topology::RouteTable routes_z3(spec.network, spec.route_options);
+  synth::Encoding enc_z3(spec, routes_z3, z3);
+  const smt::Lit gi_z = enc_z3.isolation_guard(util::Fixed::from_double(iso));
+  const smt::Lit gu_z = enc_z3.usability_guard(util::Fixed::from_double(usab));
+  const smt::Lit gc_z = enc_z3.cost_guard(util::Fixed::from_double(cost));
+  const smt::CheckResult rz = z3.check({gi_z, gu_z, gc_z});
+  std::printf("z3: %d (0=sat)\n", static_cast<int>(rz));
+
+  // Fresh MiniPB backend: replay Z3's model BEFORE any solving. If this
+  // rejects, the two backends' constraint stores differ (encoding bug);
+  // if it accepts but a post-solve replay rejects, learning is unsound.
+  {
+    smt::MiniBackend fresh;
+    topology::RouteTable routes_f(spec.network, spec.route_options);
+    synth::Encoding enc_f(spec, routes_f, fresh);
+    (void)enc_f.isolation_guard(util::Fixed::from_double(iso));
+    (void)enc_f.usability_guard(util::Fixed::from_double(usab));
+    (void)enc_f.cost_guard(util::Fixed::from_double(cost));
+    std::vector<smt::Lit> assumptions;
+    for (std::size_t v = 0; v < fresh.num_vars(); ++v) {
+      const auto var = static_cast<smt::BoolVar>(v);
+      assumptions.push_back(z3.model_value(var) ? smt::pos(var)
+                                                : smt::neg(var));
+    }
+    const smt::CheckResult fresh_replay = fresh.check(assumptions);
+    std::printf("fresh replay: %d (0=sat)\n",
+                static_cast<int>(fresh_replay));
+    if (fresh_replay == smt::CheckResult::kUnsat) {
+      std::printf("fresh core size: %zu\n", fresh.unsat_core().size());
+      for (const smt::Lit l : fresh.unsat_core())
+        std::printf("  fresh core var %d neg=%d\n", l.var, l.negated);
+    }
+  }
+
+  smt::MiniBackend mini;
+  // Audit every learned clause against Z3's model: a learned clause
+  // violated by a genuine model is an unsound resolution.
+  long long learnt_count = 0;
+  int bad_reported = 0;
+  mini.solver_for_testing().set_learnt_hook(
+      [&](const std::vector<minisolver::Lit>& clause) {
+        ++learnt_count;
+        if (learnt_count > 200 || bad_reported >= 3) return;
+        // Entailment check: constraints ∧ ¬C satisfiable => C not implied.
+        std::vector<smt::Lit> negated;
+        for (const minisolver::Lit l : clause)
+          negated.push_back(smt::Lit{l.var(), !l.is_neg()});
+        if (z3.check(negated) == smt::CheckResult::kSat) {
+          ++bad_reported;
+          std::printf("UNSOUND learnt #%lld size %zu:", learnt_count,
+                      clause.size());
+          for (const minisolver::Lit l : clause)
+            std::printf(" %s", l.to_string().c_str());
+          std::printf("\n");
+        }
+      });
+  topology::RouteTable routes_m(spec.network, spec.route_options);
+  synth::Encoding enc_m(spec, routes_m, mini);
+  const smt::Lit gi_m = enc_m.isolation_guard(util::Fixed::from_double(iso));
+  const smt::Lit gu_m = enc_m.usability_guard(util::Fixed::from_double(usab));
+  const smt::Lit gc_m = enc_m.cost_guard(util::Fixed::from_double(cost));
+  mini.set_time_limit_ms(60000);
+  const smt::CheckResult rm = mini.check({gi_m, gu_m, gc_m});
+  std::printf("minipb: %d (0=sat)\n", static_cast<int>(rm));
+
+  int failures = bad_reported;
+  if ((rz == smt::CheckResult::kSat && rm == smt::CheckResult::kUnsat) ||
+      (rz == smt::CheckResult::kUnsat && rm == smt::CheckResult::kSat)) {
+    std::printf("VERDICT MISMATCH\n");
+    ++failures;
+  }
+
+  if (rz == smt::CheckResult::kSat && rm != smt::CheckResult::kSat) {
+    // Replay Z3's model into MiniPB. Re-solve first: the entailment hook
+    // above overwrote the cached model.
+    (void)z3.check({gi_z, gu_z, gc_z});
+    std::printf("replaying z3 model into minipb (%zu vars z3, %zu mini)\n",
+                z3.num_vars(), mini.num_vars());
+    std::vector<smt::Lit> assumptions;
+    const std::size_t shared = std::min(z3.num_vars(), mini.num_vars());
+    for (std::size_t v = 0; v < shared; ++v) {
+      const auto var = static_cast<smt::BoolVar>(v);
+      assumptions.push_back(z3.model_value(var) ? smt::pos(var)
+                                                : smt::neg(var));
+    }
+    // Guard literals must be asserted too (same indices by construction).
+    const smt::CheckResult replay = mini.check(assumptions);
+    std::printf("replay: %d (0=sat)\n", static_cast<int>(replay));
+    if (replay == smt::CheckResult::kUnsat) {
+      std::printf("core size: %zu\n", mini.unsat_core().size());
+      for (const smt::Lit l : mini.unsat_core())
+        std::printf("  core var %d neg=%d\n", l.var, l.negated);
+      ++failures;
+    }
+  }
+  std::printf("audit failures: %d (learnt clauses checked: %lld)\n",
+              failures, std::min(learnt_count, 200ll));
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+// Tests for the host-level isolation pattern extension (§VII future work).
+#include <gtest/gtest.h>
+
+#include "analysis/checker.h"
+#include "smt/ir.h"
+#include "spec_helpers.h"
+#include "synth/metrics.h"
+#include "synth/optimizer.h"
+#include "synth/synthesizer.h"
+
+namespace cs::synth {
+namespace {
+
+using cs::testing::make_example_spec;
+using smt::BackendKind;
+using smt::CheckResult;
+using util::Fixed;
+
+TEST(HostPatternConfig, DefaultsAndValidation) {
+  const model::HostPatternConfig cfg = model::HostPatternConfig::defaults();
+  EXPECT_TRUE(cfg.any());
+  EXPECT_TRUE(cfg.is_enabled(model::HostPattern::kHostFirewall));
+  EXPECT_EQ(cfg.score(model::HostPattern::kHostFirewall),
+            Fixed::from_int(2));
+  EXPECT_EQ(cfg.cost(model::HostPattern::kAntivirus),
+            Fixed::from_double(0.5));
+
+  model::HostPatternConfig bad;
+  EXPECT_FALSE(bad.any());
+  EXPECT_THROW(bad.enable(model::HostPattern::kAntivirus, Fixed{},
+                          Fixed::from_int(1)),
+               util::SpecError);
+  EXPECT_THROW(bad.enable(model::HostPattern::kAntivirus,
+                          Fixed::from_int(11), Fixed::from_int(1)),
+               util::SpecError);
+}
+
+TEST(HostPatternMetrics, ContributesOnlyWithoutNetworkPattern) {
+  model::ProblemSpec spec = make_example_spec();
+  spec.host_patterns = model::HostPatternConfig::defaults();
+  SecurityDesign design(spec.flows.size(), spec.network.link_count(),
+                        spec.network.node_count());
+  const topology::NodeId j = spec.network.hosts()[4];
+  design.set_host_pattern(j, model::HostPattern::kHostFirewall);
+
+  const DesignMetrics base = compute_metrics(spec, design);
+  EXPECT_GT(base.isolation, Fixed::from_int(0));  // host fw adds isolation
+  EXPECT_EQ(base.cost, Fixed::from_int(1));       // $1K host firewall
+
+  // Covering the same host's flows with a network pattern removes the
+  // host-level contribution (exclusive semantics) but raises isolation.
+  SecurityDesign covered = design;
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    if (spec.flows.flow(static_cast<model::FlowId>(f)).dst == j)
+      covered.set_pattern(static_cast<model::FlowId>(f),
+                          model::IsolationPattern::kAccessDeny);
+  }
+  const DesignMetrics m = compute_metrics(spec, covered);
+  EXPECT_GT(m.isolation, base.isolation);
+}
+
+TEST(HostPatternMetrics, DisabledConfigIgnoresDeployments) {
+  const model::ProblemSpec spec = make_example_spec();  // extension off
+  SecurityDesign design(spec.flows.size(), spec.network.link_count(),
+                        spec.network.node_count());
+  design.set_host_pattern(spec.network.hosts()[0],
+                          model::HostPattern::kAntivirus);
+  const DesignMetrics m = compute_metrics(spec, design);
+  EXPECT_EQ(m.isolation, Fixed::from_int(0));
+  EXPECT_EQ(m.cost, Fixed::from_int(0));
+}
+
+class HostPatternBackendTest
+    : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(HostPatternBackendTest, CheaperLowIsolationDesigns) {
+  // Host firewalls reach a modest isolation floor without touching
+  // usability: with isolation >= 1.8, usability >= 9.9 and a $10K budget,
+  // covering every host with a $1K host firewall works (I = 2, U = 10),
+  // while the network-only model cannot — denial would sink usability and
+  // the transparent devices (IDS/proxy/IPSec) cost too much for the
+  // coverage the floor needs.
+  model::ProblemSpec spec = make_example_spec();
+  spec.host_patterns = model::HostPatternConfig::defaults();
+  spec.sliders = model::Sliders{Fixed::from_double(1.8),
+                                Fixed::from_double(9.9),
+                                Fixed::from_int(10)};
+  Synthesizer synth(spec, SynthesisOptions{GetParam()});
+  const SynthesisResult r = synth.synthesize();
+  ASSERT_EQ(r.status, CheckResult::kSat);
+  const analysis::CheckReport report =
+      analysis::check_design(spec, *r.design);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(r.design->host_pattern_count(), 0u);
+
+  // Without the extension the same sliders are unsatisfiable.
+  model::ProblemSpec plain = make_example_spec();
+  plain.sliders = spec.sliders;
+  Synthesizer synth_plain(plain, SynthesisOptions{GetParam()});
+  EXPECT_EQ(synth_plain.synthesize().status, CheckResult::kUnsat);
+}
+
+TEST_P(HostPatternBackendTest, ModelsAlwaysPassChecker) {
+  model::ProblemSpec spec = make_example_spec();
+  spec.host_patterns = model::HostPatternConfig::defaults();
+  Synthesizer synth(spec, SynthesisOptions{GetParam()});
+  for (const int iso : {1, 3}) {
+    for (const int budget : {10, 60}) {
+      const SynthesisResult r = synth.synthesize_partial(
+          Fixed::from_int(iso), Fixed::from_int(3),
+          Fixed::from_int(budget));
+      if (r.status == CheckResult::kSat) {
+        model::ProblemSpec scoped = make_example_spec();
+        scoped.host_patterns = model::HostPatternConfig::defaults();
+        scoped.sliders = model::Sliders{Fixed::from_int(iso),
+                                        Fixed::from_int(3),
+                                        Fixed::from_int(budget)};
+        const analysis::CheckReport report =
+            analysis::check_design(scoped, *r.design);
+        EXPECT_TRUE(report.ok())
+            << "iso=" << iso << " budget=" << budget << "\n"
+            << report.to_string();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, HostPatternBackendTest,
+                         ::testing::Values(BackendKind::kZ3,
+                                           BackendKind::kMiniPb),
+                         [](const auto& info) {
+                           return info.param == BackendKind::kZ3 ? "z3"
+                                                                 : "minipb";
+                         });
+
+TEST(HostPattern, WorksTogetherWithRmc) {
+  // An RMC on a host can be met purely with a host-level pattern when the
+  // required level is low.
+  model::ProblemSpec spec = make_example_spec();
+  spec.host_patterns = model::HostPatternConfig::defaults();
+  const topology::NodeId target = spec.network.hosts()[6];
+  spec.host_requirements.push_back(model::HostIsolationRequirement{
+      target, Fixed::from_double(1.2)});
+  spec.sliders = model::Sliders{Fixed{}, Fixed{}, Fixed::from_int(2)};
+  Synthesizer synth(spec, SynthesisOptions{});
+  const SynthesisResult r = synth.synthesize();
+  ASSERT_EQ(r.status, CheckResult::kSat);
+  const analysis::CheckReport report = analysis::check_design(spec, *r.design);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(HostPattern, CheckerFlagsDisabledDeployment) {
+  model::ProblemSpec spec = make_example_spec();
+  model::HostPatternConfig cfg;
+  cfg.enable(model::HostPattern::kHostFirewall, Fixed::from_int(2),
+             Fixed::from_int(1));
+  spec.host_patterns = cfg;  // antivirus NOT enabled
+  SecurityDesign design(spec.flows.size(), spec.network.link_count(),
+                        spec.network.node_count());
+  design.set_host_pattern(spec.network.hosts()[0],
+                          model::HostPattern::kAntivirus);
+  const analysis::CheckReport report =
+      analysis::check_design(spec, design, /*check_thresholds=*/false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues.front().find("disabled host pattern"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs::synth

@@ -1,0 +1,177 @@
+// End-to-end integration scenarios exercising the full public API surface
+// the way the examples do: spec building, synthesis, optimization, unsat
+// explanation, serialization, reporting — on one realistic multi-service
+// problem per test.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/checker.h"
+#include "analysis/report.h"
+#include "model/input_file.h"
+#include "spec_helpers.h"
+#include "synth/assistance.h"
+#include "synth/baseline.h"
+#include "synth/optimizer.h"
+#include "synth/synthesizer.h"
+#include "synth/unsat_analysis.h"
+#include "topology/graphviz.h"
+
+namespace cs {
+namespace {
+
+using synth::SynthesisOptions;
+using synth::SynthesisResult;
+using util::Fixed;
+
+/// A miniature campus: 8 host groups, 6 routers, three services with
+/// demand ranks, UIC policies, one RMC, host patterns enabled.
+model::ProblemSpec make_campus() {
+  util::Rng rng(404);
+  model::ProblemSpec spec;
+  topology::GeneratorConfig cfg;
+  cfg.hosts = 8;
+  cfg.routers = 6;
+  cfg.include_internet = true;
+  spec.network = topology::generate_topology(cfg, rng);
+
+  const model::ServiceId web = spec.services.add("WEB", 6, 80);
+  const model::ServiceId ssh = spec.services.add("SSH", 6, 22);
+  const model::ServiceId db = spec.services.add("DB", 6, 3306);
+
+  const auto& hosts = spec.network.hosts();
+  const topology::NodeId server = hosts[7];
+  for (const topology::NodeId h : hosts) {
+    if (h == server) continue;
+    spec.flows.add(model::Flow{h, server, web});
+    if (!spec.network.node(h).is_internet) {
+      spec.flows.add(model::Flow{h, server, db});
+      if (h != hosts[0]) spec.flows.add(model::Flow{hosts[0], h, ssh});
+    }
+  }
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    if (spec.flows.flow(static_cast<model::FlowId>(f)).service == web)
+      spec.connectivity.add(static_cast<model::FlowId>(f));
+  }
+
+  std::vector<model::OrderConstraint> demand{
+      {static_cast<std::size_t>(web), static_cast<std::size_t>(ssh),
+       model::OrderRelation::kGreater},
+      {static_cast<std::size_t>(ssh), static_cast<std::size_t>(db),
+       model::OrderRelation::kGreaterEqual}};
+  spec.ranks = model::FlowRanks::from_service_order(
+      spec.flows, spec.services.size(), demand);
+
+  spec.user_constraints.push_back(model::ForbidPatternForService{
+      ssh, model::IsolationPattern::kTrustedComm});
+  spec.host_requirements.push_back(
+      model::HostIsolationRequirement{server, Fixed::from_int(2)});
+  spec.host_patterns = model::HostPatternConfig::defaults();
+
+  spec.sliders = model::Sliders{Fixed::from_int(2), Fixed::from_int(4),
+                                Fixed::from_int(80)};
+  spec.finalize();
+  spec.validate();
+  return spec;
+}
+
+TEST(Integration, CampusSynthesisEndToEnd) {
+  const model::ProblemSpec spec = make_campus();
+  synth::Synthesizer synth(spec, SynthesisOptions{});
+  const SynthesisResult result = synth.synthesize();
+  ASSERT_EQ(result.status, smt::CheckResult::kSat);
+
+  const analysis::CheckReport report =
+      analysis::check_design(spec, *result.design);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Reports render without throwing and mention the verdict.
+  const std::string rendered = analysis::render_report(spec, result);
+  EXPECT_NE(rendered.find("SAT"), std::string::npos);
+  EXPECT_FALSE(result.design->to_string(spec).empty());
+
+  // DOT export covers placements.
+  const std::string dot =
+      topology::to_dot(spec.network, result.design->link_labels());
+  EXPECT_NE(dot.find("graph network"), std::string::npos);
+}
+
+TEST(Integration, CampusPlacementMinimizationKeepsThresholds) {
+  const model::ProblemSpec spec = make_campus();
+  synth::Synthesizer synth(spec, SynthesisOptions{});
+  SynthesisResult result = synth.synthesize();
+  ASSERT_EQ(result.status, smt::CheckResult::kSat);
+  synth::SecurityDesign design = *result.design;
+  const std::size_t removed = analysis::minimize_placements(spec, design);
+  (void)removed;
+  const analysis::CheckReport report = analysis::check_design(spec, design,
+                                                              false);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // Minimization never raises cost.
+  EXPECT_LE(report.metrics.cost,
+            synth::compute_metrics(spec, *result.design).cost);
+}
+
+TEST(Integration, CampusOptimizerAndBaselineOrdering) {
+  const model::ProblemSpec spec = make_campus();
+  SynthesisOptions opts;
+  opts.check_time_limit_ms = 8000;
+  synth::Synthesizer synth(spec, opts);
+  const synth::OptimizeResult best = synth::maximize_isolation(
+      synth, spec, spec.sliders.usability, spec.sliders.budget);
+  ASSERT_TRUE(best.feasible);
+  const synth::BaselineResult greedy = synth::greedy_baseline(spec);
+  if (best.exact) {
+    EXPECT_LE(greedy.metrics.isolation.raw(),
+              best.metrics.isolation.raw() + 50);
+  }
+  // Both produce structurally valid designs.
+  EXPECT_TRUE(analysis::check_design(spec, *best.design, false).ok());
+  EXPECT_TRUE(analysis::check_design(spec, greedy.design, false).ok());
+}
+
+TEST(Integration, CampusUnsatAnalysisExplainsOvertightSliders) {
+  model::ProblemSpec spec = make_campus();
+  spec.sliders = model::Sliders{Fixed::from_int(9), Fixed::from_int(9),
+                                Fixed::from_int(3)};
+  SynthesisOptions opts;
+  opts.check_time_limit_ms = 8000;
+  synth::Synthesizer synth(spec, opts);
+  const synth::UnsatReport report = synth::analyze_unsat(synth, spec);
+  ASSERT_TRUE(report.was_unsat);
+  EXPECT_FALSE(report.core.empty());
+  EXPECT_NE(report.to_string().find("relax"), std::string::npos);
+}
+
+TEST(Integration, AssistanceMatchesMetricsOnCampus) {
+  const model::ProblemSpec spec = make_campus();
+  const auto rows = synth::slider_assistance(spec);
+  ASSERT_GE(rows.size(), 3u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    // The ladder of configurations trades isolation against usability:
+    // rows are not dominated in both dimensions simultaneously.
+    EXPECT_FALSE(rows[i].isolation > rows[0].isolation &&
+                 rows[i].usability > rows[0].usability);
+  }
+}
+
+TEST(Integration, SingleServiceRoundTripSynthesesAgree) {
+  // Serialize the paper example, parse it back, and check both specs
+  // synthesize to the same verdict with identical metrics bounds.
+  const model::ProblemSpec original = cs::testing::make_example_spec();
+  const std::string text = model::serialize_input(original);
+  std::istringstream in(text);
+  const model::ProblemSpec parsed = model::parse_input(in);
+
+  synth::Synthesizer s1(original, SynthesisOptions{});
+  synth::Synthesizer s2(parsed, SynthesisOptions{});
+  const SynthesisResult r1 = s1.synthesize();
+  const SynthesisResult r2 = s2.synthesize();
+  ASSERT_EQ(r1.status, r2.status);
+  if (r1.status == smt::CheckResult::kSat) {
+    EXPECT_TRUE(analysis::check_design(parsed, *r2.design).ok());
+  }
+}
+
+}  // namespace
+}  // namespace cs

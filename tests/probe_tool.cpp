@@ -1,0 +1,55 @@
+// Diagnostic driver: times individual threshold probes on the example spec.
+// Not a gtest; invoked manually while tuning solver encodings.
+//
+// Usage: probe_tool <backend> <iso> <usab> <cost> [<iso> <usab> <cost>]...
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/spec.h"
+#include "smt/ir.h"
+#include "synth/synthesizer.h"
+#include "topology/generator.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace cs;
+  std::setbuf(stdout, nullptr);  // survive timeout kills
+  if (argc < 5 || (argc - 2) % 3 != 0) {
+    std::fprintf(stderr, "usage: %s <backend> (<iso> <usab> <cost>)+\n",
+                 argv[0]);
+    return 2;
+  }
+  model::ProblemSpec spec;
+  spec.network = topology::make_paper_example();
+  const model::ServiceId svc = spec.services.add("svc");
+  for (const topology::NodeId i : spec.network.hosts())
+    for (const topology::NodeId j : spec.network.hosts())
+      if (i != j) spec.flows.add(model::Flow{i, j, svc});
+  for (std::size_t f = 0; f < spec.flows.size(); f += 10)
+    spec.connectivity.add(static_cast<model::FlowId>(f));
+  spec.finalize();
+
+  synth::Synthesizer synth(
+      spec, synth::SynthesisOptions{smt::backend_from_name(argv[1])});
+  std::printf("encode: %.3fs\n", synth.encode_seconds());
+  for (int i = 2; i + 2 < argc + 1 && i + 2 <= argc; i += 3) {
+    const auto iso = util::Fixed::from_double(
+        util::parse_double(argv[i], "iso"));
+    const auto usab = util::Fixed::from_double(
+        util::parse_double(argv[i + 1], "usab"));
+    const auto cost = util::Fixed::from_double(
+        util::parse_double(argv[i + 2], "cost"));
+    util::Stopwatch watch;
+    const synth::SynthesisResult r =
+        synth.synthesize(model::Sliders{iso, usab, cost});
+    std::printf("iso=%s usab=%s cost=%s -> %s in %.3fs\n",
+                iso.to_string().c_str(), usab.to_string().c_str(),
+                cost.to_string().c_str(),
+                r.status == smt::CheckResult::kSat     ? "SAT"
+                : r.status == smt::CheckResult::kUnsat ? "UNSAT"
+                                                       : "UNKNOWN",
+                watch.elapsed_seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Property tests tying the SMT encoding to the metric semantics.
+//
+// For a random spec whose flows are all *pinned* to concrete patterns, the
+// network isolation and usability are fully determined; the encoder must
+// then accept thresholds just below the computed metrics and reject
+// thresholds just above them. This exercises every coefficient path
+// (rounding, group sizes, ladder increments) end to end against
+// compute_metrics.
+#include <gtest/gtest.h>
+
+#include "analysis/checker.h"
+#include "smt/ir.h"
+#include "spec_helpers.h"
+#include "synth/metrics.h"
+#include "synth/synthesizer.h"
+#include "util/rng.h"
+
+namespace cs::synth {
+namespace {
+
+using smt::CheckResult;
+using util::Fixed;
+
+class PinnedDesignProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PinnedDesignProperty, ThresholdsMatchMetricsExactly) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 48611 + 5);
+  model::ProblemSpec spec = cs::testing::make_random_spec(
+      rng.next(), /*hosts=*/static_cast<int>(rng.uniform(4, 7)),
+      /*routers=*/static_cast<int>(rng.uniform(3, 6)),
+      /*cr_fraction=*/0.15);
+
+  // Pin every flow to a pattern that needs no tunnel-length feasibility:
+  // none / deny (non-CR only) / payload inspection / proxy.
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const auto id = static_cast<model::FlowId>(f);
+    const long long pick = rng.uniform(0, 3);
+    std::optional<model::IsolationPattern> pattern;
+    if (pick == 1 && !spec.connectivity.required(id))
+      pattern = model::IsolationPattern::kAccessDeny;
+    else if (pick == 2)
+      pattern = model::IsolationPattern::kPayloadInspection;
+    else if (pick == 3)
+      pattern = model::IsolationPattern::kProxy;
+    if (pattern.has_value()) {
+      spec.user_constraints.push_back(
+          model::RequirePatternForFlow{spec.flows.flow(id), *pattern});
+    } else {
+      for (const model::IsolationPattern k : spec.isolation.enabled())
+        spec.user_constraints.push_back(
+            model::ForbidPatternForFlow{spec.flows.flow(id), k});
+    }
+  }
+
+  Synthesizer synth(spec, SynthesisOptions{});
+  const Fixed big_budget = Fixed::from_int(100000);
+  const SynthesisResult base =
+      synth.synthesize_partial(std::nullopt, std::nullopt, big_budget);
+  ASSERT_EQ(base.status, CheckResult::kSat);
+  const DesignMetrics m = compute_metrics(spec, *base.design);
+
+  const Fixed eps = Fixed::from_raw(5);
+  // Just-below thresholds must be satisfiable.
+  EXPECT_EQ(synth
+                .synthesize_partial(m.isolation - eps, m.usability - eps,
+                                    big_budget)
+                .status,
+            CheckResult::kSat);
+  // Just-above thresholds must not (the pinned flows fix both metrics).
+  if (m.isolation < model::kSliderMax) {
+    EXPECT_EQ(synth
+                  .synthesize_partial(m.isolation + eps, std::nullopt,
+                                      big_budget)
+                  .status,
+              CheckResult::kUnsat);
+  }
+  if (m.usability < model::kSliderMax) {
+    EXPECT_EQ(synth
+                  .synthesize_partial(std::nullopt, m.usability + eps,
+                                      big_budget)
+                  .status,
+              CheckResult::kUnsat);
+  }
+  // And the decoded design passes the checker structurally.
+  EXPECT_TRUE(
+      analysis::check_design(spec, *base.design, /*check_thresholds=*/false)
+          .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PinnedDesignProperty,
+                         ::testing::Range(0, 12));
+
+class PinnedHostPatternProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PinnedHostPatternProperty, HostLayerMetricsAgree) {
+  // Same idea with the host-pattern layer in play: pin all network
+  // patterns off and force host patterns via tiny budgets, then check the
+  // threshold boundary around the computed isolation.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7717 + 23);
+  model::ProblemSpec spec = cs::testing::make_random_spec(
+      rng.next(), 5, 4, /*cr_fraction=*/0.0);
+  spec.host_patterns = model::HostPatternConfig::defaults();
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    for (const model::IsolationPattern k : spec.isolation.enabled())
+      spec.user_constraints.push_back(model::ForbidPatternForFlow{
+          spec.flows.flow(static_cast<model::FlowId>(f)), k});
+  }
+
+  Synthesizer synth(spec, SynthesisOptions{});
+  // Force at least some host-level isolation.
+  const SynthesisResult r = synth.synthesize_partial(
+      Fixed::from_double(0.5), std::nullopt, Fixed::from_int(100));
+  ASSERT_EQ(r.status, CheckResult::kSat);
+  const DesignMetrics m = compute_metrics(spec, *r.design);
+  EXPECT_GE(m.isolation, Fixed::from_double(0.5));
+  EXPECT_GT(r.design->host_pattern_count(), 0u);
+  EXPECT_TRUE(analysis::check_design(spec, *r.design, false).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PinnedHostPatternProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace cs::synth

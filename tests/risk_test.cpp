@@ -1,0 +1,144 @@
+// Tests for risk-based per-host isolation requirements (RMC).
+#include <gtest/gtest.h>
+
+#include "analysis/checker.h"
+#include "smt/ir.h"
+#include "spec_helpers.h"
+#include "synth/metrics.h"
+#include "synth/synthesizer.h"
+
+namespace cs::synth {
+namespace {
+
+using cs::testing::make_example_spec;
+using smt::BackendKind;
+using smt::CheckResult;
+using util::Fixed;
+
+class RmcBackendTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(RmcBackendTest, RequirementForcesProtection) {
+  model::ProblemSpec spec = make_example_spec();
+  const topology::NodeId target = spec.network.hosts()[7];  // h8
+  spec.host_requirements.push_back(
+      model::HostIsolationRequirement{target, Fixed::from_int(6)});
+  spec.sliders = model::Sliders{Fixed{}, Fixed{}, Fixed::from_int(150)};
+  Synthesizer synth(spec, SynthesisOptions{GetParam()});
+  const SynthesisResult r = synth.synthesize();
+  ASSERT_EQ(r.status, CheckResult::kSat);
+  const analysis::CheckReport report = analysis::check_design(spec, *r.design);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // Position 7 in hosts() is the target.
+  EXPECT_GE(report.metrics.host_isolation[7], Fixed::from_int(6));
+  // The requirement forces actual protection: some flow touching h8 is
+  // protected, hence devices exist.
+  EXPECT_GT(r.design->device_count(), 0u);
+}
+
+TEST_P(RmcBackendTest, ImpossibleRequirementIsUnsat) {
+  model::ProblemSpec spec = make_example_spec();
+  // h5 receives connectivity-required flows, which cannot be denied; with
+  // a zero budget no device-based isolation exists either, so requiring
+  // full isolation of h5 conflicts.
+  const topology::NodeId target = spec.network.hosts()[4];
+  spec.host_requirements.push_back(
+      model::HostIsolationRequirement{target, Fixed::from_int(10)});
+  spec.sliders = model::Sliders{Fixed{}, Fixed{}, Fixed{}};
+  Synthesizer synth(spec, SynthesisOptions{GetParam()});
+  EXPECT_EQ(synth.synthesize().status, CheckResult::kUnsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, RmcBackendTest,
+                         ::testing::Values(BackendKind::kZ3,
+                                           BackendKind::kMiniPb),
+                         [](const auto& info) {
+                           return info.param == BackendKind::kZ3 ? "z3"
+                                                                 : "minipb";
+                         });
+
+TEST(Rmc, AlphaWeightChangesFeasibility) {
+  // Asymmetric scenario: only OUTGOING flows from the target host can be
+  // protected (incoming flows are pinned open by UIC). With α close to 1
+  // (incoming dominates) a high requirement is infeasible; with α close
+  // to 0 (outgoing dominates) it becomes feasible.
+  const auto build = [](double alpha) {
+    model::ProblemSpec spec = make_example_spec();
+    spec.alpha = Fixed::from_double(alpha);
+    const topology::NodeId target = spec.network.hosts()[9];  // h10
+    for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+      const model::Flow& flow =
+          spec.flows.flow(static_cast<model::FlowId>(f));
+      if (flow.dst == target) {
+        // Pin incoming flows to "payload inspection" (low score 2.5).
+        spec.user_constraints.push_back(model::RequirePatternForFlow{
+            flow, model::IsolationPattern::kPayloadInspection});
+      }
+    }
+    spec.host_requirements.push_back(
+        model::HostIsolationRequirement{target, Fixed::from_int(7)});
+    spec.sliders = model::Sliders{Fixed{}, Fixed{}, Fixed::from_int(400)};
+    return spec;
+  };
+
+  model::ProblemSpec incoming_heavy = build(0.9);
+  Synthesizer s1(incoming_heavy, SynthesisOptions{});
+  EXPECT_EQ(s1.synthesize().status, CheckResult::kUnsat);
+
+  model::ProblemSpec outgoing_heavy = build(0.1);
+  Synthesizer s2(outgoing_heavy, SynthesisOptions{});
+  const SynthesisResult r = s2.synthesize();
+  ASSERT_EQ(r.status, CheckResult::kSat);
+  EXPECT_TRUE(analysis::check_design(outgoing_heavy, *r.design).ok());
+}
+
+TEST(Rmc, ValidationRejectsBadRequirements) {
+  model::ProblemSpec spec = make_example_spec();
+  spec.host_requirements.push_back(model::HostIsolationRequirement{
+      spec.network.routers().front(), Fixed::from_int(5)});
+  EXPECT_THROW(spec.validate(), util::SpecError);
+
+  spec.host_requirements.clear();
+  spec.host_requirements.push_back(model::HostIsolationRequirement{
+      spec.network.hosts().front(), Fixed::from_int(11)});
+  EXPECT_THROW(spec.validate(), util::SpecError);
+}
+
+TEST(Rmc, CheckerFlagsViolations) {
+  model::ProblemSpec spec = make_example_spec();
+  spec.host_requirements.push_back(model::HostIsolationRequirement{
+      spec.network.hosts()[2], Fixed::from_int(8)});
+  const SecurityDesign open(spec.flows.size(), spec.network.link_count());
+  const analysis::CheckReport report =
+      analysis::check_design(spec, open, /*check_thresholds=*/false);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& issue : report.issues)
+    found |= issue.find("below required") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Rmc, MetricsHostIsolationAlphaDirection) {
+  // Denying only INCOMING flows of a host should raise its isolation more
+  // than denying only OUTGOING ones when α > 0.5.
+  model::ProblemSpec spec = make_example_spec();
+  spec.alpha = Fixed::from_double(0.8);
+  const topology::NodeId j = spec.network.hosts()[5];
+
+  SecurityDesign deny_in(spec.flows.size(), spec.network.link_count());
+  SecurityDesign deny_out(spec.flows.size(), spec.network.link_count());
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const model::Flow& flow = spec.flows.flow(static_cast<model::FlowId>(f));
+    if (flow.dst == j)
+      deny_in.set_pattern(static_cast<model::FlowId>(f),
+                          model::IsolationPattern::kAccessDeny);
+    if (flow.src == j)
+      deny_out.set_pattern(static_cast<model::FlowId>(f),
+                           model::IsolationPattern::kAccessDeny);
+  }
+  const DesignMetrics in_m = compute_metrics(spec, deny_in);
+  const DesignMetrics out_m = compute_metrics(spec, deny_out);
+  EXPECT_GT(in_m.host_isolation[5], out_m.host_isolation[5]);
+}
+
+}  // namespace
+}  // namespace cs::synth

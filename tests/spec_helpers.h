@@ -1,0 +1,67 @@
+// Shared ProblemSpec builders for the test suites.
+#pragma once
+
+#include "model/spec.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace cs::testing {
+
+/// The paper's running example: the Fig. 2(a) network, one service, flows
+/// between every host pair, a handful of connectivity requirements, and
+/// mid-scale sliders (isolation 3, usability 4, budget $60K).
+inline model::ProblemSpec make_example_spec() {
+  model::ProblemSpec spec;
+  spec.network = topology::make_paper_example();
+  const model::ServiceId svc = spec.services.add("svc");
+  const auto& hosts = spec.network.hosts();
+  for (const topology::NodeId i : hosts)
+    for (const topology::NodeId j : hosts)
+      if (i != j) spec.flows.add(model::Flow{i, j, svc});
+
+  // Connectivity requirements: the user subnets must reach the servers.
+  const auto require = [&](int from, int to) {
+    spec.connectivity.add(*spec.flows.find(
+        model::Flow{hosts[static_cast<std::size_t>(from - 1)],
+                    hosts[static_cast<std::size_t>(to - 1)], svc}));
+  };
+  require(1, 5);
+  require(1, 6);
+  require(2, 5);
+  require(3, 7);
+  require(4, 8);
+  require(9, 5);
+  require(10, 6);
+
+  spec.sliders = model::Sliders{util::Fixed::from_int(3),
+                                util::Fixed::from_int(4),
+                                util::Fixed::from_int(60)};
+  spec.finalize();
+  return spec;
+}
+
+/// Randomly generated spec following the paper's evaluation methodology.
+inline model::ProblemSpec make_random_spec(std::uint64_t seed, int hosts,
+                                           int routers,
+                                           double cr_fraction = 0.1,
+                                           int services = 3) {
+  util::Rng rng(seed);
+  model::ProblemSpec spec;
+  topology::GeneratorConfig net_cfg;
+  net_cfg.hosts = hosts;
+  net_cfg.routers = routers;
+  spec.network = topology::generate_topology(net_cfg, rng);
+
+  model::WorkloadConfig wl;
+  wl.service_count = services;
+  wl.max_services_per_pair = std::min(3, services);
+  wl.cr_fraction = cr_fraction;
+  model::populate_random_workload(spec, wl, rng);
+
+  spec.sliders = model::Sliders{util::Fixed::from_int(3),
+                                util::Fixed::from_int(3),
+                                util::Fixed::from_int(100)};
+  return spec;
+}
+
+}  // namespace cs::testing

@@ -1,0 +1,245 @@
+// Unit and property tests for the topology substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/generator.h"
+#include "topology/graphviz.h"
+#include "topology/network.h"
+#include "topology/routes.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cs::topology {
+namespace {
+
+Network tiny_network() {
+  // h1 - r1 - r2 - h2 with a parallel core path r1 - r3 - r2.
+  Network net;
+  const NodeId h1 = net.add_host("h1");
+  const NodeId h2 = net.add_host("h2");
+  const NodeId r1 = net.add_router("r1");
+  const NodeId r2 = net.add_router("r2");
+  const NodeId r3 = net.add_router("r3");
+  net.add_link(h1, r1);
+  net.add_link(r1, r2);
+  net.add_link(r2, h2);
+  net.add_link(r1, r3);
+  net.add_link(r3, r2);
+  return net;
+}
+
+TEST(Network, BasicConstruction) {
+  const Network net = tiny_network();
+  EXPECT_EQ(net.host_count(), 2u);
+  EXPECT_EQ(net.router_count(), 3u);
+  EXPECT_EQ(net.link_count(), 5u);
+  EXPECT_TRUE(net.connected());
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(Network, RejectsSelfLoopAndParallel) {
+  Network net;
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  net.add_link(a, b);
+  EXPECT_THROW(net.add_link(a, a), util::SpecError);
+  EXPECT_THROW(net.add_link(b, a), util::SpecError);
+}
+
+TEST(Network, LinkOther) {
+  Network net;
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  const LinkId l = net.add_link(a, b);
+  EXPECT_EQ(net.link(l).other(a), b);
+  EXPECT_EQ(net.link(l).other(b), a);
+}
+
+TEST(Network, FindLink) {
+  const Network net = tiny_network();
+  EXPECT_TRUE(net.find_link(0, 2).has_value());  // h1-r1
+  EXPECT_FALSE(net.find_link(0, 1).has_value());
+}
+
+TEST(Network, DisconnectedFailsValidate) {
+  Network net;
+  net.add_host("a");
+  net.add_host("b");
+  EXPECT_FALSE(net.connected());
+  EXPECT_THROW(net.validate(), util::SpecError);
+}
+
+TEST(Network, InternetFlag) {
+  Network net;
+  const NodeId i = net.add_internet();
+  EXPECT_TRUE(net.node(i).is_internet);
+  EXPECT_TRUE(net.is_host(i));
+}
+
+TEST(Routes, ShortestRouteFound) {
+  const Network net = tiny_network();
+  const Route r = shortest_route(net, 0, 1);
+  ASSERT_EQ(r.length(), 3u);  // h1-r1-r2-h2
+  EXPECT_EQ(r.nodes.front(), 0);
+  EXPECT_EQ(r.nodes.back(), 1);
+}
+
+TEST(Routes, KShortestFindsBothCorePaths) {
+  const Network net = tiny_network();
+  RouteOptions opts;
+  opts.max_routes = 8;
+  const auto routes = k_shortest_routes(net, 0, 1, opts);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0].length(), 3u);
+  EXPECT_EQ(routes[1].length(), 4u);  // via r3
+}
+
+TEST(Routes, AllSimpleMatchesKShortestOnSmallNets) {
+  const Network net = tiny_network();
+  RouteOptions opts;
+  opts.max_routes = RouteOptions::kAllRoutes;
+  const auto all = all_simple_routes(net, 0, 1, opts);
+  const auto kshort = k_shortest_routes(net, 0, 1, opts);
+  EXPECT_EQ(all.size(), kshort.size());
+}
+
+TEST(Routes, RoutesNeverTransitHosts) {
+  util::Rng rng(11);
+  GeneratorConfig cfg;
+  cfg.hosts = 8;
+  cfg.routers = 6;
+  const Network net = generate_topology(cfg, rng);
+  RouteOptions opts;
+  opts.max_routes = 6;
+  for (const NodeId a : net.hosts()) {
+    for (const NodeId b : net.hosts()) {
+      if (a == b) continue;
+      for (const Route& r : k_shortest_routes(net, a, b, opts)) {
+        for (std::size_t i = 1; i + 1 < r.nodes.size(); ++i)
+          EXPECT_TRUE(net.is_router(r.nodes[i]));
+      }
+    }
+  }
+}
+
+TEST(Routes, RoutesAreSimpleAndConsistent) {
+  util::Rng rng(13);
+  GeneratorConfig cfg;
+  cfg.hosts = 6;
+  cfg.routers = 8;
+  cfg.extra_core_link_ratio = 1.0;
+  const Network net = generate_topology(cfg, rng);
+  RouteOptions opts;
+  opts.max_routes = 10;
+  for (const NodeId a : net.hosts()) {
+    for (const NodeId b : net.hosts()) {
+      if (a >= b) continue;
+      for (const Route& r : k_shortest_routes(net, a, b, opts)) {
+        // Links consistent with node sequence.
+        ASSERT_EQ(r.links.size() + 1, r.nodes.size());
+        for (std::size_t i = 0; i < r.links.size(); ++i) {
+          const Link& l = net.link(r.links[i]);
+          EXPECT_TRUE((l.a == r.nodes[i] && l.b == r.nodes[i + 1]) ||
+                      (l.b == r.nodes[i] && l.a == r.nodes[i + 1]));
+        }
+        // No repeated nodes.
+        std::set<NodeId> unique(r.nodes.begin(), r.nodes.end());
+        EXPECT_EQ(unique.size(), r.nodes.size());
+      }
+    }
+  }
+}
+
+TEST(Routes, KShortestSortedByLength) {
+  util::Rng rng(17);
+  GeneratorConfig cfg;
+  cfg.hosts = 5;
+  cfg.routers = 7;
+  cfg.extra_core_link_ratio = 1.5;
+  const Network net = generate_topology(cfg, rng);
+  RouteOptions opts;
+  opts.max_routes = 6;
+  const auto& hosts = net.hosts();
+  const auto routes = k_shortest_routes(net, hosts[0], hosts[1], opts);
+  for (std::size_t i = 1; i < routes.size(); ++i)
+    EXPECT_LE(routes[i - 1].length(), routes[i].length());
+}
+
+TEST(Routes, MaxHopsHonored) {
+  const Network net = tiny_network();
+  RouteOptions opts;
+  opts.max_routes = 8;
+  opts.max_hops = 3;
+  const auto routes = k_shortest_routes(net, 0, 1, opts);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_LE(routes[0].length(), 3u);
+}
+
+TEST(Routes, ReversedRoute) {
+  const Network net = tiny_network();
+  const Route r = shortest_route(net, 0, 1);
+  const Route rev = r.reversed();
+  EXPECT_EQ(rev.nodes.front(), 1);
+  EXPECT_EQ(rev.nodes.back(), 0);
+  EXPECT_EQ(rev.links.size(), r.links.size());
+}
+
+TEST(RouteTable, CachesAndMirrors) {
+  const Network net = tiny_network();
+  RouteTable table(net, RouteOptions{});
+  const auto& fwd = table.routes(0, 1);
+  const auto& rev = table.routes(1, 0);
+  ASSERT_EQ(fwd.size(), rev.size());
+  for (std::size_t i = 0; i < fwd.size(); ++i)
+    EXPECT_EQ(fwd[i].reversed(), rev[i]);
+  EXPECT_EQ(table.pairs_computed(), 1u);
+}
+
+TEST(Generator, ProducesValidNetworks) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    GeneratorConfig cfg;
+    cfg.hosts = static_cast<int>(rng.uniform(2, 30));
+    cfg.routers = static_cast<int>(rng.uniform(1, 15));
+    const Network net = generate_topology(cfg, rng);
+    EXPECT_EQ(net.host_count(), static_cast<std::size_t>(cfg.hosts));
+    EXPECT_EQ(net.router_count(), static_cast<std::size_t>(cfg.routers));
+    EXPECT_TRUE(net.connected());
+  }
+}
+
+TEST(Generator, InternetIncluded) {
+  util::Rng rng(5);
+  GeneratorConfig cfg;
+  cfg.include_internet = true;
+  const Network net = generate_topology(cfg, rng);
+  bool found = false;
+  for (const NodeId h : net.hosts()) found |= net.node(h).is_internet;
+  EXPECT_TRUE(found);
+}
+
+TEST(Generator, PaperExampleShape) {
+  const Network net = make_paper_example();
+  EXPECT_EQ(net.host_count(), 10u);
+  EXPECT_EQ(net.router_count(), 8u);
+  EXPECT_TRUE(net.connected());
+  // The ring gives at least two routes between user and server subnets.
+  RouteOptions opts;
+  opts.max_routes = 4;
+  const auto routes =
+      k_shortest_routes(net, net.hosts()[0], net.hosts()[4], opts);
+  EXPECT_GE(routes.size(), 2u);
+}
+
+TEST(Graphviz, EmitsNodesAndLabels) {
+  const Network net = tiny_network();
+  const std::string plain = to_dot(net);
+  EXPECT_NE(plain.find("graph network"), std::string::npos);
+  EXPECT_NE(plain.find("h1"), std::string::npos);
+  const std::string labeled = to_dot(net, {{0, "FW"}});
+  EXPECT_NE(labeled.find("FW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs::topology
