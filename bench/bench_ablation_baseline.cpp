@@ -25,7 +25,7 @@ int main() {
 
     synth::Synthesizer synthesizer(
         spec, bench::options());
-    const synth::OptimizeResult best = synth::maximize_isolation(
+    const synth::BoundSearchResult best = synth::maximize_isolation(
         synthesizer, spec, spec.sliders.usability, spec.sliders.budget);
 
     rows.push_back(

@@ -20,10 +20,10 @@ int min_feasible_budget(const cs::model::ProblemSpec& base,
   synth::Synthesizer synth(base, bench::options());
   synth::MinCostOptions opts;
   opts.max_budget = util::Fixed::from_int(max_k);
-  const synth::MinCostResult r = synth::minimize_cost(
+  const synth::BoundSearchResult r = synth::minimize_cost(
       synth, base, isolation, util::Fixed{}, opts);
   if (!r.feasible) return -1;
-  return static_cast<int>(r.min_budget.to_double() + 0.5);
+  return static_cast<int>(r.bound.to_double() + 0.5);
 }
 
 }  // namespace

@@ -6,11 +6,15 @@
 // rises; connectivity requirements cap isolation even at usability 0; the
 // higher budget curve dominates the lower one and the gap narrows at high
 // usability values.
+//
+// The grid runs on the sweep engine: `--jobs N` (or CS_BENCH_JOBS) solves
+// the points on N workers with output byte-identical to the serial run —
+// each point is an independent fresh-synthesizer bound search.
 #include "common/workloads.h"
-#include "synth/optimizer.h"
+#include "synth/sweep.h"
 #include "topology/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs;
   model::ProblemSpec spec;
   spec.network = topology::make_paper_example();
@@ -23,20 +27,26 @@ int main() {
     spec.connectivity.add(static_cast<model::FlowId>(f));
   spec.finalize();
 
-  const util::Fixed budgets[] = {util::Fixed::from_int(10),
-                                 util::Fixed::from_int(20)};
+  const std::vector<util::Fixed> budgets = {util::Fixed::from_int(10),
+                                            util::Fixed::from_int(20)};
   const int step = bench::full_mode() ? 1 : 2;
+  std::vector<util::Fixed> floors;
+  for (int u = 0; u <= 10; u += step)
+    floors.push_back(util::Fixed::from_int(u));
 
+  synth::SweepRequest request =
+      synth::SweepRequest::max_isolation_grid(floors, budgets);
+  request.synthesis = bench::sweep_options();
+  request.jobs = bench::jobs(argc, argv);
+  const synth::SweepResult sweep = synth::SweepEngine(spec).run(request);
+
+  // Floor-major, budget-minor grid order: one row per floor.
   std::vector<std::vector<std::string>> rows;
-  for (int u = 0; u <= 10; u += step) {
-    std::vector<std::string> row{std::to_string(u)};
-    for (const util::Fixed budget : budgets) {
-      // Fresh synthesizer per point: the binary search accumulates guard
-      // constraints, and carrying them across the whole sweep slows every
-      // later probe.
-      synth::Synthesizer synthesizer(spec, bench::options());
-      const synth::OptimizeResult best = synth::maximize_isolation(
-          synthesizer, spec, util::Fixed::from_int(u), budget);
+  for (std::size_t i = 0; i < sweep.points.size(); i += budgets.size()) {
+    std::vector<std::string> row{
+        sweep.points[i].point.usability.to_string()};
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      const synth::BoundSearchResult& best = sweep.points[i + b].search;
       row.push_back(best.feasible ? best.metrics.isolation.to_string() +
                                         (best.exact ? "" : " (>=)")
                     : best.exact ? "infeasible"
@@ -47,5 +57,7 @@ int main() {
   bench::emit("fig3a_isolation_vs_usability",
               "Fig 3(a): max isolation vs usability constraint",
               {"usability", "isolation@$10K", "isolation@$20K"}, rows);
+  std::printf("(%d worker(s), %.3fs wall, %d probes)\n", sweep.jobs,
+              sweep.wall_seconds, sweep.total_probes);
   return 0;
 }

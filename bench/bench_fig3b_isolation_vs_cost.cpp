@@ -5,11 +5,14 @@
 // usability floor dominates, and beyond a certain budget the curves
 // plateau — extra money cannot buy isolation that the usability constraint
 // forbids.
+//
+// The grid runs on the sweep engine: `--jobs N` (or CS_BENCH_JOBS) solves
+// the points on N workers with output byte-identical to the serial run.
 #include "common/workloads.h"
-#include "synth/optimizer.h"
+#include "synth/sweep.h"
 #include "topology/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs;
   model::ProblemSpec spec;
   spec.network = topology::make_paper_example();
@@ -22,17 +25,32 @@ int main() {
     spec.connectivity.add(static_cast<model::FlowId>(f));
   spec.finalize();
 
-  const util::Fixed usabilities[] = {util::Fixed::from_int(5),
-                                     util::Fixed::from_int(7)};
+  const std::vector<util::Fixed> usabilities = {util::Fixed::from_int(5),
+                                                util::Fixed::from_int(7)};
   const int step = bench::full_mode() ? 5 : 10;
 
-  std::vector<std::vector<std::string>> rows;
+  // Budget-major grid (one row per budget, one point per usability floor).
+  synth::SweepRequest request;
+  request.synthesis = bench::sweep_options();
+  request.jobs = bench::jobs(argc, argv);
   for (int c = 0; c <= 60; c += step) {
-    std::vector<std::string> row{std::to_string(c)};
     for (const util::Fixed usab : usabilities) {
-      synth::Synthesizer synthesizer(spec, bench::options());
-      const synth::OptimizeResult best = synth::maximize_isolation(
-          synthesizer, spec, usab, util::Fixed::from_int(c));
+      synth::SweepPoint p;
+      p.objective = synth::SweepObjective::kMaxIsolation;
+      p.usability = usab;
+      p.budget = util::Fixed::from_int(c);
+      request.points.push_back(p);
+    }
+  }
+  const synth::SweepResult sweep = synth::SweepEngine(spec).run(request);
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < sweep.points.size();
+       i += usabilities.size()) {
+    std::vector<std::string> row{
+        sweep.points[i].point.budget.to_string()};
+    for (std::size_t u = 0; u < usabilities.size(); ++u) {
+      const synth::BoundSearchResult& best = sweep.points[i + u].search;
       row.push_back(best.feasible ? best.metrics.isolation.to_string() +
                                         (best.exact ? "" : " (>=)")
                     : best.exact ? "infeasible"
@@ -43,5 +61,7 @@ int main() {
   bench::emit("fig3b_isolation_vs_cost",
               "Fig 3(b): max isolation vs deployment cost constraint",
               {"budget($K)", "isolation@U5", "isolation@U7"}, rows);
+  std::printf("(%d worker(s), %.3fs wall, %d probes)\n", sweep.jobs,
+              sweep.wall_seconds, sweep.total_probes);
   return 0;
 }

@@ -5,37 +5,53 @@
 // the solution space, so time rises — slowly at first, then sharply past a
 // knee; the tighter usability curve (5) sits above the looser one (3)
 // where both are still satisfiable.
+//
+// The grid runs on the sweep engine (fresh synthesizer per point — the
+// paper measures cold solves). `--jobs N` parallelizes the points; note
+// that concurrent workers contend for cores, so keep the default serial
+// run when the per-point times themselves are the result.
 #include "common/workloads.h"
-#include "synth/synthesizer.h"
+#include "synth/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs;
   const int hosts = bench::full_mode() ? 30 : 10;
   const int routers = std::clamp(8 + hosts / 5, 8, 20);
   const model::ProblemSpec spec =
       bench::make_eval_spec(hosts, routers, 0.10, 4242);
-  const util::Fixed usabilities[] = {util::Fixed::from_int(3),
-                                     util::Fixed::from_int(5)};
+  const std::vector<util::Fixed> usabilities = {util::Fixed::from_int(3),
+                                                util::Fixed::from_int(5)};
   const util::Fixed budget = util::Fixed::from_int(10 * hosts);
   const int iso_max = bench::full_mode() ? 7 : 6;
 
-  std::vector<std::vector<std::string>> rows;
-  for (int iso = 0; iso <= iso_max; ++iso) {
-    std::vector<std::string> row{std::to_string(iso)};
-    for (const util::Fixed usab : usabilities) {
-      // Fresh synthesizer per point: the paper measures cold solves.
-      util::Stopwatch watch;
-      synth::Synthesizer synthesizer(
-          spec, bench::options());
-      const synth::SynthesisResult r = synthesizer.synthesize(
+  std::vector<model::Sliders> grid;
+  for (int iso = 0; iso <= iso_max; ++iso)
+    for (const util::Fixed usab : usabilities)
+      grid.push_back(
           model::Sliders{util::Fixed::from_int(iso), usab, budget});
-      row.push_back(bench::fmt_seconds(watch.elapsed_seconds()) +
-                    (r.status == smt::CheckResult::kSat ? "" : " (unsat)"));
+
+  synth::SweepRequest request = synth::SweepRequest::feasibility_grid(grid);
+  request.synthesis = bench::options();
+  request.jobs = bench::jobs(argc, argv);
+  const synth::SweepResult sweep = synth::SweepEngine(spec).run(request);
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < sweep.points.size();
+       i += usabilities.size()) {
+    std::vector<std::string> row{
+        sweep.points[i].point.isolation.to_string()};
+    for (std::size_t u = 0; u < usabilities.size(); ++u) {
+      const synth::SweepPointResult& p = sweep.points[i + u];
+      row.push_back(bench::fmt_seconds(p.wall_seconds) +
+                    (p.status == smt::CheckResult::kSat ? "" : " (unsat)"));
     }
     rows.push_back(std::move(row));
   }
   bench::emit("fig5a_time_vs_isolation",
               "Fig 5(a): synthesis time vs isolation constraint",
               {"isolation", "time(s)@U3", "time(s)@U5"}, rows);
+  std::printf("(%d worker(s), %.3fs wall, peak solver %.1f MB)\n",
+              sweep.jobs, sweep.wall_seconds,
+              static_cast<double>(sweep.peak_solver_memory_bytes) / 1e6);
   return 0;
 }

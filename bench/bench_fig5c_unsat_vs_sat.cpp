@@ -27,15 +27,14 @@ int main() {
 
     // Locate the feasibility boundary (not timed).
     synth::Synthesizer scout(spec, bench::options());
-    const synth::OptimizeResult max =
+    const synth::BoundSearchResult max =
         synth::maximize_isolation(scout, spec, usability, budget);
     if (!max.feasible) continue;
-    const util::Fixed sat_iso =
-        max.max_threshold - util::Fixed::from_double(0.5);
+    const util::Fixed sat_iso = max.bound - util::Fixed::from_double(0.5);
 
     const bench::TimedRun sat = bench::run_synthesis(
         spec, model::Sliders{sat_iso, usability, budget});
-    // When the boundary scout was capped, max_threshold is only a lower
+    // When the boundary scout was capped, the bound is only a lower
     // bound — step upward until the probe stops being satisfiable.
     util::Fixed unsat_iso =
         max.metrics.isolation + util::Fixed::from_double(0.25);

@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "topology/generator.h"
 #include "util/rng.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace cs::bench {
@@ -25,6 +27,25 @@ synth::SynthesisOptions options() {
   opts.backend = backend();
   opts.check_time_limit_ms = full_mode() ? 120000 : 10000;
   return opts;
+}
+
+synth::SynthesisOptions sweep_options() {
+  synth::SynthesisOptions opts;
+  opts.backend = backend();
+  const std::int64_t quick =
+      opts.backend == smt::BackendKind::kZ3 ? 50'000'000 : 100'000;
+  opts.check_conflict_limit = full_mode() ? 12 * quick : quick;
+  return opts;
+}
+
+int jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string_view(argv[i]) == "--jobs")
+      return static_cast<int>(util::parse_int(argv[i + 1], "--jobs"));
+  const char* v = std::getenv("CS_BENCH_JOBS");
+  if (v != nullptr)
+    return static_cast<int>(util::parse_int(v, "CS_BENCH_JOBS"));
+  return 1;
 }
 
 model::ProblemSpec make_eval_spec(int hosts, int routers,

@@ -36,6 +36,24 @@ smt::BackendKind backend();
 /// are reported as such in the tables.
 synth::SynthesisOptions options();
 
+/// Options for verdict-reporting sweep benches (the Fig. 3 grids): the
+/// selected backend plus a deterministic per-check effort cap
+/// (SynthesisOptions::check_conflict_limit) instead of the wall-clock cap.
+/// Wall caps expire under machine load, so a capped bound would depend on
+/// how busy the box is and on the --jobs value; the effort cap is a pure
+/// function of the formula, keeping the emitted tables byte-identical at
+/// any worker count. Units are backend-specific (Z3 resource units /
+/// MiniPB conflicts), sized to roughly match options()'s wall caps.
+synth::SynthesisOptions sweep_options();
+
+/// Sweep worker count for benches that run their grid on the sweep engine
+/// (synth/sweep.h): `--jobs N` on the command line, else CS_BENCH_JOBS,
+/// else 1 — benches default to serial so reported times stay comparable
+/// to the paper's single-threaded measurements. `--jobs 0` means one
+/// worker per hardware thread. Results are byte-identical across jobs
+/// values (fresh synthesizer per point).
+int jobs(int argc, char** argv);
+
 /// Builds an evaluation spec: generated topology + random workload.
 /// Sliders are left at zero; callers set them per experiment.
 model::ProblemSpec make_eval_spec(int hosts, int routers,

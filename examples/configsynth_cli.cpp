@@ -14,6 +14,9 @@
 // Common flags (after the subcommand arguments):
 //   --backend z3|minipb   solver backend (default z3)
 //   --time-limit <ms>     per-check cap (default 20000)
+//   --jobs <N>            sweep workers for `frontier` (default: one per
+//                         hardware thread; 1 = serial; results are
+//                         identical either way)
 //   --out <file>          where `synth` writes the design (default
 //                         design.txt)
 #include <fstream>
@@ -39,6 +42,8 @@ using namespace cs;
 struct CliOptions {
   synth::SynthesisOptions synthesis;
   std::string out_path = "design.txt";
+  /// Sweep workers for grid subcommands; 0 = one per hardware thread.
+  int jobs = 0;
 };
 
 CliOptions parse_flags(int argc, char** argv, int first_flag) {
@@ -55,6 +60,9 @@ CliOptions parse_flags(int argc, char** argv, int first_flag) {
     } else if (flag == "--time-limit") {
       opts.synthesis.check_time_limit_ms =
           util::parse_int(next(), "time limit");
+    } else if (flag == "--jobs") {
+      opts.jobs = static_cast<int>(util::parse_int(next(), "jobs"));
+      CS_REQUIRE(opts.jobs >= 0, "--jobs must be >= 0");
     } else if (flag == "--out") {
       opts.out_path = next();
     } else {
@@ -88,7 +96,7 @@ int cmd_synth(const model::ProblemSpec& spec, const CliOptions& opts) {
 
 int cmd_optimize(const model::ProblemSpec& spec, const CliOptions& opts) {
   synth::Synthesizer synthesizer(spec, opts.synthesis);
-  const synth::OptimizeResult best = synth::maximize_isolation(
+  const synth::BoundSearchResult best = synth::maximize_isolation(
       synthesizer, spec, spec.sliders.usability, spec.sliders.budget);
   if (!best.feasible) {
     std::cout << "infeasible: usability/budget constraints conflict with "
@@ -106,14 +114,14 @@ int cmd_optimize(const model::ProblemSpec& spec, const CliOptions& opts) {
 
 int cmd_mincost(const model::ProblemSpec& spec, const CliOptions& opts) {
   synth::Synthesizer synthesizer(spec, opts.synthesis);
-  const synth::MinCostResult r = synth::minimize_cost(
+  const synth::BoundSearchResult r = synth::minimize_cost(
       synthesizer, spec, spec.sliders.isolation, spec.sliders.usability);
   if (!r.feasible) {
     std::cout << "infeasible: the isolation/usability floors cannot be met "
                  "at any budget\n";
     return 1;
   }
-  std::cout << "cheapest deployment: $" << r.min_budget << "K"
+  std::cout << "cheapest deployment: $" << r.bound << "K"
             << (r.exact ? "" : " (upper bound, probes capped)")
             << " — isolation " << r.metrics.isolation << ", usability "
             << r.metrics.usability << ", " << r.design->device_count()
@@ -123,11 +131,10 @@ int cmd_mincost(const model::ProblemSpec& spec, const CliOptions& opts) {
 }
 
 int cmd_frontier(const model::ProblemSpec& spec, const CliOptions& opts) {
-  synth::Synthesizer synthesizer(spec, opts.synthesis);
-  const auto points = synth::explore_frontier(
-      synthesizer, spec,
-      synth::FrontierOptions::fig3_defaults(
-          spec.sliders.budget / 2, spec.sliders.budget));
+  synth::FrontierOptions fopts = synth::FrontierOptions::fig3_defaults(
+      spec.sliders.budget / 2, spec.sliders.budget);
+  fopts.jobs = opts.jobs;  // 0 = one worker per hardware thread
+  const auto points = synth::explore_frontier(spec, opts.synthesis, fopts);
   std::cout << synth::render_frontier(points);
   return 0;
 }

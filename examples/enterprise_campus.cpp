@@ -137,12 +137,12 @@ int main(int argc, char** argv) {
                      analysis::compute_exposure(spec, *result.design))
               << "\n";
 
-    const synth::OptimizeResult best = synth::maximize_isolation(
+    const synth::BoundSearchResult best = synth::maximize_isolation(
         synthesizer, spec, spec.sliders.usability, spec.sliders.budget);
     std::cout << "max isolation under usability>="
               << spec.sliders.usability << ", budget<=" << spec.sliders.budget
               << ": " << best.metrics.isolation << " (threshold "
-              << best.max_threshold << ", " << best.probes << " probes, "
+              << best.bound << ", " << best.probes << " probes, "
               << best.solve_seconds << "s)\n";
     std::cout << "optimal design: usability=" << best.metrics.usability
               << " cost=" << best.metrics.cost << " devices="

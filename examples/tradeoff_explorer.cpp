@@ -4,8 +4,13 @@
 // interactive version of the paper's Fig. 3(a) analysis, runnable on any
 // generated network.
 //
-// Usage: tradeoff_explorer [z3|minipb] [hosts] [routers] [seed]
+// Usage: tradeoff_explorer [z3|minipb] [hosts] [routers] [seed] [--jobs N]
+//
+// The sweep runs on one worker per hardware thread by default; --jobs 1
+// forces a serial run (the results are identical either way).
 #include <iostream>
+#include <string_view>
+#include <vector>
 
 #include "model/spec.h"
 #include "synth/frontier.h"
@@ -16,16 +21,32 @@
 int main(int argc, char** argv) {
   using namespace cs;
   try {
+    // Split off the --jobs flag, keep the positional arguments.
+    int jobs = 0;  // 0 = one worker per hardware thread
+    std::vector<std::string_view> args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--jobs" && i + 1 < argc) {
+        jobs = static_cast<int>(util::parse_int(argv[++i], "--jobs"));
+      } else {
+        args.push_back(argv[i]);
+      }
+    }
+
     synth::SynthesisOptions options;
     options.check_time_limit_ms = 20000;  // boundary probes are hard
-    if (argc > 1) options.backend = smt::backend_from_name(argv[1]);
+    if (args.size() > 0)
+      options.backend = smt::backend_from_name(std::string(args[0]));
     const int hosts =
-        argc > 2 ? static_cast<int>(util::parse_int(argv[2], "hosts")) : 10;
+        args.size() > 1
+            ? static_cast<int>(util::parse_int(args[1], "hosts"))
+            : 10;
     const int routers =
-        argc > 3 ? static_cast<int>(util::parse_int(argv[3], "routers")) : 8;
+        args.size() > 2
+            ? static_cast<int>(util::parse_int(args[2], "routers"))
+            : 8;
     const std::uint64_t seed =
-        argc > 4
-            ? static_cast<std::uint64_t>(util::parse_int(argv[4], "seed"))
+        args.size() > 3
+            ? static_cast<std::uint64_t>(util::parse_int(args[3], "seed"))
             : 7;
 
     util::Rng rng(seed);
@@ -43,9 +64,10 @@ int main(int argc, char** argv) {
               << " routers, " << spec.flows.size() << " flows ("
               << spec.connectivity.size() << " required)\n\n";
 
-    const synth::FrontierOptions fopts =
+    synth::FrontierOptions fopts =
         synth::FrontierOptions::fig3_defaults(util::Fixed::from_int(60),
                                               util::Fixed::from_int(150));
+    fopts.jobs = jobs;
     const auto points = synth::explore_frontier(spec, options, fopts);
     std::cout << synth::render_frontier(points);
     std::cout << "\nReading: isolation falls as the usability floor rises; "

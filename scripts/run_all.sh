@@ -9,6 +9,19 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Parallel-safety audit: the sweep-engine/thread-pool tests under
+# ThreadSanitizer on the MiniPB backend. Z3 is an uninstrumented system
+# library, so only the from-scratch backend gives TSan full visibility;
+# the filter selects the pool tests plus every MiniPB-backed sweep test.
+# Skip with CS_SKIP_TSAN=1.
+if [ "${CS_SKIP_TSAN:-0}" != "1" ]; then
+  cmake -B build-tsan -G Ninja -DCONFIGSYNTH_SANITIZE=thread
+  cmake --build build-tsan --target sweep_test
+  ./build-tsan/tests/sweep_test \
+    --gtest_filter='ThreadPool*:SweepEngineMiniPb*:*minipb*' \
+    2>&1 | tee tsan_output.txt
+fi
+
 for b in build/bench/bench_*; do
   echo "### $b"
   "$b"

@@ -86,6 +86,15 @@ class Backend {
   /// drivers that sweep thresholds set this.
   virtual void set_time_limit_ms(std::int64_t ms) = 0;
 
+  /// Caps each subsequent check's search effort in deterministic,
+  /// backend-specific units (CDCL conflicts for MiniPB, resource units for
+  /// Z3); 0 = unlimited. A capped check returns kUnknown — but unlike the
+  /// wall-clock cap, expiry does not depend on machine load or thread
+  /// scheduling: the same formula under the same limit always yields the
+  /// same verdict. Parallel sweeps that must reproduce their serial results
+  /// bit-for-bit cap probes this way (synth/sweep.h).
+  virtual void set_conflict_limit(std::int64_t limit) = 0;
+
   /// Model value of a variable after kSat.
   virtual bool model_value(BoolVar v) const = 0;
 

@@ -31,6 +31,9 @@ class MiniBackend final : public Backend {
   void set_time_limit_ms(std::int64_t ms) override {
     solver_.set_time_limit_ms(ms);
   }
+  void set_conflict_limit(std::int64_t limit) override {
+    solver_.set_conflict_limit(limit);
+  }
   bool model_value(BoolVar v) const override;
   std::vector<Lit> unsat_core() const override;
   std::size_t memory_bytes() const override {

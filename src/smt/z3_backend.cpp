@@ -159,9 +159,12 @@ void Z3Backend::assert_expr(const z3::expr& e) {
 void Z3Backend::rebuild_solver() {
   solver_ = z3::solver(ctx_, "QF_FD");
   for (const z3::expr& e : asserted_) solver_.add(e);
-  if (time_limit_ms_ > 0) {
+  if (time_limit_ms_ > 0 || conflict_limit_ > 0) {
     z3::params p(ctx_);
-    p.set("timeout", static_cast<unsigned>(time_limit_ms_));
+    if (time_limit_ms_ > 0)
+      p.set("timeout", static_cast<unsigned>(time_limit_ms_));
+    if (conflict_limit_ > 0)
+      p.set("rlimit", static_cast<unsigned>(conflict_limit_));
     solver_.set(p);
   }
   needs_rebuild_ = false;
@@ -171,6 +174,16 @@ void Z3Backend::set_time_limit_ms(std::int64_t ms) {
   time_limit_ms_ = ms;
   z3::params p(ctx_);
   p.set("timeout", ms <= 0 ? 4294967295u : static_cast<unsigned>(ms));
+  solver_.set(p);
+}
+
+void Z3Backend::set_conflict_limit(std::int64_t limit) {
+  // Z3's deterministic effort counter is the resource limit ("rlimit",
+  // per-check); a check that exhausts it answers unknown, after which the
+  // QF_FD core needs the same rebuild as after a timeout.
+  conflict_limit_ = limit;
+  z3::params p(ctx_);
+  p.set("rlimit", limit <= 0 ? 0u : static_cast<unsigned>(limit));
   solver_.set(p);
 }
 

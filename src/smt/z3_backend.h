@@ -36,6 +36,7 @@ class Z3Backend final : public Backend {
 
   CheckResult check(const std::vector<Lit>& assumptions) override;
   void set_time_limit_ms(std::int64_t ms) override;
+  void set_conflict_limit(std::int64_t limit) override;
   bool model_value(BoolVar v) const override;
   std::vector<Lit> unsat_core() const override;
   std::size_t memory_bytes() const override;
@@ -65,6 +66,7 @@ class Z3Backend final : public Backend {
   std::vector<char> model_;
   std::vector<Lit> core_;
   std::int64_t time_limit_ms_ = 0;
+  std::int64_t conflict_limit_ = 0;
   bool needs_rebuild_ = false;
 };
 

@@ -3,10 +3,48 @@
 #include <map>
 #include <sstream>
 
+#include "synth/sweep.h"
 #include "util/error.h"
 #include "util/table.h"
 
 namespace cs::synth {
+
+namespace {
+
+FrontierPoint to_frontier_point(util::Fixed floor, util::Fixed budget,
+                                const BoundSearchResult& best) {
+  FrontierPoint p;
+  p.usability_floor = floor;
+  p.budget = budget;
+  p.feasible = best.feasible;
+  p.exact = best.exact;
+  if (best.feasible) {
+    p.max_isolation = best.metrics.isolation;
+    p.metrics = best.metrics;
+    p.devices = best.design->device_count();
+  }
+  return p;
+}
+
+/// Incremental mode: the whole grid against one synthesizer, guard
+/// constraints accumulating across points.
+std::vector<FrontierPoint> explore_incremental(
+    const model::ProblemSpec& spec, const SynthesisOptions& synth_options,
+    const FrontierOptions& options) {
+  Synthesizer synth(spec, synth_options);
+  std::vector<FrontierPoint> points;
+  points.reserve(options.usability_floors.size() * options.budgets.size());
+  for (const util::Fixed floor : options.usability_floors) {
+    for (const util::Fixed budget : options.budgets) {
+      const BoundSearchResult best = maximize_isolation(
+          synth, spec, floor, budget, options.optimize);
+      points.push_back(to_frontier_point(floor, budget, best));
+    }
+  }
+  return points;
+}
+
+}  // namespace
 
 FrontierOptions FrontierOptions::fig3_defaults(util::Fixed low_budget,
                                                util::Fixed high_budget) {
@@ -17,36 +55,6 @@ FrontierOptions FrontierOptions::fig3_defaults(util::Fixed low_budget,
   return opts;
 }
 
-std::vector<FrontierPoint> explore_frontier(Synthesizer& synth,
-                                            const model::ProblemSpec& spec,
-                                            const FrontierOptions& options) {
-  CS_REQUIRE(!options.usability_floors.empty(),
-             "frontier needs at least one usability floor");
-  CS_REQUIRE(!options.budgets.empty(),
-             "frontier needs at least one budget");
-
-  std::vector<FrontierPoint> points;
-  points.reserve(options.usability_floors.size() * options.budgets.size());
-  for (const util::Fixed floor : options.usability_floors) {
-    for (const util::Fixed budget : options.budgets) {
-      const OptimizeResult best = maximize_isolation(
-          synth, spec, floor, budget, options.optimize);
-      FrontierPoint p;
-      p.usability_floor = floor;
-      p.budget = budget;
-      p.feasible = best.feasible;
-      p.exact = best.exact;
-      if (best.feasible) {
-        p.max_isolation = best.metrics.isolation;
-        p.metrics = best.metrics;
-        p.devices = best.design->device_count();
-      }
-      points.push_back(std::move(p));
-    }
-  }
-  return points;
-}
-
 std::vector<FrontierPoint> explore_frontier(
     const model::ProblemSpec& spec, const SynthesisOptions& synth_options,
     const FrontierOptions& options) {
@@ -54,18 +62,25 @@ std::vector<FrontierPoint> explore_frontier(
              "frontier needs at least one usability floor");
   CS_REQUIRE(!options.budgets.empty(),
              "frontier needs at least one budget");
+  CS_REQUIRE(!(options.reuse_synthesizer && options.jobs != 1),
+             "reuse_synthesizer is serial-only; it conflicts with jobs");
+
+  if (options.reuse_synthesizer)
+    return explore_incremental(spec, synth_options, options);
+
+  SweepRequest request = SweepRequest::max_isolation_grid(
+      options.usability_floors, options.budgets);
+  request.synthesis = synth_options;
+  request.optimize = options.optimize;
+  request.jobs = options.jobs;
+  request.deadline_ms = options.deadline_ms;
+
+  const SweepResult sweep = SweepEngine(spec).run(request);
   std::vector<FrontierPoint> points;
-  for (const util::Fixed floor : options.usability_floors) {
-    for (const util::Fixed budget : options.budgets) {
-      Synthesizer synth(spec, synth_options);
-      FrontierOptions one;
-      one.usability_floors = {floor};
-      one.budgets = {budget};
-      one.optimize = options.optimize;
-      const auto sub = explore_frontier(synth, spec, one);
-      points.push_back(sub.front());
-    }
-  }
+  points.reserve(sweep.points.size());
+  for (const SweepPointResult& p : sweep.points)
+    points.push_back(
+        to_frontier_point(p.point.usability, p.point.budget, p.search));
   return points;
 }
 

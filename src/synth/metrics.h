@@ -27,6 +27,8 @@ struct DesignMetrics {
   /// and outgoing traffic, normalized to 0..10; indexed by position in
   /// network.hosts().
   std::vector<util::Fixed> host_isolation;
+
+  bool operator==(const DesignMetrics&) const = default;
 };
 
 DesignMetrics compute_metrics(const model::ProblemSpec& spec,

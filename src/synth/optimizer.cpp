@@ -6,15 +6,16 @@
 
 namespace cs::synth {
 
-OptimizeResult maximize_isolation(Synthesizer& synth,
-                                  const model::ProblemSpec& spec,
-                                  util::Fixed usability, util::Fixed budget,
-                                  const OptimizeOptions& options) {
+BoundSearchResult maximize_isolation(Synthesizer& synth,
+                                     const model::ProblemSpec& spec,
+                                     util::Fixed usability, util::Fixed budget,
+                                     const OptimizeOptions& options) {
   CS_REQUIRE(options.resolution > util::Fixed{}, "resolution must be > 0");
   const std::int64_t res = options.resolution.raw();
   const std::int64_t top = model::kSliderMax.raw() / res;  // grid steps
 
-  OptimizeResult out;
+  BoundSearchResult out;
+  out.objective = ThresholdKind::kIsolation;
 
   const auto probe = [&](std::int64_t step) {
     ++out.probes;
@@ -51,20 +52,21 @@ OptimizeResult maximize_isolation(Synthesizer& synth,
       hi = mid - 1;
     }
   }
-  out.max_threshold = util::Fixed::from_raw(lo * res);
+  out.bound = util::Fixed::from_raw(lo * res);
   return out;
 }
 
-MinCostResult minimize_cost(Synthesizer& synth,
-                            const model::ProblemSpec& spec,
-                            util::Fixed isolation, util::Fixed usability,
-                            const MinCostOptions& options) {
+BoundSearchResult minimize_cost(Synthesizer& synth,
+                                const model::ProblemSpec& spec,
+                                util::Fixed isolation, util::Fixed usability,
+                                const MinCostOptions& options) {
   CS_REQUIRE(options.resolution > util::Fixed{}, "resolution must be > 0");
   CS_REQUIRE(options.max_budget >= util::Fixed{}, "negative max budget");
   const std::int64_t res = options.resolution.raw();
   const std::int64_t top = options.max_budget.raw() / res;
 
-  MinCostResult out;
+  BoundSearchResult out;
+  out.objective = ThresholdKind::kCost;
   const auto probe = [&](std::int64_t step) {
     ++out.probes;
     SynthesisResult r = synth.synthesize_partial(
@@ -98,7 +100,7 @@ MinCostResult minimize_cost(Synthesizer& synth,
       lo = mid + 1;
     }
   }
-  out.min_budget = util::Fixed::from_raw(hi * res);
+  out.bound = util::Fixed::from_raw(hi * res);
   return out;
 }
 

@@ -1,11 +1,12 @@
-// Max-isolation optimization (used by the paper's Fig. 3 experiments).
+// Threshold-bound search (used by the paper's Fig. 3 experiments).
 //
 // The core solver answers feasibility for a slider triple; "maximum
-// possible isolation under a usability and budget constraint" is obtained
-// by binary search over the isolation threshold, accelerated by jumping to
-// the isolation actually achieved by each SAT model (often far above the
-// probed threshold). All probes run against one incremental Synthesizer,
-// so the backend keeps its learnt state across the search.
+// possible isolation under a usability and budget constraint" (and its
+// dual, "cheapest deployment meeting the floors") is obtained by binary
+// search over one threshold, accelerated by jumping to the value actually
+// achieved by each SAT model (often far beyond the probed threshold). All
+// probes of one search run against one incremental Synthesizer, so the
+// backend keeps its learnt state across the search.
 #pragma once
 
 #include <optional>
@@ -20,42 +21,6 @@ struct OptimizeOptions {
   util::Fixed resolution = util::Fixed::from_raw(50);  // 0.05
 };
 
-struct OptimizeResult {
-  /// False when even isolation ≥ 0 is unsatisfiable (thresholds conflict).
-  bool feasible = false;
-  /// True when every probe returned SAT/UNSAT; false when a time-capped
-  /// probe returned unknown, making max_threshold a certified lower bound
-  /// rather than the exact maximum.
-  bool exact = true;
-  /// Largest isolation threshold proven satisfiable (grid-aligned).
-  util::Fixed max_threshold;
-  /// Metrics of the best design found (metrics.isolation ≥ max_threshold).
-  DesignMetrics metrics;
-  std::optional<SecurityDesign> design;
-  int probes = 0;
-  double solve_seconds = 0;
-};
-
-/// Maximizes network isolation subject to usability ≥ `usability` and
-/// cost ≤ `budget`.
-OptimizeResult maximize_isolation(Synthesizer& synth,
-                                  const model::ProblemSpec& spec,
-                                  util::Fixed usability, util::Fixed budget,
-                                  const OptimizeOptions& options = {});
-
-struct MinCostResult {
-  /// False when the isolation/usability floors are infeasible at any cost.
-  bool feasible = false;
-  /// False when a capped probe made min_budget an upper bound only.
-  bool exact = true;
-  /// Smallest budget (grid-aligned) proven satisfiable.
-  util::Fixed min_budget;
-  DesignMetrics metrics;
-  std::optional<SecurityDesign> design;
-  int probes = 0;
-  double solve_seconds = 0;
-};
-
 struct MinCostOptions {
   /// Budget search grid in the cost unit ($K).
   util::Fixed resolution = util::Fixed::from_int(1);
@@ -63,13 +28,52 @@ struct MinCostOptions {
   util::Fixed max_budget = util::Fixed::from_int(1000);
 };
 
+/// Outcome of a one-dimensional threshold search. Both directions —
+/// maximizing isolation and minimizing cost — share this shape; `objective`
+/// names the searched threshold and fixes the reading of `bound`.
+struct BoundSearchResult {
+  /// Which threshold was searched: kIsolation (maximized) or kCost
+  /// (minimized).
+  ThresholdKind objective = ThresholdKind::kIsolation;
+  /// False when even the loosest probe is unsatisfiable (the fixed
+  /// thresholds conflict with the hard requirements).
+  bool feasible = false;
+  /// True when every probe returned SAT/UNSAT; false when a time-capped
+  /// probe returned unknown, making `bound` a certified one-sided bound
+  /// (lower for kIsolation, upper for kCost) rather than the exact optimum.
+  bool exact = true;
+  /// The grid-aligned optimum proven satisfiable: largest isolation
+  /// threshold for kIsolation, smallest budget for kCost.
+  util::Fixed bound;
+  /// Metrics of the witnessing design (they meet `bound`).
+  DesignMetrics metrics;
+  std::optional<SecurityDesign> design;
+  int probes = 0;
+  double solve_seconds = 0;
+};
+
+/// Deprecated pre-SweepEngine names, kept for one release.
+using OptimizeResult [[deprecated("use BoundSearchResult")]] =
+    BoundSearchResult;
+using MinCostResult [[deprecated("use BoundSearchResult")]] =
+    BoundSearchResult;
+
+/// Maximizes network isolation subject to usability ≥ `usability` and
+/// cost ≤ `budget`. Returns objective = kIsolation; `bound` is the largest
+/// isolation threshold proven satisfiable.
+BoundSearchResult maximize_isolation(Synthesizer& synth,
+                                     const model::ProblemSpec& spec,
+                                     util::Fixed usability, util::Fixed budget,
+                                     const OptimizeOptions& options = {});
+
 /// Finds the cheapest deployment meeting isolation ≥ `isolation` and
 /// usability ≥ `usability` — the "cost-effective" side of the paper's
 /// objective. Uses the same incremental probing as maximize_isolation,
-/// jumping down to each SAT model's actual cost.
-MinCostResult minimize_cost(Synthesizer& synth,
-                            const model::ProblemSpec& spec,
-                            util::Fixed isolation, util::Fixed usability,
-                            const MinCostOptions& options = {});
+/// jumping down to each SAT model's actual cost. Returns objective = kCost;
+/// `bound` is the smallest budget proven satisfiable.
+BoundSearchResult minimize_cost(Synthesizer& synth,
+                                const model::ProblemSpec& spec,
+                                util::Fixed isolation, util::Fixed usability,
+                                const MinCostOptions& options = {});
 
 }  // namespace cs::synth

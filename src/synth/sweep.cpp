@@ -1,0 +1,179 @@
+#include "synth/sweep.h"
+
+#include <algorithm>
+#include <future>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cs::synth {
+
+namespace {
+
+/// Solves one grid point on a Synthesizer owned by the calling worker.
+SweepPointResult solve_point(const model::ProblemSpec& spec,
+                             const SweepRequest& request,
+                             const SweepPoint& point,
+                             std::int64_t remaining_ms) {
+  SweepPointResult out;
+  out.point = point;
+
+  SynthesisOptions options = request.synthesis;
+  if (remaining_ms > 0) {
+    options.check_time_limit_ms =
+        options.check_time_limit_ms > 0
+            ? std::min(options.check_time_limit_ms, remaining_ms)
+            : remaining_ms;
+  }
+
+  util::Stopwatch watch;
+  Synthesizer synth(spec, options);
+  out.encode_seconds = synth.encode_seconds();
+
+  switch (point.objective) {
+    case SweepObjective::kMaxIsolation:
+      out.search = maximize_isolation(synth, spec, point.usability,
+                                      point.budget, request.optimize);
+      out.status = out.search.feasible ? smt::CheckResult::kSat
+                   : out.search.exact  ? smt::CheckResult::kUnsat
+                                       : smt::CheckResult::kUnknown;
+      break;
+    case SweepObjective::kMinCost:
+      out.search = minimize_cost(synth, spec, point.isolation,
+                                 point.usability, request.min_cost);
+      out.status = out.search.feasible ? smt::CheckResult::kSat
+                   : out.search.exact  ? smt::CheckResult::kUnsat
+                                       : smt::CheckResult::kUnknown;
+      break;
+    case SweepObjective::kFeasibility: {
+      SynthesisResult r = synth.synthesize(
+          model::Sliders{point.isolation, point.usability, point.budget});
+      out.status = r.status;
+      out.search.feasible = r.status == smt::CheckResult::kSat;
+      out.search.exact = r.status != smt::CheckResult::kUnknown;
+      out.search.probes = 1;
+      out.search.solve_seconds = r.solve_seconds;
+      if (r.design) {
+        out.search.metrics = compute_metrics(spec, *r.design);
+        out.search.design = std::move(r.design);
+      }
+      break;
+    }
+  }
+  out.wall_seconds = watch.elapsed_seconds();
+  out.solver_memory_bytes = synth.backend().memory_bytes();
+  return out;
+}
+
+}  // namespace
+
+std::string_view sweep_objective_name(SweepObjective objective) {
+  switch (objective) {
+    case SweepObjective::kMaxIsolation:
+      return "max-isolation";
+    case SweepObjective::kMinCost:
+      return "min-cost";
+    case SweepObjective::kFeasibility:
+      return "feasibility";
+  }
+  return "?";
+}
+
+SweepRequest SweepRequest::max_isolation_grid(
+    const std::vector<util::Fixed>& usability_floors,
+    const std::vector<util::Fixed>& budgets) {
+  SweepRequest request;
+  request.points.reserve(usability_floors.size() * budgets.size());
+  for (const util::Fixed floor : usability_floors) {
+    for (const util::Fixed budget : budgets) {
+      SweepPoint p;
+      p.objective = SweepObjective::kMaxIsolation;
+      p.usability = floor;
+      p.budget = budget;
+      request.points.push_back(p);
+    }
+  }
+  return request;
+}
+
+SweepRequest SweepRequest::feasibility_grid(
+    const std::vector<model::Sliders>& sliders) {
+  SweepRequest request;
+  request.points.reserve(sliders.size());
+  for (const model::Sliders& s : sliders) {
+    SweepPoint p;
+    p.objective = SweepObjective::kFeasibility;
+    p.isolation = s.isolation;
+    p.usability = s.usability;
+    p.budget = s.budget;
+    request.points.push_back(p);
+  }
+  return request;
+}
+
+SweepResult SweepEngine::run(const SweepRequest& request) const {
+  CS_REQUIRE(request.jobs >= 0, "sweep jobs must be >= 0");
+  const int jobs =
+      request.jobs == 0
+          ? static_cast<int>(util::ThreadPool::hardware_jobs())
+          : request.jobs;
+
+  SweepResult result;
+  result.jobs = jobs;
+  result.points.resize(request.points.size());
+
+  util::Stopwatch sweep_watch;
+  // Remaining budget when a point starts; <= 0 means "skip it". 0 from the
+  // caller means "no deadline" and stays 0 through the clamp in
+  // solve_point.
+  const auto remaining_ms = [&]() -> std::int64_t {
+    if (request.deadline_ms <= 0) return 0;
+    const std::int64_t left =
+        request.deadline_ms -
+        static_cast<std::int64_t>(sweep_watch.elapsed_ms());
+    return left > 0 ? left : -1;
+  };
+  const auto cancelled = [&] {
+    return request.cancel != nullptr &&
+           request.cancel->load(std::memory_order_relaxed);
+  };
+
+  // Each worker task claims one point. Results land in index-addressed
+  // slots, so completion order never leaks into the output.
+  const auto run_point = [&](std::size_t index) {
+    const std::int64_t left = remaining_ms();
+    if (left < 0 || cancelled()) {
+      result.points[index].point = request.points[index];
+      result.points[index].skipped = true;
+      result.points[index].search.exact = false;
+      return;
+    }
+    result.points[index] =
+        solve_point(spec_, request, request.points[index], left);
+  };
+
+  if (jobs <= 1 || request.points.size() <= 1) {
+    for (std::size_t i = 0; i < request.points.size(); ++i) run_point(i);
+  } else {
+    util::ThreadPool pool(static_cast<std::size_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                              request.points.size())));
+    std::vector<std::future<void>> pending;
+    pending.reserve(request.points.size());
+    for (std::size_t i = 0; i < request.points.size(); ++i)
+      pending.push_back(pool.submit([&run_point, i] { run_point(i); }));
+    for (std::future<void>& f : pending) f.get();  // rethrows task errors
+  }
+
+  result.wall_seconds = sweep_watch.elapsed_seconds();
+  for (const SweepPointResult& p : result.points) {
+    result.total_probes += p.search.probes;
+    result.peak_solver_memory_bytes =
+        std::max(result.peak_solver_memory_bytes, p.solver_memory_bytes);
+    result.deadline_expired = result.deadline_expired || p.skipped;
+  }
+  return result;
+}
+
+}  // namespace cs::synth

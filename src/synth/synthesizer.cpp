@@ -27,6 +27,8 @@ Synthesizer::Synthesizer(const model::ProblemSpec& spec,
   encode_seconds_ = watch.elapsed_seconds();
   if (options_.check_time_limit_ms > 0)
     backend_->set_time_limit_ms(options_.check_time_limit_ms);
+  if (options_.check_conflict_limit > 0)
+    backend_->set_conflict_limit(options_.check_conflict_limit);
 }
 
 smt::Lit Synthesizer::guard_for(ThresholdKind kind, util::Fixed value) {

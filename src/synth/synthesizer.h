@@ -31,6 +31,12 @@ struct SynthesisOptions {
   /// exceed it return kUnknown — expected near threshold boundaries, where
   /// the problem is genuinely hard (paper Fig. 5a).
   std::int64_t check_time_limit_ms = 0;
+  /// Per-check deterministic effort cap in backend-specific units (CDCL
+  /// conflicts for MiniPB, Z3 resource units; 0 = unlimited). Like the
+  /// wall-clock cap a capped check returns kUnknown, but expiry is a pure
+  /// function of the formula — independent of machine load — so capped
+  /// sweeps stay bit-for-bit reproducible across serial and parallel runs.
+  std::int64_t check_conflict_limit = 0;
 };
 
 struct SynthesisResult {

@@ -2,6 +2,13 @@
 //
 // The paper reports the solver's memory footprint per problem size; we read
 // the same quantity from /proc/self/status (Linux) as resident-set size.
+//
+// Thread-safety (audited for the sweep engine's worker threads): both
+// probes open, parse and close the proc file per call and keep no shared
+// mutable state, so they are safe to call concurrently. Note that the
+// values are process-wide: under a parallel sweep, per-worker solver
+// footprints must be aggregated as a maximum, not summed on top of RSS
+// (see SweepResult::peak_solver_memory_bytes).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,62 @@
+// Fixed-size worker pool for CPU-bound sweep workloads.
+//
+// A deliberately small pool: std::thread workers draining one FIFO queue
+// under a mutex/condition-variable pair — no work stealing, no external
+// dependencies. That is exactly what the sweep engine (synth/sweep.h)
+// needs: a handful of long-running, independent solver probes per task,
+// where queue contention is measured in nanoseconds and probe time in
+// seconds.
+//
+// Guarantees:
+//   * `submit` is safe from any thread, including pool workers, and never
+//     blocks on task execution (so tasks may enqueue follow-up work).
+//   * Exceptions thrown by a task are captured in the returned future and
+//     rethrown from `future::get()`; they never terminate a worker.
+//   * Destruction drains the queue: every task submitted before the
+//     destructor ran is executed, then workers are joined. Submitting
+//     after shutdown began throws Error.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cs::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it ran (or rethrows what it
+  /// threw). Callable from pool workers.
+  std::future<void> submit(std::function<void()> task);
+
+  /// `std::thread::hardware_concurrency()` with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static unsigned hardware_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cs::util

@@ -1,4 +1,13 @@
 // Wall-clock stopwatch used by the synthesis driver and every bench binary.
+//
+// Thread-safety (audited for the sweep engine's worker threads): a
+// Stopwatch holds no shared or static state — only its own start point —
+// and steady_clock::now() is thread-safe, so distinct instances may be
+// used concurrently without synchronization. One instance read from a
+// thread other than the one that constructed/reset it is safe as long as
+// the construction happened-before the read (e.g. created before workers
+// start); concurrent reset() and elapsed_*() on the same instance is the
+// caller's race to avoid.
 #pragma once
 
 #include <chrono>

@@ -138,12 +138,12 @@ TEST(Frontier, SweepsAndRenders) {
   const model::ProblemSpec spec = make_example_spec();
   synth::SynthesisOptions opts;
   opts.check_time_limit_ms = 8000;
-  synth::Synthesizer synth(spec, opts);
 
   synth::FrontierOptions fopts;
   fopts.usability_floors = {Fixed::from_int(0), Fixed::from_int(6)};
   fopts.budgets = {Fixed::from_int(20), Fixed::from_int(80)};
-  const auto points = synth::explore_frontier(synth, spec, fopts);
+  fopts.reuse_synthesizer = true;  // serial incremental mode
+  const auto points = synth::explore_frontier(spec, opts, fopts);
   ASSERT_EQ(points.size(), 4u);
   // Bigger budget dominates at the same floor (when both exact).
   if (points[0].exact && points[1].exact) {

@@ -117,7 +117,7 @@ TEST(Integration, CampusOptimizerAndBaselineOrdering) {
   SynthesisOptions opts;
   opts.check_time_limit_ms = 8000;
   synth::Synthesizer synth(spec, opts);
-  const synth::OptimizeResult best = synth::maximize_isolation(
+  const synth::BoundSearchResult best = synth::maximize_isolation(
       synth, spec, spec.sliders.usability, spec.sliders.budget);
   ASSERT_TRUE(best.feasible);
   const synth::BaselineResult greedy = synth::greedy_baseline(spec);

@@ -1,0 +1,264 @@
+// Tests for the parallel sweep engine and its thread pool:
+//   * util::ThreadPool — submit-from-worker, exception propagation,
+//     shutdown-while-busy drain semantics.
+//   * synth::SweepEngine / explore_frontier — parallel runs must be
+//     byte-identical to serial runs (fresh synthesizer per point), on the
+//     paper example and generated topologies, for both backends.
+//
+// The MiniPB-named tests double as the ThreadSanitizer regression suite
+// (scripts/run_all.sh builds with -DCONFIGSYNTH_SANITIZE=thread and runs
+// the filter 'ThreadPool*:*minipb*:SweepEngineMiniPb*'): Z3 is an
+// uninstrumented system library, so only the from-scratch backend gives
+// TSan full visibility.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "spec_helpers.h"
+#include "synth/frontier.h"
+#include "synth/sweep.h"
+#include "util/thread_pool.h"
+
+namespace cs::synth {
+namespace {
+
+using cs::testing::make_example_spec;
+using cs::testing::make_random_spec;
+using smt::BackendKind;
+using util::ThreadPool;
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, SubmitFromWorker) {
+  // A task enqueues a follow-up task from inside a worker; the pool must
+  // accept it without deadlocking, even with a single worker.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    pool.submit([&pool, &count] {
+        ++count;
+        pool.submit([&count] { ++count; });
+      }).get();
+    // The follow-up may still be queued here; the destructor drains it.
+  }
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> bad =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives the throwing task and keeps serving.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ShutdownWhileBusyDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i)
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ++count;
+      });
+    // Destructor runs while most tasks are still queued: every submitted
+    // task must still execute before the workers join.
+  }
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+// ---- SweepEngine determinism ----------------------------------------------
+
+/// Deterministic per-check effort cap. Boundary probes are genuinely
+/// exponential (paper Fig. 5a), so uncapped sweeps are intractable; a
+/// wall-clock cap would expire nondeterministically under scheduler load
+/// and break serial-vs-parallel comparability. The conflict/resource cap
+/// expires as a pure function of the formula, keeping capped sweeps
+/// byte-identical across worker counts. Units differ per backend (Z3
+/// resource units vs MiniPB conflicts).
+std::int64_t effort_cap(BackendKind backend) {
+  return backend == BackendKind::kZ3 ? 2'000'000 : 20'000;
+}
+
+/// Frontier of `spec` at the given worker count, fresh-per-point mode.
+std::vector<FrontierPoint> frontier_at(const model::ProblemSpec& spec,
+                                       BackendKind backend, int jobs) {
+  SynthesisOptions options;
+  options.backend = backend;
+  options.check_conflict_limit = effort_cap(backend);
+  FrontierOptions fopts;
+  fopts.usability_floors = {util::Fixed::from_int(0),
+                            util::Fixed::from_int(4),
+                            util::Fixed::from_int(8)};
+  fopts.budgets = {util::Fixed::from_int(20), util::Fixed::from_int(60)};
+  // Coarse search grid: fewer (and easier) boundary probes per point.
+  fopts.optimize.resolution = util::Fixed::from_raw(500);
+  fopts.jobs = jobs;
+  return explore_frontier(spec, options, fopts);
+}
+
+class BackendSweepTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(BackendSweepTest, ParallelFrontierIdenticalToSerial) {
+  const model::ProblemSpec paper = make_example_spec();
+  const model::ProblemSpec random_a = make_random_spec(31, 6, 5);
+  const model::ProblemSpec random_b = make_random_spec(32, 7, 6);
+  for (const model::ProblemSpec* spec : {&paper, &random_a, &random_b}) {
+    const auto serial = frontier_at(*spec, GetParam(), 1);
+    const auto parallel = frontier_at(*spec, GetParam(), 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_EQ(serial[i], parallel[i]) << "point " << i;
+  }
+}
+
+TEST_P(BackendSweepTest, SweepResultKeepsGridOrderAndCounts) {
+  const model::ProblemSpec spec = make_example_spec();
+  SweepRequest request = SweepRequest::max_isolation_grid(
+      {util::Fixed::from_int(0), util::Fixed::from_int(6)},
+      {util::Fixed::from_int(30)});
+  request.synthesis.backend = GetParam();
+  request.synthesis.check_conflict_limit = effort_cap(GetParam());
+  request.jobs = 3;
+  const SweepResult result = SweepEngine(spec).run(request);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.jobs, 3);
+  // Grid order: floor-major regardless of which worker finished first.
+  EXPECT_EQ(result.points[0].point.usability, util::Fixed::from_int(0));
+  EXPECT_EQ(result.points[1].point.usability, util::Fixed::from_int(6));
+  int probes = 0;
+  std::size_t peak = 0;
+  for (const SweepPointResult& p : result.points) {
+    EXPECT_FALSE(p.skipped);
+    EXPECT_GT(p.search.probes, 0);
+    EXPECT_GT(p.wall_seconds, 0.0);
+    probes += p.search.probes;
+    peak = std::max(peak, p.solver_memory_bytes);
+  }
+  EXPECT_EQ(result.total_probes, probes);
+  // Peak memory is the max over workers, never the sum.
+  EXPECT_EQ(result.peak_solver_memory_bytes, peak);
+  EXPECT_FALSE(result.deadline_expired);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendSweepTest,
+                         ::testing::Values(BackendKind::kZ3,
+                                           BackendKind::kMiniPb),
+                         [](const auto& info) {
+                           return info.param == BackendKind::kZ3 ? "z3"
+                                                                 : "minipb";
+                         });
+
+// ---- SweepEngine semantics (MiniPB-backed, TSan-covered) -------------------
+
+TEST(SweepEngineMiniPb, FeasibilityGridMatchesDirectSolve) {
+  const model::ProblemSpec spec = make_example_spec();
+  const std::vector<model::Sliders> grid = {
+      model::Sliders{util::Fixed::from_int(0), util::Fixed::from_int(0),
+                     util::Fixed::from_int(0)},
+      spec.sliders,
+      model::Sliders{util::Fixed::from_int(10), util::Fixed::from_int(10),
+                     util::Fixed::from_int(5)},
+  };
+  SweepRequest request = SweepRequest::feasibility_grid(grid);
+  request.synthesis.backend = BackendKind::kMiniPb;
+  request.jobs = 4;
+  const SweepResult result = SweepEngine(spec).run(request);
+  ASSERT_EQ(result.points.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    Synthesizer direct(spec, request.synthesis);
+    EXPECT_EQ(result.points[i].status,
+              direct.synthesize(grid[i]).status)
+        << "point " << i;
+  }
+  // The overtight triple must be UNSAT, the loose one SAT.
+  EXPECT_EQ(result.points[0].status, smt::CheckResult::kSat);
+  EXPECT_EQ(result.points[2].status, smt::CheckResult::kUnsat);
+}
+
+TEST(SweepEngineMiniPb, CancellationSkipsRemainingPoints) {
+  const model::ProblemSpec spec = make_example_spec();
+  SweepRequest request = SweepRequest::max_isolation_grid(
+      {util::Fixed::from_int(0), util::Fixed::from_int(5)},
+      {util::Fixed::from_int(20), util::Fixed::from_int(40)});
+  request.synthesis.backend = BackendKind::kMiniPb;
+  request.jobs = 2;
+  std::atomic<bool> cancel{true};  // raised before the sweep starts
+  request.cancel = &cancel;
+  const SweepResult result = SweepEngine(spec).run(request);
+  ASSERT_EQ(result.points.size(), 4u);  // grid shape preserved
+  EXPECT_TRUE(result.deadline_expired);
+  for (const SweepPointResult& p : result.points) {
+    EXPECT_TRUE(p.skipped);
+    EXPECT_EQ(p.status, smt::CheckResult::kUnknown);
+    EXPECT_FALSE(p.search.exact);
+    EXPECT_FALSE(p.search.feasible);
+  }
+}
+
+TEST(SweepEngineMiniPb, WorkerExceptionPropagatesToCaller) {
+  const model::ProblemSpec spec = make_example_spec();
+  SweepRequest request = SweepRequest::max_isolation_grid(
+      {util::Fixed::from_int(0)},
+      {util::Fixed::from_int(20), util::Fixed::from_int(40)});
+  request.synthesis.backend = BackendKind::kMiniPb;
+  request.optimize.resolution = util::Fixed{};  // invalid: must throw
+  request.jobs = 2;
+  EXPECT_THROW(SweepEngine(spec).run(request), util::Error);
+}
+
+TEST(SweepEngineMiniPb, IncrementalModeMatchesFreshOnVerdictAndBound) {
+  // The incremental (reuse_synthesizer) path accumulates guards but must
+  // agree with the fresh-per-point path on feasibility and the maximum
+  // isolation bound; only the witnessing designs may differ.
+  const model::ProblemSpec spec = make_example_spec();
+  SynthesisOptions options;
+  options.backend = BackendKind::kMiniPb;
+  options.check_conflict_limit = effort_cap(BackendKind::kMiniPb);
+  FrontierOptions fresh;
+  fresh.usability_floors = {util::Fixed::from_int(0),
+                            util::Fixed::from_int(6)};
+  fresh.budgets = {util::Fixed::from_int(40)};
+  fresh.optimize.resolution = util::Fixed::from_raw(500);
+  FrontierOptions incremental = fresh;
+  incremental.reuse_synthesizer = true;
+  const auto a = explore_frontier(spec, options, fresh);
+  const auto b = explore_frontier(spec, options, incremental);
+  ASSERT_EQ(a.size(), b.size());
+  const std::int64_t res = fresh.optimize.resolution.raw();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].feasible, b[i].feasible) << "point " << i;
+    // The accumulated guards change the solver's learnt state, so a capped
+    // probe may expire in one mode and not the other; the grid-aligned
+    // maximum is only comparable when both searches completed every probe.
+    if (a[i].exact && b[i].exact) {
+      EXPECT_EQ(a[i].max_isolation.raw() / res,
+                b[i].max_isolation.raw() / res)
+          << "point " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cs::synth

@@ -179,16 +179,16 @@ TEST(CrossBackend, VerdictsAgreeOnRandomSpecs) {
 TEST(Optimizer, FindsMaximumOnExample) {
   const model::ProblemSpec spec = make_example_spec();
   Synthesizer synth(spec, capped_options());
-  const OptimizeResult best = maximize_isolation(
+  const BoundSearchResult best = maximize_isolation(
       synth, spec, util::Fixed::from_int(5), util::Fixed::from_int(60));
   ASSERT_TRUE(best.feasible);
-  EXPECT_GE(best.metrics.isolation, best.max_threshold);
+  EXPECT_GE(best.metrics.isolation, best.bound);
   EXPECT_GE(best.metrics.usability, util::Fixed::from_int(5));
   EXPECT_LE(best.metrics.cost, util::Fixed::from_int(60));
   if (best.exact) {
     // One step above the proven maximum must not be satisfiable.
     const SynthesisResult above = synth.synthesize_partial(
-        best.max_threshold + util::Fixed::from_raw(50),
+        best.bound + util::Fixed::from_raw(50),
         util::Fixed::from_int(5), util::Fixed::from_int(60));
     EXPECT_NE(above.status, CheckResult::kSat);
   }
@@ -198,14 +198,14 @@ TEST(Optimizer, MonotoneInUsability) {
   const model::ProblemSpec spec = make_example_spec();
   Synthesizer synth(spec, capped_options());
   const auto budget = util::Fixed::from_int(100);
-  const OptimizeResult loose =
+  const BoundSearchResult loose =
       maximize_isolation(synth, spec, util::Fixed::from_int(2), budget);
-  const OptimizeResult tight =
+  const BoundSearchResult tight =
       maximize_isolation(synth, spec, util::Fixed::from_int(8), budget);
   ASSERT_TRUE(loose.feasible);
   ASSERT_TRUE(tight.feasible);
   if (loose.exact && tight.exact) {
-    EXPECT_GE(loose.max_threshold, tight.max_threshold);
+    EXPECT_GE(loose.bound, tight.bound);
   }
 }
 
@@ -213,32 +213,32 @@ TEST(Optimizer, MonotoneInBudget) {
   const model::ProblemSpec spec = make_example_spec();
   Synthesizer synth(spec, capped_options());
   const auto usability = util::Fixed::from_int(5);
-  const OptimizeResult poor = maximize_isolation(
+  const BoundSearchResult poor = maximize_isolation(
       synth, spec, usability, util::Fixed::from_int(20));
-  const OptimizeResult rich = maximize_isolation(
+  const BoundSearchResult rich = maximize_isolation(
       synth, spec, usability, util::Fixed::from_int(200));
   ASSERT_TRUE(poor.feasible);
   ASSERT_TRUE(rich.feasible);
   if (poor.exact && rich.exact) {
-    EXPECT_LE(poor.max_threshold, rich.max_threshold);
+    EXPECT_LE(poor.bound, rich.bound);
   }
 }
 
 TEST(MinCost, FindsCheapestDeployment) {
   const model::ProblemSpec spec = make_example_spec();
   Synthesizer synth(spec, capped_options());
-  const MinCostResult r = minimize_cost(synth, spec,
+  const BoundSearchResult r = minimize_cost(synth, spec,
                                         util::Fixed::from_int(3),
                                         util::Fixed::from_int(4));
   ASSERT_TRUE(r.feasible);
   EXPECT_GE(r.metrics.isolation, util::Fixed::from_int(3));
   EXPECT_GE(r.metrics.usability, util::Fixed::from_int(4));
-  EXPECT_LE(r.metrics.cost, r.min_budget);
+  EXPECT_LE(r.metrics.cost, r.bound);
   if (r.exact) {
     // One grid step below the minimum must not be satisfiable.
     const SynthesisResult below = synth.synthesize_partial(
         util::Fixed::from_int(3), util::Fixed::from_int(4),
-        r.min_budget - util::Fixed::from_int(1));
+        r.bound - util::Fixed::from_int(1));
     EXPECT_NE(below.status, CheckResult::kSat);
   }
 }
@@ -246,17 +246,17 @@ TEST(MinCost, FindsCheapestDeployment) {
 TEST(MinCost, ZeroFloorsCostNothing) {
   const model::ProblemSpec spec = make_example_spec();
   Synthesizer synth(spec, capped_options());
-  const MinCostResult r =
+  const BoundSearchResult r =
       minimize_cost(synth, spec, util::Fixed{}, util::Fixed{});
   ASSERT_TRUE(r.feasible);
-  EXPECT_EQ(r.min_budget, util::Fixed{});
+  EXPECT_EQ(r.bound, util::Fixed{});
 }
 
 TEST(MinCost, InfeasibleFloorsReported) {
   // Full isolation conflicts with connectivity requirements at any budget.
   const model::ProblemSpec spec = make_example_spec();
   Synthesizer synth(spec, capped_options());
-  const MinCostResult r = minimize_cost(
+  const BoundSearchResult r = minimize_cost(
       synth, spec, util::Fixed::from_int(10), util::Fixed{});
   EXPECT_FALSE(r.feasible);
 }
@@ -264,14 +264,14 @@ TEST(MinCost, InfeasibleFloorsReported) {
 TEST(MinCost, MonotoneInIsolationFloor) {
   const model::ProblemSpec spec = make_example_spec();
   Synthesizer synth(spec, capped_options());
-  const MinCostResult low = minimize_cost(
+  const BoundSearchResult low = minimize_cost(
       synth, spec, util::Fixed::from_int(2), util::Fixed::from_int(4));
-  const MinCostResult high = minimize_cost(
+  const BoundSearchResult high = minimize_cost(
       synth, spec, util::Fixed::from_int(5), util::Fixed::from_int(4));
   ASSERT_TRUE(low.feasible);
   ASSERT_TRUE(high.feasible);
   if (low.exact && high.exact) {
-    EXPECT_LE(low.min_budget, high.min_budget);
+    EXPECT_LE(low.bound, high.bound);
   }
 }
 
@@ -340,7 +340,7 @@ TEST(Baseline, NeverBeatsOptimalIsolation) {
     spec.sliders.budget = util::Fixed::from_int(60);
     const BaselineResult greedy = greedy_baseline(spec);
     Synthesizer synth(spec, capped_options());
-    const OptimizeResult best = maximize_isolation(
+    const BoundSearchResult best = maximize_isolation(
         synth, spec, spec.sliders.usability, spec.sliders.budget);
     ASSERT_TRUE(best.feasible);
     if (best.exact) {
