@@ -1,0 +1,224 @@
+// configsynth_server — many clients, one warm synthesis service.
+//
+// Reads a newline-delimited request file and drives service::SynthService
+// with every request, printing per-request outcomes and the service
+// metrics dump. Each line is:
+//
+//   <spec.cfg> <objective> <isolation> <usability> <budget>
+//
+// where <spec.cfg> is a paper Table IV input file (resolved relative to
+// the request file), <objective> is feasibility | max-isolation |
+// min-cost, and the three sliders are the request's thresholds (each
+// objective reads the subset it needs). '#' starts a comment. Specs are
+// parsed once per distinct path and shared across requests — repeated
+// lines exercise the result cache.
+//
+// Flags:
+//   --backend z3|minipb     solver backend (default z3)
+//   --jobs <N>              service workers (default 2; 0 = hardware)
+//   --queue-limit <N>       admission-control queue depth (default 64)
+//   --cache-capacity <N>    LRU result-cache entries (default 256)
+//   --time-limit <ms>       per-check wall cap (default 20000)
+//   --conflict-limit <n>    per-check deterministic effort cap (default 0)
+//   --metrics-csv <file>    also dump the metrics registry as CSV
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/input_file.h"
+#include "service/synth_service.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cs;
+
+struct ServerOptions {
+  synth::SynthesisOptions synthesis;
+  service::ServiceConfig service;
+  std::string metrics_csv;
+};
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+synth::SweepObjective objective_from_name(const std::string& name) {
+  for (const synth::SweepObjective o :
+       {synth::SweepObjective::kFeasibility,
+        synth::SweepObjective::kMaxIsolation,
+        synth::SweepObjective::kMinCost}) {
+    if (name == synth::sweep_objective_name(o)) return o;
+  }
+  throw util::SpecError("unknown objective '" + name +
+                        "' (want feasibility|max-isolation|min-cost)");
+}
+
+std::string status_name(smt::CheckResult s) {
+  switch (s) {
+    case smt::CheckResult::kSat:
+      return "sat";
+    case smt::CheckResult::kUnsat:
+      return "unsat";
+    case smt::CheckResult::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      std::cerr << "usage: " << argv[0] << " <requests.txt> [flags]\n";
+      return 2;
+    }
+    const std::string requests_path = argv[1];
+
+    ServerOptions opts;
+    opts.synthesis.check_time_limit_ms = 20000;
+    opts.service.workers = 2;
+    for (int i = 2; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto next = [&]() -> std::string {
+        CS_REQUIRE(i + 1 < argc, "flag " + flag + " needs a value");
+        return argv[++i];
+      };
+      if (flag == "--backend") {
+        opts.synthesis.backend = smt::backend_from_name(next());
+      } else if (flag == "--jobs") {
+        opts.service.workers =
+            static_cast<int>(util::parse_int(next(), "jobs"));
+      } else if (flag == "--queue-limit") {
+        opts.service.queue_limit =
+            static_cast<std::size_t>(util::parse_int(next(), "queue limit"));
+      } else if (flag == "--cache-capacity") {
+        opts.service.cache_capacity = static_cast<std::size_t>(
+            util::parse_int(next(), "cache capacity"));
+      } else if (flag == "--time-limit") {
+        opts.synthesis.check_time_limit_ms =
+            util::parse_int(next(), "time limit");
+      } else if (flag == "--conflict-limit") {
+        opts.synthesis.check_conflict_limit =
+            util::parse_int(next(), "conflict limit");
+      } else if (flag == "--metrics-csv") {
+        opts.metrics_csv = next();
+      } else {
+        throw util::SpecError("unknown flag '" + flag + "'");
+      }
+    }
+
+    // Parse the request file; specs load once per distinct path.
+    std::ifstream in(requests_path);
+    CS_REQUIRE(static_cast<bool>(in),
+               "cannot open request file '" + requests_path + "'");
+    const std::string base_dir = dirname_of(requests_path);
+    std::map<std::string, std::shared_ptr<const model::ProblemSpec>> specs;
+    std::vector<std::pair<std::string, service::ServiceRequest>> requests;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::string text = util::trim(line);
+      if (text.empty() || text[0] == '#') continue;
+      const std::vector<std::string> tok = util::split_ws(text);
+      CS_REQUIRE(tok.size() == 5,
+                 "request line " + std::to_string(line_no) +
+                     ": want '<spec.cfg> <objective> <I> <U> <B>'");
+      std::string path = tok[0];
+      if (path[0] != '/') path = base_dir + "/" + path;
+      auto& spec = specs[path];
+      if (!spec) {
+        spec = std::make_shared<const model::ProblemSpec>(
+            model::parse_input_file(path));
+      }
+      service::ServiceRequest req;
+      req.spec = spec;
+      req.point.objective = objective_from_name(tok[1]);
+      req.point.isolation =
+          util::Fixed::from_double(util::parse_double(tok[2], "isolation"));
+      req.point.usability =
+          util::Fixed::from_double(util::parse_double(tok[3], "usability"));
+      req.point.budget =
+          util::Fixed::from_double(util::parse_double(tok[4], "budget"));
+      req.synthesis = opts.synthesis;
+      requests.emplace_back(tok[0], std::move(req));
+    }
+    CS_REQUIRE(!requests.empty(), "request file has no requests");
+
+    // Drive the service: submit everything, then collect in order.
+    service::SynthService service(opts.service);
+    std::vector<std::future<service::ServiceOutcome>> pending;
+    pending.reserve(requests.size());
+    util::Stopwatch watch;
+    for (auto& [name, req] : requests)
+      pending.push_back(service.submit(req));
+
+    util::TextTable table({"#", "spec", "objective", "status", "bound",
+                           "source", "probes", "ms"});
+    int failures = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const service::ServiceOutcome out = pending[i].get();
+      const auto& [name, req] = requests[i];
+      std::string status, bound = "-";
+      if (out.rejected) {
+        status = "rejected";
+        ++failures;
+      } else if (out.result.skipped) {
+        status = "skipped";
+      } else {
+        status = status_name(out.result.status);
+        if (out.result.search.feasible)
+          bound = req.point.objective == synth::SweepObjective::kFeasibility
+                      ? out.result.search.metrics.isolation.to_string()
+                      : out.result.search.bound.to_string();
+        else if (out.result.status == smt::CheckResult::kUnsat &&
+                 !out.result.conflicting.empty()) {
+          bound = "core:";
+          for (const synth::ThresholdKind k : out.result.conflicting)
+            bound += " " + std::string(synth::threshold_name(k));
+        }
+      }
+      table.add_row({std::to_string(i + 1), name,
+                     std::string(sweep_objective_name(req.point.objective)),
+                     status, bound,
+                     out.rejected || out.result.skipped ? "-"
+                     : out.cache_hit ? (out.coalesced ? "coalesced" : "cache")
+                                     : "solved",
+                     std::to_string(out.result.search.probes),
+                     fmt_ms(out.total_ms)});
+    }
+    const double wall = watch.elapsed_seconds();
+
+    std::cout << table.render() << "\n"
+              << requests.size() << " requests in " << fmt_ms(wall * 1000)
+              << " ms ("
+              << fmt_ms(static_cast<double>(requests.size()) / wall)
+              << " req/s), " << service.workers() << " workers\n\n"
+              << service.metrics().render();
+    if (!opts.metrics_csv.empty()) {
+      service.metrics().write_csv(opts.metrics_csv);
+      std::cout << "\nmetrics csv written to " << opts.metrics_csv << "\n";
+    }
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -9,17 +9,26 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# Parallel-safety audit: the sweep-engine/thread-pool tests under
+# Request-file smoke run of the synthesis server (cache + admission
+# control end to end; deterministic effort cap keeps it quick).
+./build/examples/configsynth_server examples/data/server_requests.txt \
+  --backend minipb --jobs 2 --time-limit 20000 --conflict-limit 20000 \
+  2>&1 | tee server_output.txt
+
+# Parallel-safety audit: the sweep-engine/thread-pool/service tests under
 # ThreadSanitizer on the MiniPB backend. Z3 is an uninstrumented system
 # library, so only the from-scratch backend gives TSan full visibility;
-# the filter selects the pool tests plus every MiniPB-backed sweep test.
-# Skip with CS_SKIP_TSAN=1.
+# the filters select the pool tests plus every MiniPB-backed sweep and
+# service test. Skip with CS_SKIP_TSAN=1.
 if [ "${CS_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -G Ninja -DCONFIGSYNTH_SANITIZE=thread
-  cmake --build build-tsan --target sweep_test
+  cmake --build build-tsan --target sweep_test service_test
   ./build-tsan/tests/sweep_test \
     --gtest_filter='ThreadPool*:SweepEngineMiniPb*:*minipb*' \
     2>&1 | tee tsan_output.txt
+  ./build-tsan/tests/service_test \
+    --gtest_filter='SynthServiceMiniPb*:ResultCache*:Metrics*:*minipb*' \
+    2>&1 | tee -a tsan_output.txt
 fi
 
 for b in build/bench/bench_*; do

@@ -97,6 +97,11 @@ class AppPatternConfig {
     return only == kInvalidService || only == g;
   }
 
+  /// Service the pattern is restricted to (kInvalidService = any).
+  ServiceId only_service(AppPattern p) const {
+    return only_service_[static_cast<std::size_t>(app_pattern_index(p))];
+  }
+
   util::Fixed score(AppPattern p) const {
     return score_[static_cast<std::size_t>(app_pattern_index(p))];
   }

@@ -1,0 +1,235 @@
+#include "model/fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <variant>
+#include <vector>
+
+#include "model/spec.h"
+#include "util/error.h"
+
+namespace cs::model {
+
+namespace {
+
+/// SplitMix64 finalizer — full avalanche of one 64-bit word.
+constexpr std::uint64_t avalanche(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+/// Canonical (src, dst, service) word for sorting and hashing flows.
+std::uint64_t flow_word(const Flow& f) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.src))
+          << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.dst))
+          << 16) |
+         static_cast<std::uint16_t>(f.service);
+}
+
+/// Sub-digest of one user constraint: variant tag + canonical fields.
+Fingerprint constraint_digest(const UserConstraint& c) {
+  FingerprintHasher h;
+  std::visit(
+      [&h](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, ForbidPatternForService>) {
+          h.mix(1);
+          h.mix_i64(v.service);
+          h.mix_i64(pattern_index(v.pattern));
+        } else if constexpr (std::is_same_v<T, ForbidPatternForFlow>) {
+          h.mix(2);
+          h.mix(flow_word(v.flow));
+          h.mix_i64(pattern_index(v.pattern));
+        } else if constexpr (std::is_same_v<T, RequirePatternForFlow>) {
+          h.mix(3);
+          h.mix(flow_word(v.flow));
+          h.mix_i64(pattern_index(v.pattern));
+        } else {
+          static_assert(std::is_same_v<T, DenyOneOf>);
+          h.mix(4);
+          h.mix(flow_word(v.open_flow));
+          h.mix(flow_word(v.guard_flow));
+        }
+      },
+      c);
+  return h.digest();
+}
+
+}  // namespace
+
+std::string Fingerprint::to_string() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kHex[(hi >> (4 * i)) & 0xf];
+    out[static_cast<std::size_t>(31 - i)] = kHex[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+void FingerprintHasher::mix(std::uint64_t word) {
+  a_ = avalanche(a_ ^ word);
+  b_ = avalanche(b_ + rotl(word, 32));
+  ++count_;
+}
+
+void FingerprintHasher::mix_string(std::string_view s) {
+  mix(s.size());
+  for (std::size_t i = 0; i < s.size(); i += 8) {
+    std::uint64_t chunk = 0;
+    std::memcpy(&chunk, s.data() + i, std::min<std::size_t>(8, s.size() - i));
+    mix(chunk);
+  }
+}
+
+Fingerprint FingerprintHasher::digest() const {
+  // Mix the lanes into each other so neither half is a function of one
+  // lane alone, and fold in the word count.
+  const std::uint64_t hi = avalanche(a_ ^ rotl(b_, 17) ^ count_);
+  const std::uint64_t lo = avalanche(b_ ^ rotl(a_, 29) ^ (count_ * 0x2545f4914f6cdd1dull));
+  return Fingerprint{hi, lo};
+}
+
+Fingerprint fingerprint_spec(const ProblemSpec& spec) {
+  CS_REQUIRE(spec.ranks.size() == spec.flows.size(),
+             "fingerprint requires a finalized spec (ranks installed)");
+  FingerprintHasher h;
+  h.mix_string("cs-spec-v1");
+  h.mix_fixed(spec.alpha);
+  h.mix_fixed(spec.sliders.isolation);
+  h.mix_fixed(spec.sliders.usability);
+  h.mix_fixed(spec.sliders.budget);
+
+  // 2. Network. Nodes in id order (ids are identity); links sorted by
+  // endpoint pair so add_link order never matters.
+  const topology::Network& net = spec.network;
+  h.mix(net.node_count());
+  for (const topology::Node& n : net.nodes()) {
+    h.mix_i64(static_cast<std::int64_t>(n.kind));
+    h.mix_string(n.name);
+    h.mix_i64(n.group_size);
+    h.mix(n.is_internet ? 1 : 0);
+  }
+  std::vector<std::pair<topology::NodeId, topology::NodeId>> links;
+  links.reserve(net.link_count());
+  for (const topology::Link& l : net.links())
+    links.emplace_back(std::min(l.a, l.b), std::max(l.a, l.b));
+  std::sort(links.begin(), links.end());
+  h.mix(links.size());
+  for (const auto& [a, b] : links) {
+    h.mix_i64(a);
+    h.mix_i64(b);
+  }
+
+  // 3. Services in id order (ids are identity — flows reference them).
+  h.mix(spec.services.size());
+  for (const Service& s : spec.services.all()) {
+    h.mix_string(s.name);
+    h.mix_i64(s.protocol);
+    h.mix_i64(s.port);
+  }
+
+  // 4. Isolation config. Enabled set sorted by pattern index; the
+  // per-service override map is std::map, already (pattern, service)
+  // ordered.
+  const IsolationConfig& iso = spec.isolation;
+  h.mix_i64(iso.tunnel_margin());
+  std::vector<IsolationPattern> enabled = iso.enabled();
+  std::sort(enabled.begin(), enabled.end());
+  h.mix(enabled.size());
+  for (const IsolationPattern p : enabled) {
+    h.mix_i64(pattern_index(p));
+    h.mix_fixed(iso.score(p));
+    h.mix_fixed(iso.usability(p, kInvalidService));
+  }
+  h.mix(iso.usability_overrides().size());
+  for (const auto& [key, value] : iso.usability_overrides()) {
+    h.mix_i64(key.first);
+    h.mix_i64(key.second);
+    h.mix_fixed(value);
+  }
+
+  // 5. Host- and app-pattern extension configs, enabled sets sorted.
+  std::vector<HostPattern> hps = spec.host_patterns.enabled();
+  std::sort(hps.begin(), hps.end());
+  h.mix(hps.size());
+  for (const HostPattern p : hps) {
+    h.mix_i64(host_pattern_index(p));
+    h.mix_fixed(spec.host_patterns.score(p));
+    h.mix_fixed(spec.host_patterns.cost(p));
+  }
+  std::vector<AppPattern> aps = spec.app_patterns.enabled();
+  std::sort(aps.begin(), aps.end());
+  h.mix(aps.size());
+  for (const AppPattern p : aps) {
+    h.mix_i64(app_pattern_index(p));
+    h.mix_fixed(spec.app_patterns.score(p));
+    h.mix_fixed(spec.app_patterns.cost(p));
+    h.mix_i64(spec.app_patterns.only_service(p));
+  }
+
+  // 6. Device costs in type order.
+  for (const DeviceType d : kAllDevices) h.mix_fixed(spec.device_costs.cost(d));
+
+  // 7. Flows sorted by (src, dst, service), each with its rank. Flow ids
+  // never enter the digest, so FlowSet::add order is free.
+  std::vector<FlowId> order(spec.flows.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<FlowId>(i);
+  std::sort(order.begin(), order.end(), [&](FlowId x, FlowId y) {
+    return flow_word(spec.flows.flow(x)) < flow_word(spec.flows.flow(y));
+  });
+  h.mix(order.size());
+  for (const FlowId id : order) {
+    h.mix(flow_word(spec.flows.flow(id)));
+    h.mix_fixed(spec.ranks.rank(id));
+  }
+
+  // 8. Connectivity requirements as sorted canonical flow triples.
+  std::vector<std::uint64_t> crs;
+  crs.reserve(spec.connectivity.size());
+  for (const FlowId id : spec.connectivity.sorted())
+    crs.push_back(flow_word(spec.flows.flow(id)));
+  std::sort(crs.begin(), crs.end());
+  h.mix(crs.size());
+  for (const std::uint64_t w : crs) h.mix(w);
+
+  // 9. User constraints: sorted sub-digests (set semantics).
+  std::vector<Fingerprint> cds;
+  cds.reserve(spec.user_constraints.size());
+  for (const UserConstraint& c : spec.user_constraints)
+    cds.push_back(constraint_digest(c));
+  std::sort(cds.begin(), cds.end(), [](const Fingerprint& x,
+                                       const Fingerprint& y) {
+    return std::tie(x.hi, x.lo) < std::tie(y.hi, y.lo);
+  });
+  h.mix(cds.size());
+  for (const Fingerprint& d : cds) h.mix_digest(d);
+
+  // 10. Host isolation requirements sorted by (host, minimum).
+  std::vector<std::pair<topology::NodeId, std::int64_t>> reqs;
+  reqs.reserve(spec.host_requirements.size());
+  for (const HostIsolationRequirement& r : spec.host_requirements)
+    reqs.emplace_back(r.host, r.min_isolation.raw());
+  std::sort(reqs.begin(), reqs.end());
+  h.mix(reqs.size());
+  for (const auto& [host, min] : reqs) {
+    h.mix_i64(host);
+    h.mix_i64(min);
+  }
+
+  // 11. Route options (they change the encoded route sets).
+  h.mix(spec.route_options.max_routes);
+  h.mix(spec.route_options.max_hops);
+
+  return h.digest();
+}
+
+}  // namespace cs::model

@@ -1,0 +1,103 @@
+// Canonical spec fingerprinting (the cache key of src/service).
+//
+// `fingerprint_spec` maps a finalized ProblemSpec to a stable 128-bit
+// digest: two specs that describe the same synthesis problem hash equal
+// even when they were *constructed* in different orders, and any
+// semantic difference — one score, one connectivity requirement, one
+// link, the α weight — changes the digest. The service layer keys its
+// result cache on this value, so the guarantee is load-bearing: a
+// collision would serve one spec the other spec's design.
+//
+// Canonical serialization (version tag "cs-spec-v1"). Fields are fed to
+// the hasher in a fixed documented order; containers whose construction
+// order is NOT semantically meaningful are sorted first:
+//
+//   1. version tag, α, sliders (I, U, B)
+//   2. network — nodes in id order (kind, name, group size, internet
+//      flag), then links as (min endpoint, max endpoint) pairs sorted;
+//      link *ids* never enter the digest, so insertion order is free.
+//      Node ids ARE identity (flows, CRs and policies reference them),
+//      so node order is part of the problem, not of its construction.
+//   3. services in id order (name, protocol, port)
+//   4. isolation config — tunnel margin, enabled patterns sorted by
+//      index with score and usability impact, per-service usability
+//      overrides in (pattern, service) order
+//   5. host- and app-pattern configs — enabled patterns sorted, with
+//      score/cost (+ service restriction for app patterns)
+//   6. device costs in DeviceType order
+//   7. flows sorted by (src, dst, service), each with its rank; flow
+//      *ids* never enter the digest, so add() order is free
+//   8. connectivity requirements as sorted canonical flow triples
+//   9. user constraints, each encoded to its own sub-digest
+//      (tag + canonical fields), sub-digests sorted — set semantics
+//  10. host isolation requirements sorted by (host, minimum)
+//  11. route options (max routes, max hops)
+//
+// The spec must be finalized (ranks installed); fingerprinting a spec
+// whose rank table does not match its flow count throws SpecError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/fixed.h"
+
+namespace cs::model {
+
+struct ProblemSpec;
+
+/// A 128-bit digest. Equality is the cache-key relation; `to_string`
+/// renders 32 lowercase hex digits (hi then lo).
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+  std::string to_string() const;
+};
+
+/// Hash functor for unordered containers keyed by Fingerprint.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const {
+    return static_cast<std::size_t>(f.hi ^ (f.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Streaming 128-bit hasher: two chained 64-bit lanes, each word
+/// avalanche-mixed (SplitMix64 finalizer) into the running state. The
+/// chaining makes the digest order-sensitive; canonicalization of the
+/// input (sorting set-like containers) is the caller's job — see the
+/// serialization contract above. Deterministic across runs and
+/// platforms (no pointers, no iteration over unordered containers).
+class FingerprintHasher {
+ public:
+  /// Mixes one 64-bit word into both lanes.
+  void mix(std::uint64_t word);
+
+  void mix_i64(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix_fixed(util::Fixed f) { mix_i64(f.raw()); }
+
+  /// Mixes length + bytes (8-byte little-endian chunks, zero padded).
+  void mix_string(std::string_view s);
+
+  /// Folds another digest in (used for sorted sub-digest sets).
+  void mix_digest(const Fingerprint& f) {
+    mix(f.hi);
+    mix(f.lo);
+  }
+
+  /// Digest of everything mixed so far (includes the word count, so a
+  /// trailing zero word and an empty tail hash differently).
+  Fingerprint digest() const;
+
+ private:
+  std::uint64_t a_ = 0x6a09e667f3bcc908ull;  // lane seeds: sqrt(2), sqrt(3)
+  std::uint64_t b_ = 0xbb67ae8584caa73bull;
+  std::uint64_t count_ = 0;
+};
+
+/// Canonical digest of a finalized spec, per the contract above.
+Fingerprint fingerprint_spec(const ProblemSpec& spec);
+
+}  // namespace cs::model

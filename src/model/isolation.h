@@ -83,6 +83,14 @@ class IsolationConfig {
   void set_usability(IsolationPattern p, util::Fixed b);
   void set_usability_override(IsolationPattern p, ServiceId g, util::Fixed b);
 
+  /// All per-service usability overrides, keyed (pattern index, service);
+  /// std::map, so iteration order is deterministic (fingerprinting relies
+  /// on this).
+  const std::map<std::pair<int, ServiceId>, util::Fixed>&
+  usability_overrides() const {
+    return usability_override_;
+  }
+
   /// Max hops T that may lie outside an IPSec tunnel at each end (§III-C).
   int tunnel_margin() const { return tunnel_margin_; }
   void set_tunnel_margin(int t);

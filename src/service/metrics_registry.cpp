@@ -1,0 +1,159 @@
+#include "service/metrics_registry.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace cs::service {
+
+namespace {
+
+std::string fmt_ms(double ms) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << ms;
+  return os.str();
+}
+
+}  // namespace
+
+const std::vector<double>& Histogram::bucket_bounds() {
+  static const std::vector<double> kBounds = {1,   2,    5,    10,   20,
+                                              50,  100,  200,  500,  1000,
+                                              2000, 5000, 10000};
+  return kBounds;
+}
+
+Histogram::Histogram() : buckets_(bucket_bounds().size() + 1, 0) {}
+
+void Histogram::observe(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& bounds = bucket_bounds();
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), ms) - bounds.begin());
+  ++buckets_[i];
+  ++count_;
+  sum_ += ms;
+  min_ = count_ == 1 ? ms : std::min(min_, ms);
+  max_ = std::max(max_, ms);
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+double Histogram::sum_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+double Histogram::min_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+double Histogram::max_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+double Histogram::mean_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+std::vector<std::int64_t> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [n, c] : counters_)
+    if (n == name) return c;
+  counters_.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(name),
+                         std::forward_as_tuple());
+  return counters_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [n, h] : histograms_)
+    if (n == name) return h;
+  histograms_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple());
+  return histograms_.back().second;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [n, c] : counters_)
+    if (n == name) return c.value();
+  return 0;
+}
+
+std::string MetricsRegistry::render() const {
+  std::vector<std::pair<std::string, std::int64_t>> counter_rows;
+  std::vector<std::string> histo_names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [n, c] : counters_) counter_rows.emplace_back(n, c.value());
+    for (const auto& [n, h] : histograms_) histo_names.push_back(n);
+  }
+  std::sort(counter_rows.begin(), counter_rows.end());
+  std::sort(histo_names.begin(), histo_names.end());
+
+  std::string out = "=== Service metrics ===\n";
+  util::TextTable counters({"counter", "value"});
+  for (const auto& [n, v] : counter_rows)
+    counters.add_row({n, std::to_string(v)});
+  out += counters.render();
+
+  util::TextTable histos(
+      {"histogram", "count", "mean ms", "min ms", "max ms"});
+  for (const std::string& n : histo_names) {
+    // histogram() never creates here: the name came from the registry.
+    const Histogram& h = const_cast<MetricsRegistry*>(this)->histogram(n);
+    histos.add_row({n, std::to_string(h.count()), fmt_ms(h.mean_ms()),
+                    fmt_ms(h.min_ms()), fmt_ms(h.max_ms())});
+  }
+  if (!histo_names.empty()) {
+    out += "\n";
+    out += histos.render();
+  }
+  return out;
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  std::vector<std::pair<std::string, std::int64_t>> counter_rows;
+  std::vector<std::string> histo_names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [n, c] : counters_) counter_rows.emplace_back(n, c.value());
+    for (const auto& [n, h] : histograms_) histo_names.push_back(n);
+  }
+  std::sort(counter_rows.begin(), counter_rows.end());
+  std::sort(histo_names.begin(), histo_names.end());
+
+  util::CsvWriter csv(path, {"kind", "name", "field", "value"});
+  for (const auto& [n, v] : counter_rows)
+    csv.add_row({"counter", n, "value", std::to_string(v)});
+  for (const std::string& n : histo_names) {
+    const Histogram& h = const_cast<MetricsRegistry*>(this)->histogram(n);
+    csv.add_row({"histogram", n, "count", std::to_string(h.count())});
+    csv.add_row({"histogram", n, "sum_ms", fmt_ms(h.sum_ms())});
+    csv.add_row({"histogram", n, "min_ms", fmt_ms(h.min_ms())});
+    csv.add_row({"histogram", n, "max_ms", fmt_ms(h.max_ms())});
+    const auto counts = h.buckets();
+    const auto& bounds = Histogram::bucket_bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::string le =
+          i < bounds.size() ? fmt_ms(bounds[i]) : "inf";
+      csv.add_row({"histogram", n, "le_" + le, std::to_string(counts[i])});
+    }
+  }
+}
+
+}  // namespace cs::service

@@ -1,0 +1,56 @@
+#include "service/result_cache.h"
+
+#include "util/error.h"
+
+namespace cs::service {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  CS_REQUIRE(capacity >= 1, "cache capacity must be >= 1");
+}
+
+std::optional<synth::SweepPointResult> ResultCache::lookup(
+    const model::Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  ++stats_.hits;
+  if (it->second->second.status == smt::CheckResult::kUnsat)
+    ++stats_.negative_hits;
+  return it->second->second;
+}
+
+void ResultCache::insert(const model::Fingerprint& key,
+                         const synth::SweepPointResult& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Refresh: identical fingerprints mean identical problems, so the
+    // value can only differ in timings; keep the newer one.
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, value);
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cs::service

@@ -1,0 +1,71 @@
+// Thread-safe LRU cache of synthesis outcomes, keyed by spec fingerprint.
+//
+// The service layer's memory: a bounded least-recently-used map from a
+// request fingerprint (model/fingerprint.h — canonical spec digest mixed
+// with the request's objective and solver options) to the full
+// SweepPointResult that request produced. Positive entries carry the
+// witnessing design and its metrics; *negative* entries — UNSAT verdicts
+// — are cached too, together with the threshold unsat core
+// (SweepPointResult::conflicting), so an operator re-submitting an
+// infeasible slider triple gets the explanation back without a solver
+// call. Entries are immutable once inserted: a hit returns a copy, so
+// callers can never mutate the cached value.
+//
+// All operations take one internal mutex; the expensive part of a
+// request (solving) never runs under it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "model/fingerprint.h"
+#include "synth/sweep.h"
+
+namespace cs::service {
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  /// Hits whose cached verdict was kUnsat (negative-result cache).
+  std::int64_t negative_hits = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = maximum number of entries (≥ 1).
+  explicit ResultCache(std::size_t capacity);
+
+  /// Returns a copy of the cached outcome and marks the entry
+  /// most-recently-used; nullopt on miss.
+  std::optional<synth::SweepPointResult> lookup(
+      const model::Fingerprint& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// one when full. Skipped results are not worth remembering — the
+  /// caller should not insert them.
+  void insert(const model::Fingerprint& key,
+              const synth::SweepPointResult& value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  CacheStats stats() const;
+
+ private:
+  using Entry = std::pair<model::Fingerprint, synth::SweepPointResult>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<model::Fingerprint, std::list<Entry>::iterator,
+                     model::FingerprintHash>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace cs::service

@@ -1,0 +1,219 @@
+#include "service/synth_service.h"
+
+#include <utility>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace cs::service {
+
+namespace {
+
+/// Counter name for one backend's probe count.
+const char* probe_counter_name(smt::BackendKind kind) {
+  return kind == smt::BackendKind::kZ3 ? "probes_z3" : "probes_minipb";
+}
+
+}  // namespace
+
+SynthService::SynthService(ServiceConfig config)
+    : config_(std::move(config)),
+      workers_(config_.workers == 0
+                   ? static_cast<int>(util::ThreadPool::hardware_jobs())
+                   : config_.workers),
+      cache_(config_.cache_capacity) {
+  CS_REQUIRE(config_.workers >= 0, "service workers must be >= 0");
+  CS_REQUIRE(config_.retry_cap_factor >= 0,
+             "retry_cap_factor must be >= 0");
+  pool_ = std::make_unique<util::ThreadPool>(
+      static_cast<std::size_t>(workers_));
+}
+
+SynthService::~SynthService() = default;
+
+model::Fingerprint SynthService::request_fingerprint(
+    const ServiceRequest& request) {
+  CS_REQUIRE(request.spec != nullptr, "request needs a spec");
+  const model::Fingerprint spec_fp = model::fingerprint_spec(*request.spec);
+  model::FingerprintHasher h;
+  h.mix_digest(spec_fp);
+  h.mix_string("cs-req-v1");
+  h.mix_i64(static_cast<std::int64_t>(request.point.objective));
+  h.mix_fixed(request.point.isolation);
+  h.mix_fixed(request.point.usability);
+  h.mix_fixed(request.point.budget);
+  h.mix_i64(static_cast<std::int64_t>(request.synthesis.backend));
+  h.mix_i64(request.synthesis.check_time_limit_ms);
+  h.mix_i64(request.synthesis.check_conflict_limit);
+  h.mix_fixed(request.optimize.resolution);
+  h.mix_fixed(request.min_cost.resolution);
+  h.mix_fixed(request.min_cost.max_budget);
+  return h.digest();
+}
+
+std::future<ServiceOutcome> SynthService::submit(ServiceRequest request) {
+  metrics_.counter("requests_total").inc();
+  auto promise = std::make_shared<std::promise<ServiceOutcome>>();
+  std::future<ServiceOutcome> future = promise->get_future();
+
+  // Admission control: bounded queue, explicit rejection. Checked and
+  // reserved under the mutex so concurrent submitters can never
+  // collectively exceed the limit.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queued_ >= config_.queue_limit) {
+      metrics_.counter("rejected").inc();
+      ServiceOutcome out;
+      out.rejected = true;
+      promise->set_value(std::move(out));
+      return future;
+    }
+    ++queued_;
+  }
+
+  util::Stopwatch watch;  // request clock: starts at enqueue
+  auto task = [this, promise, request = std::move(request), watch]() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --queued_;
+    }
+    const double queue_ms = watch.elapsed_ms();
+    metrics_.histogram("queue_ms").observe(queue_ms);
+    if (config_.on_start) config_.on_start(request);
+    try {
+      promise->set_value(execute(request, queue_ms, watch));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+  pool_->submit(std::move(task));
+  return future;
+}
+
+ServiceOutcome SynthService::execute(const ServiceRequest& request,
+                                     double queue_ms,
+                                     util::Stopwatch watch) {
+  ServiceOutcome out;
+  out.queue_ms = queue_ms;
+  out.fingerprint = request_fingerprint(request);
+
+  const auto finish = [&]() -> ServiceOutcome& {
+    out.total_ms = watch.elapsed_ms();
+    return out;
+  };
+  const auto expired = [&]() {
+    return request.deadline_ms < 0 ||
+           (request.deadline_ms > 0 &&
+            watch.elapsed_ms() >= static_cast<double>(request.deadline_ms));
+  };
+  const auto cancelled = [&]() {
+    return cancel_all_.load(std::memory_order_relaxed) ||
+           (request.cancel != nullptr &&
+            request.cancel->load(std::memory_order_relaxed));
+  };
+  const auto skip = [&]() -> ServiceOutcome& {
+    metrics_.counter("skipped").inc();
+    out.result.point = request.point;
+    out.result.skipped = true;
+    out.result.search.exact = false;
+    return finish();
+  };
+
+  if (expired() || cancelled()) return skip();
+
+  // Single-flight loop: serve from cache, else wait for an identical
+  // in-flight request, else solve and publish. A waiter re-checks the
+  // cache after the primary finishes; if the primary skipped or threw
+  // (nothing was published), the waiter solves itself — at most one
+  // wait per outcome, so the loop terminates.
+  std::shared_future<void> wait_for;
+  std::shared_ptr<std::promise<void>> publish;
+  for (bool waited = false;;) {
+    if (auto hit = cache_.lookup(out.fingerprint)) {
+      metrics_.counter("cache_hits").inc();
+      out.cache_hit = true;
+      out.coalesced = waited;
+      out.result = std::move(*hit);
+      return finish();
+    }
+    if (waited) break;  // primary published nothing; solve ourselves
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = inflight_.find(out.fingerprint);
+      if (it == inflight_.end()) {
+        publish = std::make_shared<std::promise<void>>();
+        inflight_.emplace(out.fingerprint, publish->get_future().share());
+        break;  // we are the primary
+      }
+      wait_for = it->second;
+    }
+    metrics_.counter("coalesced_waits").inc();
+    wait_for.wait();  // the primary never waits, so this cannot cycle
+    waited = true;
+  }
+  metrics_.counter("cache_misses").inc();
+
+  // Publish-and-release guard so coalesced waiters wake even if the
+  // solve throws.
+  struct Release {
+    SynthService* self;
+    const model::Fingerprint& fp;
+    std::shared_ptr<std::promise<void>> publish;
+    ~Release() {
+      if (!publish) return;
+      {
+        std::lock_guard<std::mutex> lock(self->mutex_);
+        self->inflight_.erase(fp);
+      }
+      publish->set_value();
+    }
+  } release{this, out.fingerprint, publish};
+
+  // Solve on a fresh Synthesizer owned by this worker, exactly as a
+  // sweep grid point would be.
+  synth::SweepRequest sweep;
+  sweep.synthesis = request.synthesis;
+  sweep.optimize = request.optimize;
+  sweep.min_cost = request.min_cost;
+  const auto remaining = [&]() -> std::int64_t {
+    if (request.deadline_ms <= 0) return 0;
+    const std::int64_t left =
+        request.deadline_ms -
+        static_cast<std::int64_t>(watch.elapsed_ms());
+    return left > 0 ? left : -1;
+  };
+  std::int64_t left = remaining();
+  if (request.deadline_ms != 0 && left < 0) return skip();
+
+  out.result =
+      synth::solve_sweep_point(*request.spec, sweep, request.point, left);
+  metrics_.counter("solver_probes_total").add(out.result.search.probes);
+  metrics_.counter(probe_counter_name(request.synthesis.backend))
+      .add(out.result.search.probes);
+
+  // Retry policy: a conflict-capped probe that came back unknown gets
+  // one more attempt with a raised cap before we report a mere bound.
+  if (out.result.status == smt::CheckResult::kUnknown &&
+      request.synthesis.check_conflict_limit > 0 &&
+      config_.retry_cap_factor > 0 && !cancelled()) {
+    left = remaining();
+    if (request.deadline_ms == 0 || left > 0) {
+      metrics_.counter("retries").inc();
+      out.retries = 1;
+      sweep.synthesis.check_conflict_limit *= config_.retry_cap_factor;
+      synth::SweepPointResult retried =
+          synth::solve_sweep_point(*request.spec, sweep, request.point, left);
+      metrics_.counter("solver_probes_total").add(retried.search.probes);
+      metrics_.counter(probe_counter_name(request.synthesis.backend))
+          .add(retried.search.probes);
+      retried.wall_seconds += out.result.wall_seconds;
+      out.result = std::move(retried);
+    }
+  }
+
+  metrics_.histogram("solve_ms").observe(out.result.wall_seconds * 1000.0);
+  cache_.insert(out.fingerprint, out.result);
+  return finish();
+}
+
+}  // namespace cs::service

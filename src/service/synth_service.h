@@ -1,0 +1,168 @@
+// SynthService — an in-process synthesis request service.
+//
+// Sits above synth::Synthesizer / synth::solve_sweep_point and below the
+// CLIs: callers submit independent synthesis requests (a spec plus one
+// objective point) and get a future for the outcome. The service adds
+// what ad-hoc Synthesizer construction cannot:
+//
+//   * result caching — requests are keyed by canonical spec fingerprint
+//     (model/fingerprint.h) mixed with the objective and solver options;
+//     a repeat of an already-answered request is served from the LRU
+//     ResultCache with zero solver probes, including *negative* answers
+//     (UNSAT verdicts with their threshold cores). Identical requests
+//     in flight at the same time are coalesced: duplicates wait for the
+//     first solve instead of re-solving (single-flight).
+//   * admission control — a bounded queue: submissions beyond
+//     `queue_limit` queued-but-not-started requests are rejected
+//     immediately and deterministically (never blocked), so overload
+//     sheds load instead of growing latency without bound. Per-request
+//     deadlines and cancellation tokens are honored cooperatively, the
+//     same way SweepEngine handles them.
+//   * retry policy — a conflict-limit-capped probe that came back
+//     kUnknown is re-run once with the cap raised by
+//     `retry_cap_factor` before the lower bound is reported.
+//   * metrics — every request feeds the MetricsRegistry (request/hit/
+//     rejection counters, per-backend probe counts, queue-wait and
+//     solve-time histograms).
+//
+// Threading model: a fixed util::ThreadPool; each request solves on a
+// fresh Synthesizer owned by its worker (the SweepEngine discipline), so
+// results are independent of worker count and identical to a direct
+// solve. The destructor drains queued requests, then joins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "model/fingerprint.h"
+#include "service/metrics_registry.h"
+#include "service/result_cache.h"
+#include "synth/sweep.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cs::service {
+
+/// One synthesis request: a shared read-only spec plus one objective
+/// point and the solver options to answer it with. The spec travels by
+/// shared_ptr so it outlives the caller for as long as workers need it.
+struct ServiceRequest {
+  std::shared_ptr<const model::ProblemSpec> spec;
+  /// Objective and thresholds (same vocabulary as a sweep grid point).
+  synth::SweepPoint point;
+  synth::SynthesisOptions synthesis;
+  synth::OptimizeOptions optimize;
+  synth::MinCostOptions min_cost;
+  /// Wall-clock budget from submission in ms (0 = none; negative =
+  /// already expired: the request is skipped, never solved).
+  std::int64_t deadline_ms = 0;
+  /// Optional cancellation token: raise it to skip the request if it has
+  /// not started solving yet.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Outcome of one request. `result` is a full sweep-point result (bound
+/// search or feasibility verdict, metrics, design, UNSAT core); the
+/// flags tell how it was obtained.
+struct ServiceOutcome {
+  /// True when admission control rejected the request (queue full). No
+  /// solving happened; `result` is empty with kUnknown status.
+  bool rejected = false;
+  /// True when the result came from the cache (zero solver probes).
+  bool cache_hit = false;
+  /// True when an identical request was already in flight and this one
+  /// waited for it instead of solving (counts as a cache hit too).
+  bool coalesced = false;
+  /// Conflict-cap retries spent on this request (0 or 1).
+  int retries = 0;
+  model::Fingerprint fingerprint;
+  synth::SweepPointResult result;
+  /// Enqueue → start wait.
+  double queue_ms = 0;
+  /// Enqueue → completion.
+  double total_ms = 0;
+};
+
+struct ServiceConfig {
+  /// Worker threads; 0 = one per hardware thread.
+  int workers = 1;
+  /// Maximum queued-but-not-started requests; submissions beyond it are
+  /// rejected immediately (running requests don't count).
+  std::size_t queue_limit = 64;
+  /// ResultCache entries.
+  std::size_t cache_capacity = 256;
+  /// Factor by which a conflict-limit-capped kUnknown probe's cap is
+  /// raised for its single retry; 0 disables the retry policy.
+  int retry_cap_factor = 4;
+  /// Observability hook: called on the worker thread when a request
+  /// starts executing (after dequeue, before the cache lookup). Used by
+  /// tests to control scheduling and by servers for request logging.
+  std::function<void(const ServiceRequest&)> on_start;
+};
+
+class SynthService {
+ public:
+  explicit SynthService(ServiceConfig config = {});
+
+  /// Drains queued requests, then joins the workers.
+  ~SynthService();
+
+  SynthService(const SynthService&) = delete;
+  SynthService& operator=(const SynthService&) = delete;
+
+  /// Submits a request. Never blocks on solving: over-limit submissions
+  /// resolve immediately with `rejected = true`. The future rethrows
+  /// util::Error for malformed requests (bad options), mirroring
+  /// SweepEngine::run.
+  std::future<ServiceOutcome> submit(ServiceRequest request);
+
+  /// Convenience: submit and wait.
+  ServiceOutcome solve(ServiceRequest request) {
+    return submit(std::move(request)).get();
+  }
+
+  /// Marks every queued-but-not-started request as skipped (running
+  /// requests finish normally).
+  void cancel_pending() {
+    cancel_all_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Cache key of a request: canonical spec digest mixed with the
+  /// objective point and the result-affecting solver options.
+  static model::Fingerprint request_fingerprint(
+      const ServiceRequest& request);
+
+  const ResultCache& cache() const { return cache_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  int workers() const { return workers_; }
+
+ private:
+  ServiceOutcome execute(const ServiceRequest& request,
+                         double queued_ms_at_start, util::Stopwatch watch);
+
+  ServiceConfig config_;
+  int workers_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+  std::atomic<bool> cancel_all_{false};
+
+  std::mutex mutex_;  // guards queued_ and inflight_
+  std::size_t queued_ = 0;
+  /// Single-flight table: fingerprint → completion signal of the request
+  /// currently solving it.
+  std::unordered_map<model::Fingerprint, std::shared_future<void>,
+                     model::FingerprintHash>
+      inflight_;
+
+  /// Last member: destroyed first, so workers drain while the members
+  /// above are still alive.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace cs::service

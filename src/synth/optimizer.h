@@ -52,12 +52,6 @@ struct BoundSearchResult {
   double solve_seconds = 0;
 };
 
-/// Deprecated pre-SweepEngine names, kept for one release.
-using OptimizeResult [[deprecated("use BoundSearchResult")]] =
-    BoundSearchResult;
-using MinCostResult [[deprecated("use BoundSearchResult")]] =
-    BoundSearchResult;
-
 /// Maximizes network isolation subject to usability ≥ `usability` and
 /// cost ≤ `budget`. Returns objective = kIsolation; `bound` is the largest
 /// isolation threshold proven satisfiable.

@@ -9,13 +9,10 @@
 
 namespace cs::synth {
 
-namespace {
-
-/// Solves one grid point on a Synthesizer owned by the calling worker.
-SweepPointResult solve_point(const model::ProblemSpec& spec,
-                             const SweepRequest& request,
-                             const SweepPoint& point,
-                             std::int64_t remaining_ms) {
+SweepPointResult solve_sweep_point(const model::ProblemSpec& spec,
+                                   const SweepRequest& request,
+                                   const SweepPoint& point,
+                                   std::int64_t remaining_ms) {
   SweepPointResult out;
   out.point = point;
 
@@ -50,6 +47,7 @@ SweepPointResult solve_point(const model::ProblemSpec& spec,
       SynthesisResult r = synth.synthesize(
           model::Sliders{point.isolation, point.usability, point.budget});
       out.status = r.status;
+      out.conflicting = std::move(r.conflicting);
       out.search.feasible = r.status == smt::CheckResult::kSat;
       out.search.exact = r.status != smt::CheckResult::kUnknown;
       out.search.probes = 1;
@@ -65,8 +63,6 @@ SweepPointResult solve_point(const model::ProblemSpec& spec,
   out.solver_memory_bytes = synth.backend().memory_bytes();
   return out;
 }
-
-}  // namespace
 
 std::string_view sweep_objective_name(SweepObjective objective) {
   switch (objective) {
@@ -122,13 +118,16 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
   SweepResult result;
   result.jobs = jobs;
   result.points.resize(request.points.size());
+  if (request.points.empty()) return result;  // nothing to schedule
 
   util::Stopwatch sweep_watch;
-  // Remaining budget when a point starts; <= 0 means "skip it". 0 from the
+  // Remaining budget when a point starts; < 0 means "skip it". 0 from the
   // caller means "no deadline" and stays 0 through the clamp in
-  // solve_point.
+  // solve_sweep_point; a negative caller deadline is already expired, so
+  // every point skips (grid shape preserved).
   const auto remaining_ms = [&]() -> std::int64_t {
-    if (request.deadline_ms <= 0) return 0;
+    if (request.deadline_ms == 0) return 0;
+    if (request.deadline_ms < 0) return -1;
     const std::int64_t left =
         request.deadline_ms -
         static_cast<std::int64_t>(sweep_watch.elapsed_ms());
@@ -150,7 +149,7 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
       return;
     }
     result.points[index] =
-        solve_point(spec_, request, request.points[index], left);
+        solve_sweep_point(spec_, request, request.points[index], left);
   };
 
   if (jobs <= 1 || request.points.size() <= 1) {

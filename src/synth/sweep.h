@@ -22,7 +22,9 @@
 // `SynthesisOptions::check_time_limit_ms` to the time remaining when the
 // point starts. Points that start after the deadline (or after `cancel` is
 // raised) are returned with `skipped = true` and kUnknown status — the
-// grid shape is always preserved.
+// grid shape is always preserved. A deadline that has already expired at
+// submit time (`deadline_ms < 0`) skips every point immediately, and an
+// empty grid returns at once; neither hangs or asserts.
 //
 // Caps and reproducibility. A wall-clock cap (`check_time_limit_ms`,
 // `deadline_ms`) expires under scheduler load, so a capped probe can
@@ -79,8 +81,9 @@ struct SweepRequest {
   /// Worker count; 0 = one per hardware thread, 1 = run on the calling
   /// thread (no pool).
   int jobs = 1;
-  /// Whole-sweep wall-clock cap in milliseconds (0 = none), enforced
-  /// cooperatively through SynthesisOptions::check_time_limit_ms.
+  /// Whole-sweep wall-clock cap in milliseconds (0 = none; negative =
+  /// already expired, all points skipped), enforced cooperatively through
+  /// SynthesisOptions::check_time_limit_ms.
   std::int64_t deadline_ms = 0;
   /// Optional cancellation token: set it (from any thread) to skip all
   /// points that have not started yet.
@@ -105,6 +108,10 @@ struct SweepPointResult {
   /// Verdict of the last probe: kSat iff feasible, kUnknown when capped
   /// or skipped.
   smt::CheckResult status = smt::CheckResult::kUnknown;
+  /// For kFeasibility points that came back kUnsat: the threshold
+  /// assumptions in the solver's unsat core (the service layer caches
+  /// these as the negative-result explanation).
+  std::vector<ThresholdKind> conflicting;
   /// Wall time of this point (encoding + all probes) on its worker.
   double wall_seconds = 0;
   double encode_seconds = 0;
@@ -132,6 +139,16 @@ struct SweepResult {
   /// True when any point was skipped by the deadline or cancellation.
   bool deadline_expired = false;
 };
+
+/// Solves one grid point on a fresh Synthesizer owned by the calling
+/// thread — the worker-task body of SweepEngine::run, exposed so request
+/// servers (src/service) solve exactly what a sweep would. `remaining_ms`
+/// > 0 clamps the per-check wall cap to that budget; 0 leaves the
+/// request's own caps in force.
+SweepPointResult solve_sweep_point(const model::ProblemSpec& spec,
+                                   const SweepRequest& request,
+                                   const SweepPoint& point,
+                                   std::int64_t remaining_ms = 0);
 
 /// Runs sweep grids against one read-only ProblemSpec. The spec must
 /// outlive the engine and must not be mutated while a sweep runs.

@@ -1,0 +1,278 @@
+// Stability tests for the canonical spec fingerprint (model/fingerprint.h).
+//
+// The contract under test: construction order never matters (links, flows,
+// CRs, user constraints, overrides can be added in any order), while every
+// semantic single-field change — one score, one CR, one link, α, a rank, a
+// slider, a device cost, the tunnel margin — changes the digest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "model/fingerprint.h"
+#include "spec_helpers.h"
+
+namespace cs::model {
+namespace {
+
+using cs::testing::make_example_spec;
+using cs::testing::make_random_spec;
+
+/// Rebuilds `spec` with every set-like container populated in reverse
+/// order: flows re-added back to front (remapping ranks and CRs through
+/// the canonical triple), links re-added back to front, user constraints
+/// and host requirements reversed, usability overrides re-applied in
+/// reverse. Nodes and services keep their order — ids are identity.
+ProblemSpec rebuild_reversed(const ProblemSpec& spec) {
+  ProblemSpec out;
+
+  const auto& net = spec.network;
+  for (const topology::Node& n : net.nodes()) {
+    switch (n.kind) {
+      case topology::NodeKind::kHost:
+        if (n.is_internet) {
+          out.network.add_internet(n.name);
+        } else {
+          out.network.add_host(n.name, n.group_size);
+        }
+        break;
+      case topology::NodeKind::kRouter:
+        out.network.add_router(n.name);
+        break;
+    }
+  }
+  const auto& links = net.links();
+  for (auto it = links.rbegin(); it != links.rend(); ++it)
+    out.network.add_link(it->a, it->b);
+
+  for (const Service& s : spec.services.all())
+    out.services.add(s.name, s.protocol, s.port);
+
+  const auto& flows = spec.flows.all();
+  for (auto it = flows.rbegin(); it != flows.rend(); ++it) out.flows.add(*it);
+  out.ranks = FlowRanks::uniform(out.flows);
+  for (FlowId id = 0; id < static_cast<FlowId>(flows.size()); ++id) {
+    const FlowId new_id = *out.flows.find(spec.flows.flow(id));
+    out.ranks.set(new_id, spec.ranks.rank(id));
+  }
+  const std::vector<FlowId> crs = spec.connectivity.sorted();
+  for (auto it = crs.rbegin(); it != crs.rend(); ++it)
+    out.connectivity.add(*out.flows.find(spec.flows.flow(*it)));
+
+  out.isolation = spec.isolation;
+  out.host_patterns = spec.host_patterns;
+  out.app_patterns = spec.app_patterns;
+  out.device_costs = spec.device_costs;
+  out.user_constraints.assign(spec.user_constraints.rbegin(),
+                              spec.user_constraints.rend());
+  out.host_requirements.assign(spec.host_requirements.rbegin(),
+                               spec.host_requirements.rend());
+  out.sliders = spec.sliders;
+  out.alpha = spec.alpha;
+  out.route_options = spec.route_options;
+  return out;
+}
+
+/// Example spec decorated with entries in every optional container, so
+/// the order-invariance test exercises all of them.
+ProblemSpec decorated_example() {
+  ProblemSpec spec = make_example_spec();
+  const ServiceId svc = 0;
+  const auto& hosts = spec.network.hosts();
+  spec.isolation.set_usability_override(IsolationPattern::kProxy, svc,
+                                        util::Fixed::from_double(0.5));
+  spec.isolation.set_usability_override(IsolationPattern::kTrustedComm, svc,
+                                        util::Fixed::from_double(0.25));
+  spec.user_constraints.push_back(
+      ForbidPatternForService{svc, IsolationPattern::kTrustedComm});
+  spec.user_constraints.push_back(ForbidPatternForFlow{
+      Flow{hosts[0], hosts[1], svc}, IsolationPattern::kProxy});
+  spec.user_constraints.push_back(DenyOneOf{Flow{hosts[0], hosts[2], svc},
+                                            Flow{hosts[2], hosts[0], svc}});
+  spec.host_requirements.push_back(
+      HostIsolationRequirement{hosts[3], util::Fixed::from_int(2)});
+  spec.host_requirements.push_back(
+      HostIsolationRequirement{hosts[4], util::Fixed::from_int(4)});
+  return spec;
+}
+
+TEST(Fingerprint, DeterministicAcrossCalls) {
+  const ProblemSpec spec = make_example_spec();
+  EXPECT_EQ(fingerprint_spec(spec), fingerprint_spec(spec));
+  EXPECT_EQ(fingerprint_spec(spec).to_string(),
+            fingerprint_spec(make_example_spec()).to_string());
+}
+
+TEST(Fingerprint, RequiresFinalizedSpec) {
+  ProblemSpec spec = make_example_spec();
+  spec.flows.add(Flow{spec.network.hosts()[0], spec.network.hosts()[1],
+                      spec.services.add("extra", 6, 99)});
+  // Flow count and rank table now disagree: not finalized.
+  EXPECT_THROW(fingerprint_spec(spec), util::SpecError);
+}
+
+TEST(Fingerprint, ConstructionOrderDoesNotMatter) {
+  const ProblemSpec spec = decorated_example();
+  const ProblemSpec reversed = rebuild_reversed(spec);
+  // Sanity: the rebuild really did permute the underlying storage.
+  ASSERT_NE(spec.flows.flow(0), reversed.flows.flow(0));
+  ASSERT_FALSE(spec.network.links()[0].a == reversed.network.links()[0].a &&
+               spec.network.links()[0].b == reversed.network.links()[0].b);
+  EXPECT_EQ(fingerprint_spec(spec), fingerprint_spec(reversed));
+}
+
+TEST(Fingerprint, ConstructionOrderDoesNotMatterOnRandomSpecs) {
+  for (const std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    const ProblemSpec spec = make_random_spec(seed, 8, 4, 0.2);
+    const ProblemSpec reversed = rebuild_reversed(spec);
+    EXPECT_EQ(fingerprint_spec(spec), fingerprint_spec(reversed))
+        << "seed " << seed;
+  }
+}
+
+// Every mutation below must move the digest. The lambdas receive a fresh
+// finalized example spec and flip exactly one semantic field.
+struct Mutation {
+  const char* name;
+  void (*apply)(ProblemSpec&);
+};
+
+const Mutation kMutations[] = {
+    {"alpha",
+     [](ProblemSpec& s) { s.alpha = util::Fixed::from_double(0.71); }},
+    {"slider_isolation",
+     [](ProblemSpec& s) {
+       s.sliders.isolation = s.sliders.isolation + util::Fixed::from_raw(1);
+     }},
+    {"slider_usability",
+     [](ProblemSpec& s) {
+       s.sliders.usability = s.sliders.usability + util::Fixed::from_raw(1);
+     }},
+    {"slider_budget",
+     [](ProblemSpec& s) {
+       s.sliders.budget = s.sliders.budget + util::Fixed::from_int(1);
+     }},
+    {"pattern_score",
+     [](ProblemSpec& s) {
+       s.isolation.set_score(IsolationPattern::kProxy,
+                             s.isolation.score(IsolationPattern::kProxy) +
+                                 util::Fixed::from_raw(1));
+     }},
+    {"pattern_usability",
+     [](ProblemSpec& s) {
+       s.isolation.set_usability(IsolationPattern::kProxy,
+                                 util::Fixed::from_double(0.9));
+     }},
+    {"usability_override",
+     [](ProblemSpec& s) {
+       s.isolation.set_usability_override(IsolationPattern::kProxy, 0,
+                                          util::Fixed::from_double(0.5));
+     }},
+    {"tunnel_margin",
+     [](ProblemSpec& s) {
+       s.isolation.set_tunnel_margin(s.isolation.tunnel_margin() + 1);
+     }},
+    {"device_cost",
+     [](ProblemSpec& s) {
+       s.device_costs.set(DeviceType::kIds,
+                          s.device_costs.cost(DeviceType::kIds) +
+                              util::Fixed::from_int(1));
+     }},
+    {"one_rank",
+     [](ProblemSpec& s) { s.ranks.set(0, util::Fixed::from_double(0.5)); }},
+    {"add_link",
+     [](ProblemSpec& s) {
+       s.network.add_link(s.network.hosts()[0], s.network.hosts()[1]);
+     }},
+    {"add_cr",
+     [](ProblemSpec& s) {
+       // Mark some flow that is not yet a CR as required.
+       for (FlowId id = 0; id < static_cast<FlowId>(s.flows.size()); ++id) {
+         if (!s.connectivity.required(id)) {
+           s.connectivity.add(id);
+           return;
+         }
+       }
+     }},
+    {"drop_cr",
+     [](ProblemSpec& s) {
+       ConnectivityRequirements kept;
+       const std::vector<FlowId> crs = s.connectivity.sorted();
+       for (std::size_t i = 1; i < crs.size(); ++i) kept.add(crs[i]);
+       s.connectivity = kept;
+     }},
+    {"add_user_constraint",
+     [](ProblemSpec& s) {
+       s.user_constraints.push_back(
+           ForbidPatternForService{0, IsolationPattern::kTrustedComm});
+     }},
+    {"add_host_requirement",
+     [](ProblemSpec& s) {
+       s.host_requirements.push_back(HostIsolationRequirement{
+           s.network.hosts()[0], util::Fixed::from_int(3)});
+     }},
+    {"route_options",
+     [](ProblemSpec& s) { s.route_options.max_routes += 1; }},
+    {"add_flow",
+     [](ProblemSpec& s) {
+       const ServiceId extra = s.services.add("extra", 6, 99);
+       s.flows.add(
+           Flow{s.network.hosts()[0], s.network.hosts()[1], extra});
+       s.ranks = FlowRanks::uniform(s.flows);
+     }},
+};
+
+TEST(Fingerprint, EverySingleFieldMutationChangesTheDigest) {
+  const Fingerprint base = fingerprint_spec(make_example_spec());
+  std::set<std::string> seen = {base.to_string()};
+  for (const Mutation& m : kMutations) {
+    ProblemSpec spec = make_example_spec();
+    m.apply(spec);
+    const Fingerprint fp = fingerprint_spec(spec);
+    EXPECT_NE(fp, base) << "mutation '" << m.name
+                        << "' did not change the fingerprint";
+    // All mutations must also be pairwise distinct — a hasher that
+    // collapses different fields into the same digest would pass the
+    // base != mutated check and still be broken.
+    EXPECT_TRUE(seen.insert(fp.to_string()).second)
+        << "mutation '" << m.name << "' collides with an earlier digest";
+  }
+}
+
+TEST(Fingerprint, MutationsChangeDigestOnRandomSpecs) {
+  // Property-style: across generated topologies, α / slider / score /
+  // rank nudges always move the digest, and specs from different seeds
+  // never collide.
+  std::set<std::string> digests;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ProblemSpec spec = make_random_spec(seed, 6 + seed % 5, 3 + seed % 3,
+                                        0.15);
+    const Fingerprint base = fingerprint_spec(spec);
+    EXPECT_TRUE(digests.insert(base.to_string()).second)
+        << "seed " << seed << " collides with an earlier seed";
+
+    ProblemSpec alpha = spec;
+    alpha.alpha = alpha.alpha + util::Fixed::from_raw(1);
+    EXPECT_NE(fingerprint_spec(alpha), base) << "seed " << seed;
+
+    ProblemSpec slider = spec;
+    slider.sliders.budget = slider.sliders.budget + util::Fixed::from_raw(1);
+    EXPECT_NE(fingerprint_spec(slider), base) << "seed " << seed;
+
+    ProblemSpec score = spec;
+    score.isolation.set_score(IsolationPattern::kPayloadInspection,
+                              score.isolation.score(
+                                  IsolationPattern::kPayloadInspection) +
+                                  util::Fixed::from_raw(1));
+    EXPECT_NE(fingerprint_spec(score), base) << "seed " << seed;
+
+    ProblemSpec rank = spec;
+    rank.ranks.set(static_cast<FlowId>(seed % spec.flows.size()),
+                   util::Fixed::from_double(0.123));
+    EXPECT_NE(fingerprint_spec(rank), base) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cs::model

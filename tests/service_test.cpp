@@ -1,0 +1,378 @@
+// Tests for the synthesis service layer (src/service):
+//   * ResultCache — LRU eviction, stats, negative-result entries.
+//   * SynthService — the acceptance triad: (a) a repeated identical
+//     request is served from cache with zero additional solver probes
+//     (proved via MetricsRegistry counters), (b) cached and
+//     freshly-solved results for one fingerprint are byte-identical,
+//     (c) queue overflow is rejected deterministically, never blocked.
+//     Plus deadlines, cancellation, retry policy and single-flight
+//     coalescing.
+//
+// Everything runs on both backends; the MiniPB cases double as TSan
+// coverage (scripts/run_all.sh runs the filter '*MiniPb*:ResultCache*:
+// Metrics*' under -DCONFIGSYNTH_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/synth_service.h"
+#include "spec_helpers.h"
+
+namespace cs::service {
+namespace {
+
+using cs::testing::make_example_spec;
+using smt::BackendKind;
+using smt::CheckResult;
+
+/// Deterministic per-check effort cap (see sweep_test.cpp): boundary
+/// probes are exponential, and a conflict cap expires as a pure function
+/// of the formula, so capped runs reproduce across worker counts.
+std::int64_t effort_cap(BackendKind backend) {
+  return backend == BackendKind::kZ3 ? 2'000'000 : 20'000;
+}
+
+std::shared_ptr<const model::ProblemSpec> shared_example_spec() {
+  return std::make_shared<const model::ProblemSpec>(make_example_spec());
+}
+
+ServiceRequest feasibility_request(
+    std::shared_ptr<const model::ProblemSpec> spec, BackendKind backend,
+    util::Fixed isolation, util::Fixed usability, util::Fixed budget) {
+  ServiceRequest req;
+  req.spec = std::move(spec);
+  req.point.objective = synth::SweepObjective::kFeasibility;
+  req.point.isolation = isolation;
+  req.point.usability = usability;
+  req.point.budget = budget;
+  req.synthesis.backend = backend;
+  req.synthesis.check_conflict_limit = effort_cap(backend);
+  return req;
+}
+
+/// Everything except wall-clock timings must match bit for bit.
+void expect_payload_identical(const synth::SweepPointResult& a,
+                              const synth::SweepPointResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.conflicting, b.conflicting);
+  EXPECT_EQ(a.search.objective, b.search.objective);
+  EXPECT_EQ(a.search.feasible, b.search.feasible);
+  EXPECT_EQ(a.search.exact, b.search.exact);
+  EXPECT_EQ(a.search.bound, b.search.bound);
+  EXPECT_EQ(a.search.metrics, b.search.metrics);
+  EXPECT_EQ(a.search.design, b.search.design);
+  EXPECT_EQ(a.search.probes, b.search.probes);
+}
+
+// ---- ResultCache -----------------------------------------------------------
+
+model::Fingerprint key_of(int i) {
+  model::FingerprintHasher h;
+  h.mix_i64(i);
+  return h.digest();
+}
+
+TEST(ResultCache, LruEvictionAndStats) {
+  ResultCache cache(2);
+  synth::SweepPointResult r;
+  r.status = CheckResult::kSat;
+  cache.insert(key_of(1), r);
+  cache.insert(key_of(2), r);
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());  // 1 becomes MRU
+  cache.insert(key_of(3), r);                        // evicts 2 (LRU)
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3)).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, NegativeEntriesCountedSeparately) {
+  ResultCache cache(4);
+  synth::SweepPointResult unsat;
+  unsat.status = CheckResult::kUnsat;
+  unsat.conflicting = {synth::ThresholdKind::kIsolation,
+                       synth::ThresholdKind::kCost};
+  cache.insert(key_of(1), unsat);
+  const auto hit = cache.lookup(key_of(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status, CheckResult::kUnsat);
+  ASSERT_EQ(hit->conflicting.size(), 2u);  // the relaxation core survives
+  EXPECT_EQ(cache.stats().negative_hits, 1);
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+TEST(Metrics, CountersAndHistogramsRender) {
+  MetricsRegistry reg;
+  reg.counter("requests_total").add(3);
+  reg.counter("requests_total").inc();
+  EXPECT_EQ(reg.counter_value("requests_total"), 4);
+  EXPECT_EQ(reg.counter_value("never_created"), 0);
+  reg.histogram("solve_ms").observe(0.5);
+  reg.histogram("solve_ms").observe(7.0);
+  reg.histogram("solve_ms").observe(20000.0);  // overflow bucket
+  EXPECT_EQ(reg.histogram("solve_ms").count(), 3);
+  EXPECT_DOUBLE_EQ(reg.histogram("solve_ms").min_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(reg.histogram("solve_ms").max_ms(), 20000.0);
+  const auto buckets = reg.histogram("solve_ms").buckets();
+  ASSERT_EQ(buckets.size(), Histogram::bucket_bounds().size() + 1);
+  EXPECT_EQ(buckets.front(), 1);  // 0.5 <= 1
+  EXPECT_EQ(buckets.back(), 1);   // 20000 > every finite bound
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("requests_total"), std::string::npos);
+  EXPECT_NE(text.find("solve_ms"), std::string::npos);
+}
+
+// ---- SynthService acceptance triad -----------------------------------------
+
+class BackendServiceTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(BackendServiceTest, RepeatRequestHitsCacheWithZeroProbes) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthService service(config);
+  const auto spec = shared_example_spec();
+  const ServiceRequest req = feasibility_request(
+      spec, GetParam(), spec->sliders.isolation, spec->sliders.usability,
+      spec->sliders.budget);
+
+  const ServiceOutcome first = service.solve(req);
+  ASSERT_FALSE(first.rejected);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.result.status, CheckResult::kSat);
+  const std::int64_t probes_after_first =
+      service.metrics().counter_value("solver_probes_total");
+  EXPECT_GT(probes_after_first, 0);
+
+  const ServiceOutcome second = service.solve(req);
+  EXPECT_TRUE(second.cache_hit);
+  // (a) zero additional solver probes, proved by the registry counter.
+  EXPECT_EQ(service.metrics().counter_value("solver_probes_total"),
+            probes_after_first);
+  EXPECT_EQ(service.metrics().counter_value("cache_hits"), 1);
+  // (b) the cached payload is identical to the freshly-solved one.
+  expect_payload_identical(first.result, second.result);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+}
+
+TEST_P(BackendServiceTest, CachedResultIdenticalToIndependentFreshSolve) {
+  // Solve the same request in two *separate* services (disjoint caches):
+  // the cached copy one service returns must equal what the other
+  // freshly computes — cached results are not allowed to drift.
+  const auto spec = shared_example_spec();
+  const ServiceRequest req = feasibility_request(
+      spec, GetParam(), spec->sliders.isolation, spec->sliders.usability,
+      spec->sliders.budget);
+  SynthService warm{ServiceConfig{}};
+  SynthService cold{ServiceConfig{}};
+  (void)warm.solve(req);                          // prime the warm cache
+  const ServiceOutcome cached = warm.solve(req);  // served from cache
+  const ServiceOutcome fresh = cold.solve(req);   // full solve
+  ASSERT_TRUE(cached.cache_hit);
+  ASSERT_FALSE(fresh.cache_hit);
+  expect_payload_identical(cached.result, fresh.result);
+}
+
+TEST_P(BackendServiceTest, UnsatVerdictIsCachedWithCore) {
+  SynthService service{ServiceConfig{}};
+  const auto spec = shared_example_spec();
+  // Overtight triple (cf. sweep_test): isolation 10 / usability 10 at a
+  // $5K budget is unsatisfiable.
+  const ServiceRequest req = feasibility_request(
+      spec, GetParam(), util::Fixed::from_int(10), util::Fixed::from_int(10),
+      util::Fixed::from_int(5));
+  const ServiceOutcome first = service.solve(req);
+  ASSERT_EQ(first.result.status, CheckResult::kUnsat);
+  EXPECT_FALSE(first.result.conflicting.empty());
+  const std::int64_t probes =
+      service.metrics().counter_value("solver_probes_total");
+  const ServiceOutcome second = service.solve(req);
+  EXPECT_TRUE(second.cache_hit);  // negative result served from cache
+  EXPECT_EQ(second.result.status, CheckResult::kUnsat);
+  EXPECT_EQ(second.result.conflicting, first.result.conflicting);
+  EXPECT_EQ(service.metrics().counter_value("solver_probes_total"), probes);
+  EXPECT_EQ(service.cache().stats().negative_hits, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendServiceTest,
+                         ::testing::Values(BackendKind::kZ3,
+                                           BackendKind::kMiniPb),
+                         [](const auto& info) {
+                           return info.param == BackendKind::kZ3 ? "z3"
+                                                                 : "minipb";
+                         });
+
+// ---- Admission control / deadlines / coalescing (MiniPB, TSan-covered) -----
+
+/// Gate that blocks the service's single worker inside on_start until
+/// the test releases it — makes queue-overflow tests deterministic.
+class Gate {
+ public:
+  void block_first_entry() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool first = !entered_;
+    entered_ = true;
+    entered_cv_.notify_all();
+    if (first) release_cv_.wait(lock, [this] { return released_; });
+  }
+  void wait_until_entered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable entered_cv_, release_cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(SynthServiceMiniPb, QueueOverflowRejectsDeterministically) {
+  Gate gate;
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_limit = 2;
+  config.on_start = [&gate](const ServiceRequest&) {
+    gate.block_first_entry();
+  };
+  SynthService service(config);
+  const auto spec = shared_example_spec();
+  const auto req = [&](int isolation) {
+    return feasibility_request(spec, BackendKind::kMiniPb,
+                               util::Fixed::from_int(isolation),
+                               util::Fixed::from_int(0),
+                               util::Fixed::from_int(60));
+  };
+
+  // First request starts executing and parks in on_start; the worker is
+  // now busy, so subsequent submissions stack up in the queue.
+  auto running = service.submit(req(0));
+  gate.wait_until_entered();
+  auto queued_a = service.submit(req(1));  // queue depth 1
+  auto queued_b = service.submit(req(2));  // queue depth 2 = limit
+  auto rejected = service.submit(req(3));  // (c) over limit: rejected now
+
+  // The rejection resolves immediately — before the worker is released —
+  // so it provably never blocked on solving.
+  const ServiceOutcome over = rejected.get();
+  EXPECT_TRUE(over.rejected);
+  EXPECT_EQ(over.result.status, CheckResult::kUnknown);
+  EXPECT_EQ(service.metrics().counter_value("rejected"), 1);
+
+  gate.release();
+  EXPECT_FALSE(running.get().rejected);
+  EXPECT_FALSE(queued_a.get().rejected);
+  EXPECT_FALSE(queued_b.get().rejected);
+  EXPECT_EQ(service.metrics().counter_value("requests_total"), 4);
+}
+
+TEST(SynthServiceMiniPb, ExpiredDeadlineSkipsWithoutSolving) {
+  SynthService service{ServiceConfig{}};
+  const auto spec = shared_example_spec();
+  ServiceRequest req = feasibility_request(
+      spec, BackendKind::kMiniPb, spec->sliders.isolation,
+      spec->sliders.usability, spec->sliders.budget);
+  req.deadline_ms = -1;  // already expired at submit time
+  const ServiceOutcome out = service.solve(req);
+  EXPECT_FALSE(out.rejected);
+  EXPECT_TRUE(out.result.skipped);
+  EXPECT_EQ(out.result.status, CheckResult::kUnknown);
+  EXPECT_EQ(service.metrics().counter_value("solver_probes_total"), 0);
+  // Skipped results must not poison the cache.
+  req.deadline_ms = 0;
+  const ServiceOutcome solved = service.solve(req);
+  EXPECT_FALSE(solved.result.skipped);
+  EXPECT_EQ(solved.result.status, CheckResult::kSat);
+}
+
+TEST(SynthServiceMiniPb, CancellationTokenSkipsPendingRequests) {
+  SynthService service{ServiceConfig{}};
+  const auto spec = shared_example_spec();
+  std::atomic<bool> cancel{true};  // raised before submission
+  ServiceRequest req = feasibility_request(
+      spec, BackendKind::kMiniPb, spec->sliders.isolation,
+      spec->sliders.usability, spec->sliders.budget);
+  req.cancel = &cancel;
+  const ServiceOutcome out = service.solve(req);
+  EXPECT_TRUE(out.result.skipped);
+  EXPECT_EQ(service.metrics().counter_value("solver_probes_total"), 0);
+}
+
+TEST(SynthServiceMiniPb, RetryRaisesConflictCapOnce) {
+  // A 1-conflict cap makes the first probe expire; the retry (cap × a
+  // large factor) then decides the instance. The outcome must be the
+  // decided verdict, with exactly one retry counted.
+  ServiceConfig config;
+  config.retry_cap_factor = 100000;
+  SynthService service(config);
+  const auto spec = shared_example_spec();
+  ServiceRequest req = feasibility_request(
+      spec, BackendKind::kMiniPb, spec->sliders.isolation,
+      spec->sliders.usability, spec->sliders.budget);
+  req.synthesis.check_conflict_limit = 1;
+  const ServiceOutcome out = service.solve(req);
+  EXPECT_EQ(out.retries, 1);
+  EXPECT_EQ(service.metrics().counter_value("retries"), 1);
+  EXPECT_EQ(out.result.status, CheckResult::kSat);
+}
+
+TEST(SynthServiceMiniPb, ConcurrentIdenticalRequestsCoalesce) {
+  // 8 identical requests on 4 workers: single-flight guarantees exactly
+  // one solve; everyone else is served from cache (possibly after
+  // waiting on the in-flight primary).
+  ServiceConfig config;
+  config.workers = 4;
+  SynthService service(config);
+  const auto spec = shared_example_spec();
+  const ServiceRequest req = feasibility_request(
+      spec, BackendKind::kMiniPb, spec->sliders.isolation,
+      spec->sliders.usability, spec->sliders.budget);
+  std::vector<std::future<ServiceOutcome>> pending;
+  for (int i = 0; i < 8; ++i) pending.push_back(service.submit(req));
+  int hits = 0;
+  for (auto& f : pending) {
+    const ServiceOutcome out = f.get();
+    ASSERT_FALSE(out.rejected);
+    EXPECT_EQ(out.result.status, CheckResult::kSat);
+    hits += out.cache_hit ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 7);  // one primary solve, seven cache hits
+  EXPECT_EQ(service.metrics().counter_value("cache_misses"), 1);
+  const std::int64_t one_solve_probes =
+      service.metrics().counter_value("solver_probes_total");
+  SynthService single{ServiceConfig{}};
+  (void)single.solve(req);
+  EXPECT_EQ(one_solve_probes,
+            single.metrics().counter_value("solver_probes_total"));
+}
+
+TEST(SynthServiceMiniPb, MalformedRequestRethrowsFromFuture) {
+  SynthService service{ServiceConfig{}};
+  const auto spec = shared_example_spec();
+  ServiceRequest req;
+  req.spec = spec;
+  req.point.objective = synth::SweepObjective::kMaxIsolation;
+  req.point.usability = util::Fixed::from_int(0);
+  req.point.budget = util::Fixed::from_int(20);
+  req.synthesis.backend = BackendKind::kMiniPb;
+  req.optimize.resolution = util::Fixed{};  // invalid: must throw
+  EXPECT_THROW(service.solve(req), util::Error);
+}
+
+}  // namespace
+}  // namespace cs::service

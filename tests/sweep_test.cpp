@@ -217,6 +217,40 @@ TEST(SweepEngineMiniPb, CancellationSkipsRemainingPoints) {
   }
 }
 
+TEST(SweepEngineMiniPb, EmptyGridReturnsImmediately) {
+  const model::ProblemSpec spec = make_example_spec();
+  SweepRequest request;  // no points
+  request.synthesis.backend = BackendKind::kMiniPb;
+  request.jobs = 4;
+  const SweepResult result = SweepEngine(spec).run(request);
+  EXPECT_TRUE(result.points.empty());
+  EXPECT_EQ(result.total_probes, 0);
+  EXPECT_FALSE(result.deadline_expired);
+  EXPECT_EQ(result.jobs, 4);
+}
+
+TEST(SweepEngineMiniPb, AlreadyExpiredDeadlineSkipsEveryPoint) {
+  const model::ProblemSpec spec = make_example_spec();
+  SweepRequest request = SweepRequest::max_isolation_grid(
+      {util::Fixed::from_int(0), util::Fixed::from_int(5)},
+      {util::Fixed::from_int(20), util::Fixed::from_int(40)});
+  request.synthesis.backend = BackendKind::kMiniPb;
+  request.jobs = 2;
+  request.deadline_ms = -1;  // expired before the sweep begins
+  const SweepResult result = SweepEngine(spec).run(request);
+  ASSERT_EQ(result.points.size(), 4u);  // grid shape preserved
+  EXPECT_TRUE(result.deadline_expired);
+  EXPECT_EQ(result.total_probes, 0);
+  for (const SweepPointResult& p : result.points) {
+    EXPECT_TRUE(p.skipped);
+    EXPECT_EQ(p.status, smt::CheckResult::kUnknown);
+    EXPECT_FALSE(p.search.exact);
+  }
+  // Grid order survives the mass skip: floor-major.
+  EXPECT_EQ(result.points[0].point.usability, util::Fixed::from_int(0));
+  EXPECT_EQ(result.points[3].point.usability, util::Fixed::from_int(5));
+}
+
 TEST(SweepEngineMiniPb, WorkerExceptionPropagatesToCaller) {
   const model::ProblemSpec spec = make_example_spec();
   SweepRequest request = SweepRequest::max_isolation_grid(
