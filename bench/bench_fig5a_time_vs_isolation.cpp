@@ -7,9 +7,14 @@
 // where both are still satisfiable.
 //
 // The grid runs on the sweep engine (fresh synthesizer per point — the
-// paper measures cold solves). `--jobs N` parallelizes the points; note
-// that concurrent workers contend for cores, so keep the default serial
-// run when the per-point times themselves are the result.
+// paper measures cold solves, and the emitted times are the cold run's).
+// A second, warm-started pass (synth/sweep.h) then re-solves the same
+// grid by swapping threshold assumptions on per-worker synthesizers; the
+// closing effort lines compare the two modes' encode time and solver
+// conflicts — the deltas warm start exists to save. `--jobs N`
+// parallelizes the points; note that concurrent workers contend for
+// cores, so keep the default serial run when the per-point times
+// themselves are the result.
 #include "common/workloads.h"
 #include "synth/sweep.h"
 
@@ -33,25 +38,26 @@ int main(int argc, char** argv) {
   synth::SweepRequest request = synth::SweepRequest::feasibility_grid(grid);
   request.synthesis = bench::options();
   request.jobs = bench::jobs(argc, argv);
-  const synth::SweepResult sweep = synth::SweepEngine(spec).run(request);
+  const synth::SweepEngine engine(spec);
+  const synth::SweepResult sweep = engine.run(request);
+  request.warm_start = true;
+  const synth::SweepResult warm = engine.run(request);
 
   std::vector<std::vector<std::string>> rows;
   for (std::size_t i = 0; i < sweep.points.size();
        i += usabilities.size()) {
     std::vector<std::string> row{
         sweep.points[i].point.isolation.to_string()};
-    for (std::size_t u = 0; u < usabilities.size(); ++u) {
-      const synth::SweepPointResult& p = sweep.points[i + u];
-      row.push_back(bench::fmt_seconds(p.wall_seconds) +
-                    (p.status == smt::CheckResult::kSat ? "" : " (unsat)"));
-    }
+    for (std::size_t u = 0; u < usabilities.size(); ++u)
+      row.push_back(bench::fmt_time_cell(sweep.points[i + u]));
     rows.push_back(std::move(row));
   }
   bench::emit("fig5a_time_vs_isolation",
               "Fig 5(a): synthesis time vs isolation constraint",
               {"isolation", "time(s)@U3", "time(s)@U5"}, rows);
-  std::printf("(%d worker(s), %.3fs wall, peak solver %.1f MB)\n",
-              sweep.jobs, sweep.wall_seconds,
+  std::printf("(peak solver %.1f MB)\n",
               static_cast<double>(sweep.peak_solver_memory_bytes) / 1e6);
+  bench::print_sweep_effort("cold", sweep);
+  bench::print_sweep_effort("warm", warm);
   return 0;
 }

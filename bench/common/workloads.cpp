@@ -118,4 +118,32 @@ std::string fmt_seconds(double s) {
   return buf;
 }
 
+std::string fmt_isolation_cell(const synth::SweepPointResult& point) {
+  if (point.skipped) return "skipped";
+  const synth::BoundSearchResult& best = point.search;
+  if (best.feasible)
+    return best.bound.to_string() + (best.exact ? "" : " (>=)");
+  return best.exact ? "infeasible" : "timeout";
+}
+
+std::string fmt_time_cell(const synth::SweepPointResult& point) {
+  if (point.skipped) return "skipped";
+  return fmt_seconds(point.wall_seconds) +
+         (point.status == smt::CheckResult::kSat ? "" : " (unsat)");
+}
+
+void print_sweep_effort(const char* label, const synth::SweepResult& sweep) {
+  std::printf(
+      "%-4s: %d worker(s), %.3fs wall, %.3fs encode, %d probes, "
+      "%lld conflicts, %lld propagations, %lld restarts",
+      label, sweep.jobs, sweep.wall_seconds, sweep.total_encode_seconds,
+      sweep.total_probes,
+      static_cast<long long>(sweep.total_solver.conflicts),
+      static_cast<long long>(sweep.total_solver.propagations),
+      static_cast<long long>(sweep.total_solver.restarts));
+  if (sweep.warm_reuses > 0)
+    std::printf(", %d warm re-solve(s)", sweep.warm_reuses);
+  std::printf("\n");
+}
+
 }  // namespace cs::bench

@@ -17,6 +17,7 @@
 
 #include "model/spec.h"
 #include "smt/ir.h"
+#include "synth/sweep.h"
 #include "synth/synthesizer.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -89,5 +90,22 @@ void emit(const std::string& name, const std::string& title,
 
 /// Formats seconds with millisecond resolution.
 std::string fmt_seconds(double s);
+
+/// Renders a kMaxIsolation grid cell from the search's converged bound —
+/// a property of the formula (identical on warm and cold sweeps), unlike
+/// the witness design's achieved isolation, which depends on the model
+/// the solver happened to return. "(>=)" marks a one-sided bound from a
+/// capped probe; infeasible/timeout/skipped points are named as such.
+std::string fmt_isolation_cell(const synth::SweepPointResult& point);
+
+/// Renders a kFeasibility timing cell: wall seconds plus an "(unsat)"
+/// marker when the point's verdict was negative.
+std::string fmt_time_cell(const synth::SweepPointResult& point);
+
+/// Prints a one-line effort summary of a sweep: wall clock, total encode
+/// time, probe count and the backend's conflict/propagation/restart
+/// totals. Cold-vs-warm benches print one line per mode, making the
+/// encode and conflict savings of warm start directly comparable.
+void print_sweep_effort(const char* label, const synth::SweepResult& sweep);
 
 }  // namespace cs::bench

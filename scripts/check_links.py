@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation tree.
+
+Scans every top-level *.md plus docs/*.md for inline links and verifies
+that intra-repo targets resolve:
+
+  * relative file links must point at an existing file or directory
+    (resolved against the linking file's directory);
+  * fragment links (foo.md#section or a bare #section) must match a
+    heading in the target file, using GitHub's anchor slug rules;
+  * external schemes (http, https, mailto) are skipped — CI must not
+    depend on the network.
+
+Exits non-zero listing every dead link. Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor for a heading: lowercase, strip punctuation,
+    spaces to hyphens (backtick/emphasis markers removed)."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", text.lower())
+
+
+def headings_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def links_of(path: Path):
+    """Yields (line number, raw target) for every link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(md: Path, repo: Path) -> list[str]:
+    errors = []
+    for lineno, target in links_of(md):
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(repo)}:{lineno}: dead link "
+                    f"'{target}' (no such file)"
+                )
+                continue
+        else:
+            resolved = md.resolve()
+        if fragment and resolved.suffix == ".md" and resolved.is_file():
+            if fragment.lower() not in headings_of(resolved):
+                errors.append(
+                    f"{md.relative_to(repo)}:{lineno}: dead anchor "
+                    f"'{target}' (no heading '#{fragment}')"
+                )
+    return errors
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    files = sorted(repo.glob("*.md")) + sorted((repo / "docs").glob("*.md"))
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, repo))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(
+        f"check_links: {len(files)} files, "
+        f"{len(errors)} dead link(s)" + ("" if errors else " — OK")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

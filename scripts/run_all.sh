@@ -35,3 +35,5 @@ for b in build/bench/bench_*; do
   echo "### $b"
   "$b"
 done 2>&1 | tee bench_output.txt
+
+echo "Artifacts written. What each bench/CSV means: docs/BENCHMARKS.md"

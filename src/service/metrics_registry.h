@@ -44,6 +44,7 @@ class Histogram {
  public:
   Histogram();
 
+  /// Records one latency sample (milliseconds).
   void observe(double ms);
 
   std::int64_t count() const;

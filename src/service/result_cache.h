@@ -26,6 +26,7 @@
 
 namespace cs::service {
 
+/// Monotonic cache counters, snapshotted by `ResultCache::stats()`.
 struct CacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
@@ -35,6 +36,8 @@ struct CacheStats {
   std::int64_t negative_hits = 0;
 };
 
+/// The bounded LRU map described in the header comment. All methods are
+/// safe to call concurrently.
 class ResultCache {
  public:
   /// `capacity` = maximum number of entries (≥ 1).

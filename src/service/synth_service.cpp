@@ -1,5 +1,6 @@
 #include "service/synth_service.h"
 
+#include <iterator>
 #include <utility>
 
 #include "util/error.h"
@@ -15,6 +16,16 @@ const char* probe_counter_name(smt::BackendKind kind) {
 }
 
 }  // namespace
+
+void SynthService::record_solver_effort(const synth::SweepPointResult& r,
+                                        smt::BackendKind backend) {
+  metrics_.counter("solver_probes_total").add(r.search.probes);
+  metrics_.counter(probe_counter_name(backend)).add(r.search.probes);
+  metrics_.counter("solver_conflicts_total").add(r.solver.conflicts);
+  metrics_.counter("solver_propagations_total").add(r.solver.propagations);
+  metrics_.counter("solver_decisions_total").add(r.solver.decisions);
+  metrics_.counter("solver_restarts_total").add(r.solver.restarts);
+}
 
 SynthService::SynthService(ServiceConfig config)
     : config_(std::move(config)),
@@ -45,10 +56,66 @@ model::Fingerprint SynthService::request_fingerprint(
   h.mix_i64(static_cast<std::int64_t>(request.synthesis.backend));
   h.mix_i64(request.synthesis.check_time_limit_ms);
   h.mix_i64(request.synthesis.check_conflict_limit);
+  h.mix_i64(static_cast<std::int64_t>(request.synthesis.threshold_mode));
   h.mix_fixed(request.optimize.resolution);
   h.mix_fixed(request.min_cost.resolution);
   h.mix_fixed(request.min_cost.max_budget);
   return h.digest();
+}
+
+model::Fingerprint SynthService::warm_fingerprint(
+    const ServiceRequest& request) {
+  CS_REQUIRE(request.spec != nullptr, "request needs a spec");
+  model::FingerprintHasher h;
+  h.mix_digest(model::fingerprint_spec(*request.spec));
+  h.mix_string("cs-warm-v1");
+  h.mix_i64(static_cast<std::int64_t>(request.synthesis.backend));
+  h.mix_i64(request.synthesis.check_time_limit_ms);
+  h.mix_i64(request.synthesis.check_conflict_limit);
+  h.mix_i64(static_cast<std::int64_t>(request.synthesis.threshold_mode));
+  return h.digest();
+}
+
+SynthService::WarmEntry SynthService::warm_checkout(
+    const model::Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  const auto it = warm_pool_.find(key);
+  if (it == warm_pool_.end() || it->second.empty()) return {};
+  WarmEntry entry = std::move(it->second.back());
+  it->second.pop_back();
+  if (it->second.empty()) warm_pool_.erase(it);
+  // Drop one matching ticket from the eviction queue (newest first, to
+  // pair with the LIFO checkout above).
+  for (auto rit = warm_order_.rbegin(); rit != warm_order_.rend(); ++rit) {
+    if (*rit == key) {
+      warm_order_.erase(std::next(rit).base());
+      break;
+    }
+  }
+  return entry;
+}
+
+void SynthService::warm_checkin(const model::Fingerprint& key,
+                                WarmEntry entry) {
+  if (config_.warm_pool_limit == 0) return;
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  while (warm_order_.size() >= config_.warm_pool_limit) {
+    const model::Fingerprint victim = warm_order_.front();
+    warm_order_.erase(warm_order_.begin());
+    const auto it = warm_pool_.find(victim);
+    if (it != warm_pool_.end() && !it->second.empty()) {
+      it->second.erase(it->second.begin());  // oldest entry of that key
+      if (it->second.empty()) warm_pool_.erase(it);
+      metrics_.counter("warm_evictions").inc();
+    }
+  }
+  warm_pool_[key].push_back(std::move(entry));
+  warm_order_.push_back(key);
+}
+
+std::size_t SynthService::warm_pool_size() const {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  return warm_order_.size();
 }
 
 std::future<ServiceOutcome> SynthService::submit(ServiceRequest request) {
@@ -169,8 +236,9 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
     }
   } release{this, out.fingerprint, publish};
 
-  // Solve on a fresh Synthesizer owned by this worker, exactly as a
-  // sweep grid point would be.
+  // Solve on a Synthesizer owned exclusively by this worker, exactly as
+  // a sweep grid point would be — warm from the pool when an encoded
+  // solver for this spec/backend/caps is parked, cold otherwise.
   synth::SweepRequest sweep;
   sweep.synthesis = request.synthesis;
   sweep.optimize = request.optimize;
@@ -185,14 +253,43 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
   std::int64_t left = remaining();
   if (request.deadline_ms != 0 && left < 0) return skip();
 
-  out.result =
-      synth::solve_sweep_point(*request.spec, sweep, request.point, left);
-  metrics_.counter("solver_probes_total").add(out.result.search.probes);
-  metrics_.counter(probe_counter_name(request.synthesis.backend))
-      .add(out.result.search.probes);
+  const bool warm_eligible =
+      config_.warm_pool_limit > 0 &&
+      request.synthesis.threshold_mode == synth::ThresholdMode::kAssumption;
+  model::Fingerprint warm_key;
+  WarmEntry entry;
+  if (warm_eligible) {
+    warm_key = warm_fingerprint(request);
+    entry = warm_checkout(warm_key);
+  }
+  if (entry.synth != nullptr) {
+    metrics_.counter("warm_hits").inc();
+    out.result = synth::solve_sweep_point_on(*entry.synth, *entry.spec,
+                                             sweep, request.point, left,
+                                             /*charge_encode=*/false);
+  } else if (warm_eligible) {
+    metrics_.counter("warm_misses").inc();
+    util::Stopwatch encode_watch;
+    entry.spec = request.spec;
+    entry.synth = std::make_unique<synth::Synthesizer>(*request.spec,
+                                                       request.synthesis);
+    out.result = synth::solve_sweep_point_on(*entry.synth, *entry.spec,
+                                             sweep, request.point, left,
+                                             /*charge_encode=*/true);
+    // Like a cold sweep point, the first solve's wall clock includes the
+    // encode it paid for.
+    out.result.wall_seconds = encode_watch.elapsed_seconds();
+  } else {
+    out.result =
+        synth::solve_sweep_point(*request.spec, sweep, request.point, left);
+  }
+  if (entry.synth != nullptr) warm_checkin(warm_key, std::move(entry));
+  record_solver_effort(out.result, request.synthesis.backend);
 
   // Retry policy: a conflict-capped probe that came back unknown gets
   // one more attempt with a raised cap before we report a mere bound.
+  // The retry always solves cold: its raised cap no longer matches the
+  // warm-pool key's caps.
   if (out.result.status == smt::CheckResult::kUnknown &&
       request.synthesis.check_conflict_limit > 0 &&
       config_.retry_cap_factor > 0 && !cancelled()) {
@@ -203,9 +300,7 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
       sweep.synthesis.check_conflict_limit *= config_.retry_cap_factor;
       synth::SweepPointResult retried =
           synth::solve_sweep_point(*request.spec, sweep, request.point, left);
-      metrics_.counter("solver_probes_total").add(retried.search.probes);
-      metrics_.counter(probe_counter_name(request.synthesis.backend))
-          .add(retried.search.probes);
+      record_solver_effort(retried, request.synthesis.backend);
       retried.wall_seconds += out.result.wall_seconds;
       out.result = std::move(retried);
     }

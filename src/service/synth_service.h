@@ -21,14 +21,26 @@
 //   * retry policy — a conflict-limit-capped probe that came back
 //     kUnknown is re-run once with the cap raised by
 //     `retry_cap_factor` before the lower bound is reported.
+//   * warm synthesizer pool — encoded solvers are kept after a solve,
+//     keyed by (spec fingerprint, backend, caps, threshold mode). A
+//     repeat of the same spec at *different* thresholds (a cache miss)
+//     checks one out and re-solves by swapping threshold assumptions
+//     (synth::Synthesizer::resolve), skipping the encode entirely.
+//     Checkout removes the entry from the pool, so a warm synthesizer is
+//     never shared between workers; the per-request caps are re-applied
+//     on every checkout (Synthesizer::set_check_budget). Requests with
+//     ThresholdMode::kHard or a raised retry cap bypass the pool and
+//     solve cold.
 //   * metrics — every request feeds the MetricsRegistry (request/hit/
-//     rejection counters, per-backend probe counts, queue-wait and
+//     rejection counters, per-backend probe counts, warm-pool hits and
+//     misses, cumulative solver-effort counters, queue-wait and
 //     solve-time histograms).
 //
 // Threading model: a fixed util::ThreadPool; each request solves on a
-// fresh Synthesizer owned by its worker (the SweepEngine discipline), so
-// results are independent of worker count and identical to a direct
-// solve. The destructor drains queued requests, then joins.
+// Synthesizer owned exclusively by its worker for the duration of the
+// solve (the SweepEngine discipline), so results are independent of
+// worker count and identical to a direct solve. The destructor drains
+// queued requests, then joins.
 #pragma once
 
 #include <atomic>
@@ -38,6 +50,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "model/fingerprint.h"
 #include "service/metrics_registry.h"
@@ -88,6 +101,7 @@ struct ServiceOutcome {
   double total_ms = 0;
 };
 
+/// Tuning knobs fixed at service construction.
 struct ServiceConfig {
   /// Worker threads; 0 = one per hardware thread.
   int workers = 1;
@@ -99,12 +113,19 @@ struct ServiceConfig {
   /// Factor by which a conflict-limit-capped kUnknown probe's cap is
   /// raised for its single retry; 0 disables the retry policy.
   int retry_cap_factor = 4;
+  /// Maximum encoded synthesizers kept across requests for warm re-solves
+  /// (FIFO eviction across all keys); 0 disables the warm pool and every
+  /// request solves cold.
+  std::size_t warm_pool_limit = 8;
   /// Observability hook: called on the worker thread when a request
   /// starts executing (after dequeue, before the cache lookup). Used by
   /// tests to control scheduling and by servers for request logging.
   std::function<void(const ServiceRequest&)> on_start;
 };
 
+/// The request service (see the header comment for the full contract):
+/// bounded-queue admission, result cache with single-flight coalescing,
+/// warm synthesizer pool, capped-probe retry, metrics.
 class SynthService {
  public:
   explicit SynthService(ServiceConfig config = {});
@@ -137,20 +158,51 @@ class SynthService {
   static model::Fingerprint request_fingerprint(
       const ServiceRequest& request);
 
+  /// Warm-pool key of a request: canonical spec digest mixed with the
+  /// backend, caps and threshold mode — everything a synthesizer bakes in
+  /// at construction. The point's thresholds are deliberately absent:
+  /// same-spec requests at different thresholds share warm solvers.
+  static model::Fingerprint warm_fingerprint(const ServiceRequest& request);
+
   const ResultCache& cache() const { return cache_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   int workers() const { return workers_; }
+  /// Encoded synthesizers currently parked in the warm pool.
+  std::size_t warm_pool_size() const;
 
  private:
+  /// One parked encoded solver. Holds the spec alive: the synthesizer
+  /// references it, and it may outlive the submitting caller.
+  struct WarmEntry {
+    std::shared_ptr<const model::ProblemSpec> spec;
+    std::unique_ptr<synth::Synthesizer> synth;
+  };
+
   ServiceOutcome execute(const ServiceRequest& request,
                          double queued_ms_at_start, util::Stopwatch watch);
+  /// Removes and returns a parked synthesizer for `key` (empty entry on
+  /// miss). Checkout transfers ownership, so entries are never shared.
+  WarmEntry warm_checkout(const model::Fingerprint& key);
+  /// Parks a synthesizer for reuse, evicting FIFO past the pool limit.
+  void warm_checkin(const model::Fingerprint& key, WarmEntry entry);
+  /// Feeds a solved point's probe count and solver-effort deltas into the
+  /// metrics counters.
+  void record_solver_effort(const synth::SweepPointResult& result,
+                            smt::BackendKind backend);
 
   ServiceConfig config_;
   int workers_;
   MetricsRegistry metrics_;
   ResultCache cache_;
   std::atomic<bool> cancel_all_{false};
+
+  mutable std::mutex warm_mutex_;  // guards warm_pool_ and warm_order_
+  std::unordered_map<model::Fingerprint, std::vector<WarmEntry>,
+                     model::FingerprintHash>
+      warm_pool_;
+  /// Check-in order of parked entries (FIFO eviction queue).
+  std::vector<model::Fingerprint> warm_order_;
 
   std::mutex mutex_;  // guards queued_ and inflight_
   std::size_t queued_ = 0;

@@ -43,6 +43,41 @@ struct Term {
 
 enum class CheckResult { kSat, kUnsat, kUnknown };
 
+/// Cumulative search-effort counters of a backend since its construction.
+/// Backend-neutral observability for warm-started sweeps: subtracting two
+/// snapshots yields the effort of the checks in between, which is how the
+/// sweep engine and the service attribute conflicts/propagations to a
+/// single grid point even on 1-core machines where wall clock is noisy.
+/// Not every backend fills every field (Z3 reports no learned-clause
+/// count; fields it cannot observe stay 0).
+struct SolverStats {
+  std::int64_t conflicts = 0;
+  std::int64_t propagations = 0;
+  std::int64_t decisions = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learned_clauses = 0;
+
+  SolverStats& operator+=(const SolverStats& o) {
+    conflicts += o.conflicts;
+    propagations += o.propagations;
+    decisions += o.decisions;
+    restarts += o.restarts;
+    learned_clauses += o.learned_clauses;
+    return *this;
+  }
+  /// Delta between two cumulative snapshots (this − o).
+  SolverStats operator-(const SolverStats& o) const {
+    SolverStats d = *this;
+    d.conflicts -= o.conflicts;
+    d.propagations -= o.propagations;
+    d.decisions -= o.decisions;
+    d.restarts -= o.restarts;
+    d.learned_clauses -= o.learned_clauses;
+    return d;
+  }
+  bool operator==(const SolverStats&) const = default;
+};
+
 /// Solver backend interface. All constraint additions happen before (or
 /// between) `check` calls; models and cores are valid until the next call
 /// that mutates the backend.
@@ -104,6 +139,10 @@ class Backend {
 
   /// Rough memory footprint of the solver state, in bytes.
   virtual std::size_t memory_bytes() const = 0;
+
+  /// Cumulative search-effort counters since construction (monotone across
+  /// checks; Z3 keeps counting across its internal post-timeout rebuilds).
+  virtual SolverStats statistics() const = 0;
 
   /// Backend identifier ("z3", "minipb").
   virtual std::string name() const = 0;

@@ -39,6 +39,16 @@ class MiniBackend final : public Backend {
   std::size_t memory_bytes() const override {
     return solver_.memory_estimate_bytes();
   }
+  SolverStats statistics() const override {
+    const minisolver::Solver::Stats& s = solver_.stats();
+    SolverStats out;
+    out.conflicts = s.conflicts;
+    out.propagations = s.propagations + s.pb_propagations;
+    out.decisions = s.decisions;
+    out.restarts = s.restarts;
+    out.learned_clauses = s.learned_clauses;
+    return out;
+  }
   std::string name() const override { return "minipb"; }
 
   const minisolver::Solver::Stats& solver_stats() const {

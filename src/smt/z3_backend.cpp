@@ -156,7 +156,43 @@ void Z3Backend::assert_expr(const z3::expr& e) {
   solver_.add(e);
 }
 
+SolverStats Z3Backend::read_live_stats() const {
+  // Key names vary across Z3 versions and tactics ("sat conflicts",
+  // "conflicts", "sat propagations 2ary", ...); match by substring and sum
+  // every flavour, so absent keys simply contribute nothing.
+  SolverStats out;
+  try {
+    const z3::stats st = solver_.statistics();
+    for (unsigned i = 0; i < st.size(); ++i) {
+      const std::string key = st.key(i);
+      const std::int64_t value =
+          st.is_uint(i) ? static_cast<std::int64_t>(st.uint_value(i))
+                        : static_cast<std::int64_t>(st.double_value(i));
+      if (key.find("conflicts") != std::string::npos) {
+        out.conflicts += value;
+      } else if (key.find("propagations") != std::string::npos) {
+        out.propagations += value;
+      } else if (key.find("decisions") != std::string::npos) {
+        out.decisions += value;
+      } else if (key.find("restarts") != std::string::npos) {
+        out.restarts += value;
+      }
+    }
+  } catch (const z3::exception&) {
+    // No statistics available (e.g. before the first check): report zero.
+    return SolverStats{};
+  }
+  return out;
+}
+
+SolverStats Z3Backend::statistics() const {
+  SolverStats total = stats_before_rebuilds_;
+  total += read_live_stats();
+  return total;
+}
+
 void Z3Backend::rebuild_solver() {
+  stats_before_rebuilds_ += read_live_stats();
   solver_ = z3::solver(ctx_, "QF_FD");
   for (const z3::expr& e : asserted_) solver_.add(e);
   if (time_limit_ms_ > 0 || conflict_limit_ > 0) {

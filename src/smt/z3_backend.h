@@ -40,6 +40,7 @@ class Z3Backend final : public Backend {
   bool model_value(BoolVar v) const override;
   std::vector<Lit> unsat_core() const override;
   std::size_t memory_bytes() const override;
+  SolverStats statistics() const override;
   std::string name() const override { return "z3"; }
 
  private:
@@ -58,6 +59,10 @@ class Z3Backend final : public Backend {
   /// kUnknown result.
   void rebuild_solver();
 
+  /// Reads the live solver's statistics into a SolverStats (0 on any Z3
+  /// error — statistics are observability, never worth an exception).
+  SolverStats read_live_stats() const;
+
   z3::context ctx_;
   z3::solver solver_;
   std::vector<z3::expr> vars_;
@@ -68,6 +73,9 @@ class Z3Backend final : public Backend {
   std::int64_t time_limit_ms_ = 0;
   std::int64_t conflict_limit_ = 0;
   bool needs_rebuild_ = false;
+  /// Counters of solvers discarded by rebuild_solver(); statistics() adds
+  /// the live solver's counters on top so the total stays monotone.
+  SolverStats stats_before_rebuilds_;
 };
 
 }  // namespace cs::smt

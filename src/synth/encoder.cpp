@@ -575,6 +575,18 @@ void Encoding::build_metric_terms() {
   }
 }
 
+std::string_view threshold_name(ThresholdKind kind) {
+  switch (kind) {
+    case ThresholdKind::kIsolation:
+      return "isolation";
+    case ThresholdKind::kUsability:
+      return "usability";
+    case ThresholdKind::kCost:
+      return "cost";
+  }
+  return "?";
+}
+
 smt::Lit Encoding::isolation_guard(util::Fixed threshold) {
   const smt::Lit guard = smt::pos(backend_.new_bool("g_iso"));
   // Σ iso_terms + iso_const ≥ threshold.raw × |Q|   (all in Fixed raw).
@@ -601,6 +613,38 @@ smt::Lit Encoding::cost_guard(util::Fixed budget) {
   backend_.add_guarded_linear_le(guard, cost_terms_, budget.raw());
   ++stats_.linear_constraints;
   return guard;
+}
+
+std::optional<smt::Lit> Encoding::add_threshold(ThresholdKind kind,
+                                                util::Fixed value,
+                                                ThresholdMode mode) {
+  if (mode == ThresholdMode::kAssumption) {
+    switch (kind) {
+      case ThresholdKind::kIsolation:
+        return isolation_guard(value);
+      case ThresholdKind::kUsability:
+        return usability_guard(value);
+      case ThresholdKind::kCost:
+        return cost_guard(value);
+    }
+  }
+  // kHard: identical linear constraints, asserted unguarded (permanent).
+  switch (kind) {
+    case ThresholdKind::kIsolation:
+      backend_.add_linear_ge(iso_terms_, value.raw() * iso_pairs_ - iso_const_);
+      break;
+    case ThresholdKind::kUsability:
+      backend_.add_linear_le(
+          usab_penalty_terms_,
+          usab_total_rank_raw_ * (model::kSliderMax.raw() - value.raw()) /
+              model::kSliderMax.raw());
+      break;
+    case ThresholdKind::kCost:
+      backend_.add_linear_le(cost_terms_, value.raw());
+      break;
+  }
+  ++stats_.linear_constraints;
+  return std::nullopt;
 }
 
 SecurityDesign Encoding::decode() const {

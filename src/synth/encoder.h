@@ -30,6 +30,8 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -40,6 +42,25 @@
 #include "topology/routes.h"
 
 namespace cs::synth {
+
+/// The three slider thresholds of eq. 9.
+enum class ThresholdKind { kIsolation, kUsability, kCost };
+
+/// Short lowercase name ("isolation", "usability", "cost").
+std::string_view threshold_name(ThresholdKind kind);
+
+/// How threshold constraints enter the encoding.
+///
+///   * kAssumption — each distinct threshold value mints a selector
+///     literal `sel` and asserts `sel ⇒ (metric within threshold)`; the
+///     check assumes the selectors it wants. Thresholds become
+///     retractable, so one solver instance re-solves the whole slider
+///     grid (warm sweeps) and UNSAT cores over the selectors name the
+///     conflicting thresholds (Algorithm 1).
+///   * kHard — the constraint is asserted unguarded and is permanent:
+///     no selector variable, no retraction, no threshold unsat core.
+///     Only for single-shot solves where the three values never change.
+enum class ThresholdMode { kHard, kAssumption };
 
 struct EncodingStats {
   std::size_t flow_vars = 0;        // y
@@ -71,6 +92,14 @@ class Encoding {
 
   /// Adds guard ⇒ (deployment cost ≤ budget); returns the guard.
   smt::Lit cost_guard(util::Fixed budget);
+
+  /// Asserts the threshold constraint for `kind` at `value` per `mode`:
+  /// kAssumption mints and returns a fresh selector literal (the
+  /// ThresholdMode::kAssumption path above), kHard asserts the constraint
+  /// permanently and returns nullopt. The caller owns selector caching —
+  /// every call emits a new constraint.
+  std::optional<smt::Lit> add_threshold(ThresholdKind kind, util::Fixed value,
+                                        ThresholdMode mode);
 
   /// Reads the backend model into a SecurityDesign (after kSat).
   SecurityDesign decode() const;

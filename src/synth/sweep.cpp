@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <memory>
 
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -9,25 +10,14 @@
 
 namespace cs::synth {
 
-SweepPointResult solve_sweep_point(const model::ProblemSpec& spec,
-                                   const SweepRequest& request,
-                                   const SweepPoint& point,
-                                   std::int64_t remaining_ms) {
-  SweepPointResult out;
-  out.point = point;
+namespace {
 
-  SynthesisOptions options = request.synthesis;
-  if (remaining_ms > 0) {
-    options.check_time_limit_ms =
-        options.check_time_limit_ms > 0
-            ? std::min(options.check_time_limit_ms, remaining_ms)
-            : remaining_ms;
-  }
-
-  util::Stopwatch watch;
-  Synthesizer synth(spec, options);
-  out.encode_seconds = synth.encode_seconds();
-
+/// Objective dispatch shared by the cold and warm paths: runs the point on
+/// `synth` and fills everything except wall_seconds (the caller owns the
+/// watch, so cold points can include synthesizer construction).
+void run_point_objective(Synthesizer& synth, const model::ProblemSpec& spec,
+                         const SweepRequest& request, const SweepPoint& point,
+                         SweepPointResult& out) {
   switch (point.objective) {
     case SweepObjective::kMaxIsolation:
       out.search = maximize_isolation(synth, spec, point.usability,
@@ -44,8 +34,10 @@ SweepPointResult solve_sweep_point(const model::ProblemSpec& spec,
                                        : smt::CheckResult::kUnknown;
       break;
     case SweepObjective::kFeasibility: {
-      SynthesisResult r = synth.synthesize(
-          model::Sliders{point.isolation, point.usability, point.budget});
+      const model::Sliders sliders{point.isolation, point.usability,
+                                   point.budget};
+      SynthesisResult r =
+          out.warm ? synth.resolve(sliders) : synth.synthesize(sliders);
       out.status = r.status;
       out.conflicting = std::move(r.conflicting);
       out.search.feasible = r.status == smt::CheckResult::kSat;
@@ -59,8 +51,51 @@ SweepPointResult solve_sweep_point(const model::ProblemSpec& spec,
       break;
     }
   }
+}
+
+}  // namespace
+
+SweepPointResult solve_sweep_point_on(Synthesizer& synth,
+                                      const model::ProblemSpec& spec,
+                                      const SweepRequest& request,
+                                      const SweepPoint& point,
+                                      std::int64_t remaining_ms,
+                                      bool charge_encode) {
+  SweepPointResult out;
+  out.point = point;
+  out.warm = !charge_encode;
+  out.encode_seconds = charge_encode ? synth.encode_seconds() : 0;
+
+  synth.set_check_budget(remaining_ms > 0 ? remaining_ms : 0);
+  const smt::SolverStats before = synth.solver_statistics();
+  util::Stopwatch watch;
+  run_point_objective(synth, spec, request, point, out);
   out.wall_seconds = watch.elapsed_seconds();
+  out.solver = synth.solver_statistics() - before;
   out.solver_memory_bytes = synth.backend().memory_bytes();
+  return out;
+}
+
+SweepPointResult solve_sweep_point(const model::ProblemSpec& spec,
+                                   const SweepRequest& request,
+                                   const SweepPoint& point,
+                                   std::int64_t remaining_ms) {
+  SynthesisOptions options = request.synthesis;
+  if (remaining_ms > 0) {
+    options.check_time_limit_ms =
+        options.check_time_limit_ms > 0
+            ? std::min(options.check_time_limit_ms, remaining_ms)
+            : remaining_ms;
+  }
+
+  util::Stopwatch watch;
+  Synthesizer synth(spec, options);
+  SweepPointResult out =
+      solve_sweep_point_on(synth, spec, request, point, remaining_ms,
+                           /*charge_encode=*/true);
+  // The cold point's wall clock includes synthesizer construction (the
+  // encode), matching the paper's cold-solve timing definition.
+  out.wall_seconds = watch.elapsed_seconds();
   return out;
 }
 
@@ -114,6 +149,11 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
       request.jobs == 0
           ? static_cast<int>(util::ThreadPool::hardware_jobs())
           : request.jobs;
+  // Warm reuse needs retractable thresholds; kHard requests fall back to
+  // the cold fresh-per-point path (see sweep.h).
+  const bool warm =
+      request.warm_start &&
+      request.synthesis.threshold_mode == ThresholdMode::kAssumption;
 
   SweepResult result;
   result.jobs = jobs;
@@ -137,30 +177,72 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
     return request.cancel != nullptr &&
            request.cancel->load(std::memory_order_relaxed);
   };
+  const auto mark_skipped = [&](std::size_t index) {
+    result.points[index].point = request.points[index];
+    result.points[index].skipped = true;
+    result.points[index].search.exact = false;
+  };
 
-  // Each worker task claims one point. Results land in index-addressed
-  // slots, so completion order never leaks into the output.
+  // Cold worker task: claims one point on a fresh synthesizer. Results
+  // land in index-addressed slots, so completion order never leaks into
+  // the output.
   const auto run_point = [&](std::size_t index) {
     const std::int64_t left = remaining_ms();
     if (left < 0 || cancelled()) {
-      result.points[index].point = request.points[index];
-      result.points[index].skipped = true;
-      result.points[index].search.exact = false;
+      mark_skipped(index);
       return;
     }
     result.points[index] =
         solve_sweep_point(spec_, request, request.points[index], left);
   };
 
-  if (jobs <= 1 || request.points.size() <= 1) {
-    for (std::size_t i = 0; i < request.points.size(); ++i) run_point(i);
+  // Warm worker task: one synthesizer for a contiguous chunk, constructed
+  // at the chunk's first live point and reused (assumption swap only) for
+  // the rest. The partition is static, so a warm sweep at a fixed jobs
+  // value always solves the same instance sequence.
+  const auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    std::unique_ptr<Synthesizer> synth;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int64_t left = remaining_ms();
+      if (left < 0 || cancelled()) {
+        mark_skipped(i);
+        continue;
+      }
+      util::Stopwatch watch;
+      const bool first_use = synth == nullptr;
+      if (first_use)
+        synth = std::make_unique<Synthesizer>(spec_, request.synthesis);
+      result.points[i] =
+          solve_sweep_point_on(*synth, spec_, request, request.points[i],
+                               left, /*charge_encode=*/first_use);
+      // First-use wall clock includes the (chunk-amortized) encode.
+      if (first_use) result.points[i].wall_seconds = watch.elapsed_seconds();
+    }
+  };
+
+  const std::size_t n = request.points.size();
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), n);
+  if (warm) {
+    const std::size_t chunk = (n + workers - 1) / workers;
+    if (workers <= 1) {
+      run_chunk(0, n);
+    } else {
+      util::ThreadPool pool(workers);
+      std::vector<std::future<void>> pending;
+      for (std::size_t begin = 0; begin < n; begin += chunk)
+        pending.push_back(pool.submit([&run_chunk, begin, chunk, n] {
+          run_chunk(begin, std::min(begin + chunk, n));
+        }));
+      for (std::future<void>& f : pending) f.get();  // rethrows task errors
+    }
+  } else if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_point(i);
   } else {
-    util::ThreadPool pool(static_cast<std::size_t>(
-        std::min<std::size_t>(static_cast<std::size_t>(jobs),
-                              request.points.size())));
+    util::ThreadPool pool(workers);
     std::vector<std::future<void>> pending;
-    pending.reserve(request.points.size());
-    for (std::size_t i = 0; i < request.points.size(); ++i)
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
       pending.push_back(pool.submit([&run_point, i] { run_point(i); }));
     for (std::future<void>& f : pending) f.get();  // rethrows task errors
   }
@@ -168,6 +250,9 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
   result.wall_seconds = sweep_watch.elapsed_seconds();
   for (const SweepPointResult& p : result.points) {
     result.total_probes += p.search.probes;
+    result.total_encode_seconds += p.encode_seconds;
+    result.total_solver += p.solver;
+    result.warm_reuses += p.warm ? 1 : 0;
     result.peak_solver_memory_bytes =
         std::max(result.peak_solver_memory_bytes, p.solver_memory_bytes);
     result.deadline_expired = result.deadline_expired || p.skipped;

@@ -17,6 +17,23 @@
 // guard literals or learnt clauses, so `jobs = 1` and `jobs = N` solve
 // identical instances.
 //
+// Warm start (`SweepRequest::warm_start`) — encode once per worker, not
+// once per point. The slider thresholds are assumption-guarded selector
+// constraints (encoder.h, ThresholdMode::kAssumption), so one solver can
+// re-solve every grid point by swapping assumptions: learnt clauses,
+// variable activity and the PB encoding survive between points; only the
+// selectors change. The grid is split into contiguous chunks, one warm
+// Synthesizer per chunk, each chunk solved in request order — a static,
+// deterministic partition, so a warm sweep at a fixed `jobs` value always
+// re-solves the same instance sequence. Warm and cold sweeps return the
+// same verdicts and bounds whenever every probe is decided (SAT/UNSAT are
+// properties of the formula, and bound searches converge on monotone
+// predicates regardless of probe order); only effort caps that actually
+// expire can differ, because a warm solver's learnt state changes where a
+// capped probe gives up. Requests whose threshold mode is kHard cannot
+// retract thresholds and silently fall back to the cold fresh-per-point
+// path.
+//
 // Deadlines are cooperative: `SweepRequest::deadline_ms` caps the whole
 // sweep's wall clock by clamping each point's
 // `SynthesisOptions::check_time_limit_ms` to the time remaining when the
@@ -58,6 +75,8 @@ enum class SweepObjective {
   kFeasibility,
 };
 
+/// Stable lowercase name ("max-isolation", "min-cost", "feasibility") —
+/// the spelling the CLI, server request files and CSVs use.
 std::string_view sweep_objective_name(SweepObjective objective);
 
 /// One grid point. Field meaning depends on `objective` (see above);
@@ -81,6 +100,10 @@ struct SweepRequest {
   /// Worker count; 0 = one per hardware thread, 1 = run on the calling
   /// thread (no pool).
   int jobs = 1;
+  /// Reuse one warm Synthesizer per worker across that worker's chunk of
+  /// the grid (encode once, swap threshold assumptions — see the header
+  /// comment). false = fresh synthesizer per point (the cold path).
+  bool warm_start = false;
   /// Whole-sweep wall-clock cap in milliseconds (0 = none; negative =
   /// already expired, all points skipped), enforced cooperatively through
   /// SynthesisOptions::check_time_limit_ms.
@@ -114,14 +137,24 @@ struct SweepPointResult {
   std::vector<ThresholdKind> conflicting;
   /// Wall time of this point (encoding + all probes) on its worker.
   double wall_seconds = 0;
+  /// Encode time charged to this point: the full encode on the cold path,
+  /// 0 for warm re-solves (the worker's first point carries the encode).
   double encode_seconds = 0;
   /// Peak backend footprint of this point's solver.
   std::size_t solver_memory_bytes = 0;
+  /// Backend effort spent on this point (conflicts, propagations, ...):
+  /// the delta of the solver's cumulative counters across the point.
+  smt::SolverStats solver;
+  /// True when this point was re-solved on a reused warm synthesizer
+  /// (no re-encoding happened).
+  bool warm = false;
   /// True when the deadline/cancellation fired before the point started;
   /// the point was not solved.
   bool skipped = false;
 };
 
+/// Whole-sweep outcome: per-point results in grid order plus effort
+/// aggregates for the cold-vs-warm comparisons the benches print.
 struct SweepResult {
   /// One entry per requested point, in request order (deterministic
   /// regardless of worker completion order).
@@ -132,6 +165,14 @@ struct SweepResult {
   double wall_seconds = 0;
   /// Solver probes summed over all points.
   int total_probes = 0;
+  /// Encode time summed over all points — the cost warm start amortizes:
+  /// cold pays one encode per point, warm one per worker chunk.
+  double total_encode_seconds = 0;
+  /// Backend effort summed over all points (comparable cold vs warm even
+  /// on 1-core machines where wall-clock speedups are noisy).
+  smt::SolverStats total_solver;
+  /// Points that were re-solved on a warm synthesizer (0 on cold sweeps).
+  int warm_reuses = 0;
   /// Peak per-worker solver footprint: the maximum over points, not the
   /// sum — concurrent workers each hold one backend, so the sum would
   /// overstate a machine-wide peak that the max bounds per worker.
@@ -149,6 +190,20 @@ SweepPointResult solve_sweep_point(const model::ProblemSpec& spec,
                                    const SweepRequest& request,
                                    const SweepPoint& point,
                                    std::int64_t remaining_ms = 0);
+
+/// Solves one grid point on a caller-provided (possibly warm) Synthesizer:
+/// re-applies the per-check caps clamped to `remaining_ms`, then runs the
+/// point's objective. `charge_encode` controls whether the synthesizer's
+/// encode time is attributed to this point (true for its first use, false
+/// for warm re-solves). The synthesizer's options must match the request's
+/// backend/caps semantics — the service layer guarantees this by keying
+/// warm synthesizers on the spec fingerprint and backend.
+SweepPointResult solve_sweep_point_on(Synthesizer& synth,
+                                      const model::ProblemSpec& spec,
+                                      const SweepRequest& request,
+                                      const SweepPoint& point,
+                                      std::int64_t remaining_ms = 0,
+                                      bool charge_encode = true);
 
 /// Runs sweep grids against one read-only ProblemSpec. The spec must
 /// outlive the engine and must not be mutated while a sweep runs.

@@ -1,20 +1,10 @@
 #include "synth/synthesizer.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace cs::synth {
-
-std::string_view threshold_name(ThresholdKind kind) {
-  switch (kind) {
-    case ThresholdKind::kIsolation:
-      return "isolation";
-    case ThresholdKind::kUsability:
-      return "usability";
-    case ThresholdKind::kCost:
-      return "cost";
-  }
-  return "?";
-}
 
 Synthesizer::Synthesizer(const model::ProblemSpec& spec,
                          SynthesisOptions options)
@@ -36,21 +26,12 @@ smt::Lit Synthesizer::guard_for(ThresholdKind kind, util::Fixed value) {
                                          value.raw()};
   if (const auto it = guard_cache_.find(key); it != guard_cache_.end())
     return it->second;
-  smt::Lit guard;
-  switch (kind) {
-    case ThresholdKind::kIsolation:
-      guard = encoding_->isolation_guard(value);
-      break;
-    case ThresholdKind::kUsability:
-      guard = encoding_->usability_guard(value);
-      break;
-    case ThresholdKind::kCost:
-      guard = encoding_->cost_guard(value);
-      break;
-  }
-  guard_cache_.emplace(key, guard);
-  guard_kind_.emplace(guard.var, kind);
-  return guard;
+  const std::optional<smt::Lit> guard =
+      encoding_->add_threshold(kind, value, ThresholdMode::kAssumption);
+  CS_ENSURE(guard.has_value(), "assumption mode must return a selector");
+  guard_cache_.emplace(key, *guard);
+  guard_kind_.emplace(guard->var, kind);
+  return *guard;
 }
 
 SynthesisResult Synthesizer::synthesize() {
@@ -62,16 +43,49 @@ SynthesisResult Synthesizer::synthesize(const model::Sliders& sliders) {
                             sliders.budget);
 }
 
+SynthesisResult Synthesizer::resolve(const model::Sliders& sliders) {
+  CS_REQUIRE(options_.threshold_mode == ThresholdMode::kAssumption,
+             "resolve() needs retractable thresholds "
+             "(ThresholdMode::kAssumption)");
+  ++resolves_;
+  SynthesisResult result = synthesize(sliders);
+  result.encode_seconds = 0;  // amortized: nothing was re-encoded
+  return result;
+}
+
+void Synthesizer::set_check_budget(std::int64_t remaining_ms) {
+  std::int64_t time_ms = options_.check_time_limit_ms;
+  if (remaining_ms > 0)
+    time_ms = time_ms > 0 ? std::min(time_ms, remaining_ms) : remaining_ms;
+  backend_->set_time_limit_ms(time_ms);
+  backend_->set_conflict_limit(
+      options_.check_conflict_limit > 0 ? options_.check_conflict_limit : 0);
+}
+
 SynthesisResult Synthesizer::synthesize_partial(
     std::optional<util::Fixed> isolation, std::optional<util::Fixed> usability,
     std::optional<util::Fixed> budget) {
   std::vector<smt::Lit> assumptions;
-  if (isolation)
-    assumptions.push_back(guard_for(ThresholdKind::kIsolation, *isolation));
-  if (usability)
-    assumptions.push_back(guard_for(ThresholdKind::kUsability, *usability));
-  if (budget)
-    assumptions.push_back(guard_for(ThresholdKind::kCost, *budget));
+  const auto enforce = [&](ThresholdKind kind, util::Fixed value) {
+    if (options_.threshold_mode == ThresholdMode::kAssumption) {
+      assumptions.push_back(guard_for(kind, value));
+      return;
+    }
+    // kHard: assert once, permanently; a second distinct value cannot be
+    // expressed against a hard constraint already in the store.
+    const auto [it, inserted] =
+        hard_values_.emplace(static_cast<int>(kind), value.raw());
+    if (inserted) {
+      encoding_->add_threshold(kind, value, ThresholdMode::kHard);
+      return;
+    }
+    CS_REQUIRE(it->second == value.raw(),
+               "ThresholdMode::kHard cannot re-solve with a different " +
+                   std::string(threshold_name(kind)) + " threshold");
+  };
+  if (isolation) enforce(ThresholdKind::kIsolation, *isolation);
+  if (usability) enforce(ThresholdKind::kUsability, *usability);
+  if (budget) enforce(ThresholdKind::kCost, *budget);
 
   SynthesisResult result;
   result.encode_seconds = encode_seconds_;

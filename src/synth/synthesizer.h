@@ -21,10 +21,6 @@
 
 namespace cs::synth {
 
-enum class ThresholdKind { kIsolation, kUsability, kCost };
-
-std::string_view threshold_name(ThresholdKind kind);
-
 struct SynthesisOptions {
   smt::BackendKind backend = smt::BackendKind::kZ3;
   /// Per-check wall-clock cap in milliseconds (0 = unlimited). Checks that
@@ -37,6 +33,13 @@ struct SynthesisOptions {
   /// function of the formula — independent of machine load — so capped
   /// sweeps stay bit-for-bit reproducible across serial and parallel runs.
   std::int64_t check_conflict_limit = 0;
+  /// How the three slider thresholds enter the encoding (encoder.h).
+  /// kAssumption (default) keeps them retractable selector guards — the
+  /// incremental probing and unsat-core machinery require it. kHard
+  /// asserts them permanently: marginally smaller formulas for one-shot
+  /// solves, but each threshold kind accepts only a single value per
+  /// synthesizer and UNSAT results carry no threshold core.
+  ThresholdMode threshold_mode = ThresholdMode::kAssumption;
 };
 
 struct SynthesisResult {
@@ -69,9 +72,30 @@ class Synthesizer {
       std::optional<util::Fixed> usability,
       std::optional<util::Fixed> budget);
 
+  /// Warm re-solve: swaps the threshold assumptions without re-encoding
+  /// (requires ThresholdMode::kAssumption). Identical verdict semantics to
+  /// synthesize(sliders); the returned encode_seconds is 0 because the
+  /// encoding is amortized over the synthesizer's lifetime — warm-started
+  /// sweeps use this to attribute encode cost to the first point only.
+  SynthesisResult resolve(const model::Sliders& sliders);
+
+  /// Re-applies per-check caps on the backend, clamping the wall-clock cap
+  /// to `remaining_ms` when positive (0 keeps the constructor options'
+  /// caps). Warm sweep workers call this before every point so a shared
+  /// solver still honors each point's deadline budget.
+  void set_check_budget(std::int64_t remaining_ms);
+
   double encode_seconds() const { return encode_seconds_; }
   const EncodingStats& encoding_stats() const { return encoding_->stats(); }
   const smt::Backend& backend() const { return *backend_; }
+  /// Cumulative backend effort counters (conflicts, propagations, ...);
+  /// snapshot before/after a probe to attribute effort to it.
+  smt::SolverStats solver_statistics() const {
+    return backend_->statistics();
+  }
+  /// Warm re-solves served since construction (resolve() calls).
+  int resolves() const { return resolves_; }
+  const SynthesisOptions& options() const { return options_; }
 
  private:
   smt::Lit guard_for(ThresholdKind kind, util::Fixed value);
@@ -82,9 +106,13 @@ class Synthesizer {
   std::unique_ptr<smt::Backend> backend_;
   std::unique_ptr<Encoding> encoding_;
   double encode_seconds_ = 0;
+  int resolves_ = 0;
 
   std::map<std::pair<int, std::int64_t>, smt::Lit> guard_cache_;
   std::unordered_map<smt::BoolVar, ThresholdKind> guard_kind_;
+  /// kHard mode: the single permanent value asserted per threshold kind
+  /// (raw Fixed units); a second distinct value is a usage error.
+  std::map<int, std::int64_t> hard_values_;
 };
 
 }  // namespace cs::synth

@@ -12,6 +12,7 @@
 // TSan full visibility.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "spec_helpers.h"
 #include "synth/frontier.h"
 #include "synth/sweep.h"
+#include "synth/unsat_analysis.h"
 #include "util/thread_pool.h"
 
 namespace cs::synth {
@@ -260,6 +262,176 @@ TEST(SweepEngineMiniPb, WorkerExceptionPropagatesToCaller) {
   request.optimize.resolution = util::Fixed{};  // invalid: must throw
   request.jobs = 2;
   EXPECT_THROW(SweepEngine(spec).run(request), util::Error);
+}
+
+// ---- Warm-started sweeps ---------------------------------------------------
+
+TEST_P(BackendSweepTest, WarmMaxIsolationGridByteIdenticalToCold) {
+  // The Fig. 3(a) shape: warm and cold sweeps must render identical
+  // cells (feasibility, exactness and the converged bound — exactly what
+  // bench_fig3a writes to its CSV) at any worker count. Byte-identity is
+  // only guaranteed for *decided* probes (a capped probe's verdict
+  // depends on the learnt state warm reuse deliberately changes), so the
+  // grid runs on a small generated spec where every boundary probe
+  // decides well within the effort cap; the ASSERTs on exactness below
+  // keep that precondition honest.
+  const model::ProblemSpec spec = make_random_spec(7, 4, 3);
+  SweepRequest request = SweepRequest::max_isolation_grid(
+      {util::Fixed::from_int(0), util::Fixed::from_int(4),
+       util::Fixed::from_int(8)},
+      {util::Fixed::from_int(20), util::Fixed::from_int(60)});
+  request.synthesis.backend = GetParam();
+  // 10x the usual cap: this test *requires* decided probes, and the spec
+  // is small enough that the headroom costs nothing when probes decide.
+  request.synthesis.check_conflict_limit = 10 * effort_cap(GetParam());
+  request.optimize.resolution = util::Fixed::from_raw(500);
+  const SweepEngine engine(spec);
+  const SweepResult cold = engine.run(request);
+  request.warm_start = true;
+  for (const int jobs : {1, 2}) {
+    request.jobs = jobs;
+    const SweepResult warm = engine.run(request);
+    ASSERT_EQ(warm.points.size(), cold.points.size());
+    // Every worker's chunk has > 1 point here, so reuse must happen.
+    EXPECT_GT(warm.warm_reuses, 0) << "jobs " << jobs;
+    EXPECT_EQ(warm.warm_reuses,
+              static_cast<int>(warm.points.size()) - jobs);
+    for (std::size_t i = 0; i < cold.points.size(); ++i) {
+      ASSERT_TRUE(cold.points[i].search.exact) << "cap expired at " << i;
+      ASSERT_TRUE(warm.points[i].search.exact) << "cap expired at " << i;
+      EXPECT_EQ(warm.points[i].search.feasible,
+                cold.points[i].search.feasible)
+          << "point " << i;
+      EXPECT_EQ(warm.points[i].search.bound, cold.points[i].search.bound)
+          << "point " << i;
+      if (warm.points[i].warm) {
+        EXPECT_EQ(warm.points[i].encode_seconds, 0.0) << "point " << i;
+      }
+    }
+  }
+}
+
+TEST_P(BackendSweepTest, WarmFeasibilityGridMatchesColdVerdicts) {
+  // The Fig. 5(a) shape: the emitted verdict markers ("(unsat)") must be
+  // identical warm and cold; only the wall times may differ.
+  const model::ProblemSpec spec = make_example_spec();
+  std::vector<model::Sliders> grid;
+  for (int iso = 0; iso <= 5; ++iso)
+    grid.push_back(model::Sliders{util::Fixed::from_int(iso),
+                                  util::Fixed::from_int(3),
+                                  util::Fixed::from_int(60)});
+  // One overtight triple so the grid crosses into UNSAT territory.
+  grid.push_back(model::Sliders{util::Fixed::from_int(10),
+                                util::Fixed::from_int(10),
+                                util::Fixed::from_int(5)});
+  SweepRequest request = SweepRequest::feasibility_grid(grid);
+  request.synthesis.backend = GetParam();
+  // 10x the usual cap: verdict identity needs every probe decided.
+  request.synthesis.check_conflict_limit = 10 * effort_cap(GetParam());
+  const SweepEngine engine(spec);
+  const SweepResult cold = engine.run(request);
+  request.warm_start = true;
+  request.jobs = 2;
+  const SweepResult warm = engine.run(request);
+  ASSERT_EQ(warm.points.size(), cold.points.size());
+  EXPECT_GT(warm.warm_reuses, 0);
+  for (std::size_t i = 0; i < cold.points.size(); ++i) {
+    ASSERT_NE(cold.points[i].status, smt::CheckResult::kUnknown)
+        << "cap expired at " << i;
+    EXPECT_EQ(warm.points[i].status, cold.points[i].status)
+        << "point " << i;
+  }
+  // The warm sweep encodes once per worker chunk, the cold one per point.
+  EXPECT_LT(warm.total_encode_seconds, cold.total_encode_seconds);
+}
+
+TEST_P(BackendSweepTest, UnsatPointCoreMatchesRelaxationAnalysis) {
+  // Regression: the failed-assumption core a sweep point reports must
+  // name the same thresholds as Algorithm 1's relaxation analysis — both
+  // read the same backend core off the same formula.
+  model::ProblemSpec spec = make_example_spec();
+  spec.sliders = model::Sliders{util::Fixed::from_int(10),
+                                util::Fixed::from_int(10),
+                                util::Fixed::from_int(5)};
+  SweepRequest request = SweepRequest::feasibility_grid({spec.sliders});
+  request.synthesis.backend = GetParam();
+  const SweepResult swept = SweepEngine(spec).run(request);
+  ASSERT_EQ(swept.points.size(), 1u);
+  ASSERT_EQ(swept.points[0].status, smt::CheckResult::kUnsat);
+  ASSERT_FALSE(swept.points[0].conflicting.empty());
+
+  Synthesizer synth(spec, request.synthesis);
+  const UnsatReport report = analyze_unsat(synth, spec);
+  ASSERT_TRUE(report.was_unsat);
+  auto sweep_core = swept.points[0].conflicting;
+  auto analysis_core = report.core;
+  std::sort(sweep_core.begin(), sweep_core.end());
+  std::sort(analysis_core.begin(), analysis_core.end());
+  EXPECT_EQ(sweep_core, analysis_core);
+}
+
+TEST_P(BackendSweepTest, WarmResolveReportsUnsatCore) {
+  // A warm re-solve that lands on an UNSAT triple must still produce a
+  // threshold core from its failed assumptions — explanations don't
+  // degrade when the encode is skipped.
+  const model::ProblemSpec spec = make_example_spec();
+  SynthesisOptions options;
+  options.backend = GetParam();
+  Synthesizer synth(spec, options);
+  ASSERT_EQ(synth.synthesize(spec.sliders).status, smt::CheckResult::kSat);
+  const SynthesisResult unsat =
+      synth.resolve(model::Sliders{util::Fixed::from_int(10),
+                                   util::Fixed::from_int(10),
+                                   util::Fixed::from_int(5)});
+  EXPECT_EQ(unsat.status, smt::CheckResult::kUnsat);
+  EXPECT_FALSE(unsat.conflicting.empty());
+  EXPECT_EQ(unsat.encode_seconds, 0.0);
+  EXPECT_EQ(synth.resolves(), 1);
+}
+
+TEST(SweepEngineMiniPb, WarmStartWithHardModeFallsBackToCold) {
+  // kHard thresholds cannot be retracted, so a warm-start request in that
+  // mode must silently use the cold fresh-per-point path — same verdicts,
+  // zero warm re-solves.
+  const model::ProblemSpec spec = make_example_spec();
+  const std::vector<model::Sliders> grid = {
+      spec.sliders,
+      model::Sliders{util::Fixed::from_int(10), util::Fixed::from_int(10),
+                     util::Fixed::from_int(5)},
+  };
+  SweepRequest request = SweepRequest::feasibility_grid(grid);
+  request.synthesis.backend = BackendKind::kMiniPb;
+  request.synthesis.threshold_mode = ThresholdMode::kHard;
+  request.warm_start = true;
+  request.jobs = 2;
+  const SweepResult result = SweepEngine(spec).run(request);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.warm_reuses, 0);
+  for (const SweepPointResult& p : result.points) EXPECT_FALSE(p.warm);
+  EXPECT_EQ(result.points[0].status, smt::CheckResult::kSat);
+  EXPECT_EQ(result.points[1].status, smt::CheckResult::kUnsat);
+  // kHard asserts thresholds unguarded, so UNSAT carries no threshold
+  // core — the price of the marginally smaller formula.
+  EXPECT_TRUE(result.points[1].conflicting.empty());
+}
+
+TEST(SweepEngineMiniPb, WarmSweepAccumulatesSolverStats) {
+  const model::ProblemSpec spec = make_example_spec();
+  std::vector<model::Sliders> grid;
+  for (int iso = 0; iso <= 3; ++iso)
+    grid.push_back(model::Sliders{util::Fixed::from_int(iso),
+                                  util::Fixed::from_int(3),
+                                  util::Fixed::from_int(60)});
+  SweepRequest request = SweepRequest::feasibility_grid(grid);
+  request.synthesis.backend = BackendKind::kMiniPb;
+  request.warm_start = true;
+  const SweepResult result = SweepEngine(spec).run(request);
+  // Per-point deltas sum to the total, and solving did real work.
+  smt::SolverStats sum;
+  for (const SweepPointResult& p : result.points) sum += p.solver;
+  EXPECT_EQ(sum, result.total_solver);
+  EXPECT_GT(result.total_solver.propagations, 0);
+  EXPECT_EQ(result.warm_reuses, static_cast<int>(grid.size()) - 1);
 }
 
 TEST(SweepEngineMiniPb, IncrementalModeMatchesFreshOnVerdictAndBound) {

@@ -12,6 +12,7 @@
 #include "synth/optimizer.h"
 #include "synth/synthesizer.h"
 #include "synth/unsat_analysis.h"
+#include "util/error.h"
 
 namespace cs::synth {
 namespace {
@@ -65,6 +66,66 @@ TEST_P(BackendSynthTest, ImpossibleSlidersAreUnsatWithCore) {
     EXPECT_TRUE(k == ThresholdKind::kIsolation ||
                 k == ThresholdKind::kUsability || k == ThresholdKind::kCost);
   }
+}
+
+TEST_P(BackendSynthTest, HardThresholdModeMatchesAssumptionVerdict) {
+  // kHard bakes the thresholds into the formula instead of guarding them
+  // with selector assumptions; both modes must agree on the verdict.
+  const model::ProblemSpec spec = make_example_spec();
+  SynthesisOptions hard = options();
+  hard.threshold_mode = ThresholdMode::kHard;
+  Synthesizer synth(spec, hard);
+  EXPECT_EQ(synth.synthesize().status, CheckResult::kSat);
+  // Re-solving the same triple is fine — the asserted values match.
+  EXPECT_EQ(synth.synthesize().status, CheckResult::kSat);
+  // A different value cannot be expressed against the asserted one.
+  model::Sliders shifted = spec.sliders;
+  shifted.isolation = shifted.isolation + util::Fixed::from_int(1);
+  EXPECT_THROW(synth.synthesize(shifted), util::Error);
+  // Warm re-solves require retractable thresholds.
+  EXPECT_THROW(synth.resolve(spec.sliders), util::Error);
+}
+
+TEST_P(BackendSynthTest, HardThresholdModeUnsatHasNoCore) {
+  model::ProblemSpec spec = make_example_spec();
+  spec.sliders.isolation = util::Fixed::from_int(10);
+  spec.sliders.usability = util::Fixed::from_int(10);
+  SynthesisOptions hard = options();
+  hard.threshold_mode = ThresholdMode::kHard;
+  Synthesizer synth(spec, hard);
+  const SynthesisResult result = synth.synthesize();
+  ASSERT_EQ(result.status, CheckResult::kUnsat);
+  // No selector guards exist, so no threshold core can be extracted —
+  // the documented trade-off of the hard mode.
+  EXPECT_TRUE(result.conflicting.empty());
+}
+
+TEST_P(BackendSynthTest, ResolveSwapsThresholdsWithoutReencoding) {
+  const model::ProblemSpec spec = make_example_spec();
+  Synthesizer synth(spec, options());
+  ASSERT_EQ(synth.synthesize().status, CheckResult::kSat);
+  model::Sliders relaxed = spec.sliders;
+  relaxed.isolation = util::Fixed::from_int(0);
+  const SynthesisResult warm = synth.resolve(relaxed);
+  EXPECT_EQ(warm.status, CheckResult::kSat);
+  EXPECT_EQ(warm.encode_seconds, 0.0);
+  EXPECT_EQ(synth.resolves(), 1);
+  // The verdict matches a cold solve of the same triple.
+  Synthesizer cold(spec, options());
+  EXPECT_EQ(cold.synthesize(relaxed).status, warm.status);
+}
+
+TEST_P(BackendSynthTest, SolverStatisticsGrowMonotonically) {
+  const model::ProblemSpec spec = make_example_spec();
+  Synthesizer synth(spec, options());
+  const smt::SolverStats before = synth.solver_statistics();
+  ASSERT_EQ(synth.synthesize().status, CheckResult::kSat);
+  const smt::SolverStats after = synth.solver_statistics();
+  // Counters are cumulative: a real check can only move them forward.
+  EXPECT_GE(after.conflicts, before.conflicts);
+  EXPECT_GE(after.propagations, before.propagations);
+  EXPECT_GE(after.decisions, before.decisions);
+  EXPECT_GT(after.propagations + after.decisions + after.conflicts, 0);
 }
 
 TEST_P(BackendSynthTest, ZeroBudgetForcesNoDevices) {
