@@ -23,6 +23,9 @@
 
 int main(int argc, char** argv) {
   using namespace cs;
+  // `--trace-out <file>`: per-worker sweep-point spans (warm/cold
+  // tagged), encoder-phase spans, and solver counter timelines.
+  const bench::TraceGuard trace(argc, argv);
   model::ProblemSpec spec;
   spec.network = topology::make_paper_example();
   const model::ServiceId svc = spec.services.add("svc");

@@ -20,6 +20,9 @@
 
 int main(int argc, char** argv) {
   using namespace cs;
+  // `--trace-out <file>`: per-worker sweep-point spans (warm/cold
+  // tagged), encoder-phase spans, and solver counter timelines.
+  const bench::TraceGuard trace(argc, argv);
   const int hosts = bench::full_mode() ? 30 : 10;
   const int routers = std::clamp(8 + hosts / 5, 8, 20);
   const model::ProblemSpec spec =

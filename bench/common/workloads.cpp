@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "obs/trace.h"
 #include "topology/generator.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -68,6 +69,10 @@ model::ProblemSpec make_eval_spec(int hosts, int routers,
 
 TimedRun run_synthesis(const model::ProblemSpec& spec,
                        const model::Sliders& sliders) {
+  // One span per cold synthesis; the encoder/solver layers below nest
+  // their own phase spans inside it, so a bench trace decomposes every
+  // reported time without extra bench-side stopwatches.
+  obs::Span span("bench", "bench/synthesis");
   util::Stopwatch watch;
   synth::Synthesizer synthesizer(spec, options());
   synth::SynthesisResult result = synthesizer.synthesize(sliders);
@@ -86,6 +91,10 @@ double median_synthesis_seconds(int hosts, int routers, double cr_fraction,
                                 bool* all_decided) {
   std::vector<double> times;
   bool decided = true;
+  obs::Span span("bench", "bench/median-cell");
+  span.arg("hosts", std::to_string(hosts));
+  span.arg("routers", std::to_string(routers));
+  span.arg("seeds", std::to_string(seeds));
   for (int s = 0; s < seeds; ++s) {
     const model::ProblemSpec spec = make_eval_spec(
         hosts, routers, cr_fraction, base_seed + static_cast<std::uint64_t>(s));
@@ -93,6 +102,7 @@ double median_synthesis_seconds(int hosts, int routers, double cr_fraction,
     times.push_back(run.seconds);
     decided = decided && run.status != smt::CheckResult::kUnknown;
   }
+  span.end();
   std::sort(times.begin(), times.end());
   if (all_decided != nullptr) *all_decided = decided;
   return times[times.size() / 2];
@@ -130,6 +140,31 @@ std::string fmt_time_cell(const synth::SweepPointResult& point) {
   if (point.skipped) return "skipped";
   return fmt_seconds(point.wall_seconds) +
          (point.status == smt::CheckResult::kSat ? "" : " (unsat)");
+}
+
+TraceGuard::TraceGuard(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace-out") {
+      path_ = argv[i + 1];
+      break;
+    }
+  }
+  if (path_.empty()) return;
+  obs::session().enable();
+  obs::session().set_thread_name("main");
+}
+
+TraceGuard::~TraceGuard() {
+  if (path_.empty()) return;
+  // Destruction happens at the end of the bench's main, after every
+  // sweep pool has joined — no recording thread can race the export.
+  obs::session().disable();
+  try {
+    obs::session().write_json(path_);
+    std::printf("trace written to %s\n", path_.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace export failed: %s\n", e.what());
+  }
 }
 
 void print_sweep_effort(const char* label, const synth::SweepResult& sweep) {

@@ -108,4 +108,21 @@ std::string fmt_time_cell(const synth::SweepPointResult& point);
 /// encode and conflict savings of warm start directly comparable.
 void print_sweep_effort(const char* label, const synth::SweepResult& sweep);
 
+/// RAII `--trace-out <file>` handling for bench binaries: scans argv for
+/// the flag, enables the tracer when present, and writes the Chrome
+/// trace-event JSON on destruction (by which point every sweep pool has
+/// drained). Without the flag it is inert, so every bench can hold one
+/// unconditionally.
+class TraceGuard {
+ public:
+  TraceGuard(int argc, char** argv);
+  ~TraceGuard();
+
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
 }  // namespace cs::bench

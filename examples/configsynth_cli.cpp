@@ -19,6 +19,9 @@
 //                         identical either way)
 //   --out <file>          where `synth` writes the design (default
 //                         design.txt)
+//   --trace-out <file>    record a Chrome-trace-event JSON timeline of
+//                         the run (open in Perfetto; see
+//                         docs/OBSERVABILITY.md)
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -28,6 +31,7 @@
 #include "analysis/exposure.h"
 #include "analysis/report.h"
 #include "model/input_file.h"
+#include "obs/trace.h"
 #include "synth/assistance.h"
 #include "synth/frontier.h"
 #include "synth/optimizer.h"
@@ -44,6 +48,8 @@ struct CliOptions {
   std::string out_path = "design.txt";
   /// Sweep workers for grid subcommands; 0 = one per hardware thread.
   int jobs = 0;
+  /// When non-empty, the run is traced and the timeline written here.
+  std::string trace_path;
 };
 
 CliOptions parse_flags(int argc, char** argv, int first_flag) {
@@ -65,6 +71,8 @@ CliOptions parse_flags(int argc, char** argv, int first_flag) {
       CS_REQUIRE(opts.jobs >= 0, "--jobs must be >= 0");
     } else if (flag == "--out") {
       opts.out_path = next();
+    } else if (flag == "--trace-out") {
+      opts.trace_path = next();
     } else {
       throw util::SpecError("unknown flag '" + flag + "'");
     }
@@ -173,19 +181,30 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     const model::ProblemSpec spec = model::parse_input_file(argv[2]);
 
-    if (cmd == "check") {
-      CS_REQUIRE(argc >= 4, "check needs a design file");
-      return cmd_check(spec, argv[3]);
+    if (cmd == "check") CS_REQUIRE(argc >= 4, "check needs a design file");
+    const CliOptions opts = parse_flags(argc, argv, cmd == "check" ? 4 : 3);
+    if (!opts.trace_path.empty()) {
+      obs::session().enable();
+      obs::session().set_thread_name("main");
     }
-    const CliOptions opts = parse_flags(argc, argv, 3);
-    if (cmd == "synth") return cmd_synth(spec, opts);
-    if (cmd == "optimize") return cmd_optimize(spec, opts);
-    if (cmd == "mincost") return cmd_mincost(spec, opts);
-    if (cmd == "frontier") return cmd_frontier(spec, opts);
-    if (cmd == "assist") return cmd_assist(spec);
-    if (cmd == "explain") return cmd_explain(spec, opts);
-    std::cerr << "unknown subcommand '" << cmd << "'\n";
-    return 2;
+    const auto run = [&]() -> int {
+      if (cmd == "check") return cmd_check(spec, argv[3]);
+      if (cmd == "synth") return cmd_synth(spec, opts);
+      if (cmd == "optimize") return cmd_optimize(spec, opts);
+      if (cmd == "mincost") return cmd_mincost(spec, opts);
+      if (cmd == "frontier") return cmd_frontier(spec, opts);
+      if (cmd == "assist") return cmd_assist(spec);
+      if (cmd == "explain") return cmd_explain(spec, opts);
+      std::cerr << "unknown subcommand '" << cmd << "'\n";
+      return 2;
+    };
+    const int code = run();
+    if (!opts.trace_path.empty()) {
+      obs::session().disable();
+      obs::session().write_json(opts.trace_path);
+      std::cerr << "trace written to " << opts.trace_path << "\n";
+    }
+    return code;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -21,6 +21,21 @@
 //   --time-limit <ms>       per-check wall cap (default 20000)
 //   --conflict-limit <n>    per-check deterministic effort cap (default 0)
 //   --metrics-csv <file>    also dump the metrics registry as CSV
+//   --metrics-prom <file>   also dump the metrics in Prometheus text
+//                           exposition format
+//   --trace-out <file>      record a Chrome-trace-event JSON timeline of
+//                           the run (open in Perfetto)
+//
+// A request line consisting of the single word `metrics` is a command,
+// not a request: the server prints a metrics snapshot once every request
+// above that line has completed (results stream in submission order).
+//
+// SIGINT/SIGTERM cancel queued requests cooperatively: in-flight solves
+// finish, and the metrics dump (table, CSV, Prometheus, trace) still
+// happens, so an interrupted run is observable rather than silent.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -32,6 +47,7 @@
 #include <vector>
 
 #include "model/input_file.h"
+#include "obs/trace.h"
 #include "service/synth_service.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -44,7 +60,14 @@ struct ServerOptions {
   synth::SynthesisOptions synthesis;
   service::ServiceConfig service;
   std::string metrics_csv;
+  std::string metrics_prom;
+  std::string trace_path;
 };
+
+/// Raised by the SIGINT/SIGTERM handler; the collection loop polls it.
+std::atomic<bool> g_interrupted{false};
+
+void handle_signal(int) { g_interrupted.store(true); }
 
 std::string dirname_of(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
@@ -119,6 +142,10 @@ int main(int argc, char** argv) {
             util::parse_int(next(), "conflict limit");
       } else if (flag == "--metrics-csv") {
         opts.metrics_csv = next();
+      } else if (flag == "--metrics-prom") {
+        opts.metrics_prom = next();
+      } else if (flag == "--trace-out") {
+        opts.trace_path = next();
       } else {
         throw util::SpecError("unknown flag '" + flag + "'");
       }
@@ -131,6 +158,9 @@ int main(int argc, char** argv) {
     const std::string base_dir = dirname_of(requests_path);
     std::map<std::string, std::shared_ptr<const model::ProblemSpec>> specs;
     std::vector<std::pair<std::string, service::ServiceRequest>> requests;
+    /// 1-based request counts after which a `metrics` command line asks
+    /// for a snapshot (0 = before any request completed).
+    std::vector<std::size_t> metrics_after;
     std::string line;
     int line_no = 0;
     while (std::getline(in, line)) {
@@ -138,9 +168,14 @@ int main(int argc, char** argv) {
       const std::string text = util::trim(line);
       if (text.empty() || text[0] == '#') continue;
       const std::vector<std::string> tok = util::split_ws(text);
+      if (tok.size() == 1 && tok[0] == "metrics") {
+        metrics_after.push_back(requests.size());
+        continue;
+      }
       CS_REQUIRE(tok.size() == 5,
                  "request line " + std::to_string(line_no) +
-                     ": want '<spec.cfg> <objective> <I> <U> <B>'");
+                     ": want '<spec.cfg> <objective> <I> <U> <B>' "
+                     "or the command 'metrics'");
       std::string path = tok[0];
       if (path[0] != '/') path = base_dir + "/" + path;
       auto& spec = specs[path];
@@ -162,6 +197,13 @@ int main(int argc, char** argv) {
     }
     CS_REQUIRE(!requests.empty(), "request file has no requests");
 
+    if (!opts.trace_path.empty()) {
+      obs::session().enable();
+      obs::session().set_thread_name("main");
+    }
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
     // Drive the service: submit everything, then collect in order.
     service::SynthService service(opts.service);
     std::vector<std::future<service::ServiceOutcome>> pending;
@@ -170,10 +212,33 @@ int main(int argc, char** argv) {
     for (auto& [name, req] : requests)
       pending.push_back(service.submit(req));
 
+    const auto metrics_snapshot = [&](std::size_t done) {
+      std::cout << "--- metrics after " << done << " request"
+                << (done == 1 ? "" : "s") << " ---\n"
+                << service.metrics().render() << "\n";
+    };
+    const auto emit_markers = [&](std::size_t done) {
+      for (const std::size_t after : metrics_after)
+        if (after == done) metrics_snapshot(done);
+    };
+    emit_markers(0);
+
     util::TextTable table({"#", "spec", "objective", "status", "bound",
                            "source", "probes", "ms"});
     int failures = 0;
+    bool cancelled = false;
     for (std::size_t i = 0; i < pending.size(); ++i) {
+      // Poll instead of blocking so a SIGINT/SIGTERM can cancel the
+      // still-queued tail while in-flight solves finish normally.
+      while (pending[i].wait_for(std::chrono::milliseconds(50)) !=
+             std::future_status::ready) {
+        if (g_interrupted.load() && !cancelled) {
+          cancelled = true;
+          std::cerr << "\ninterrupted: cancelling queued requests "
+                       "(in-flight solves finish; metrics still dumped)\n";
+          service.cancel_pending();
+        }
+      }
       const service::ServiceOutcome out = pending[i].get();
       const auto& [name, req] = requests[i];
       std::string status, bound = "-";
@@ -203,6 +268,7 @@ int main(int argc, char** argv) {
                                      : "solved",
                      std::to_string(out.result.search.probes),
                      fmt_ms(out.total_ms)});
+      emit_markers(i + 1);
     }
     const double wall = watch.elapsed_seconds();
 
@@ -216,6 +282,22 @@ int main(int argc, char** argv) {
       service.metrics().write_csv(opts.metrics_csv);
       std::cout << "\nmetrics csv written to " << opts.metrics_csv << "\n";
     }
+    if (!opts.metrics_prom.empty()) {
+      std::ofstream prom(opts.metrics_prom);
+      CS_REQUIRE(static_cast<bool>(prom), "cannot open metrics-prom file '" +
+                                              opts.metrics_prom + "'");
+      prom << service.metrics().render_prometheus();
+      std::cout << "metrics prometheus written to " << opts.metrics_prom
+                << "\n";
+    }
+    if (!opts.trace_path.empty()) {
+      // All futures have resolved and the pool is idle, so the export
+      // cannot race with recording.
+      obs::session().disable();
+      obs::session().write_json(opts.trace_path);
+      std::cout << "trace written to " << opts.trace_path << "\n";
+    }
+    if (cancelled) return 130;  // conventional fatal-signal exit
     return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -5,14 +5,19 @@
 // generated network.
 //
 // Usage: tradeoff_explorer [z3|minipb] [hosts] [routers] [seed] [--jobs N]
+//                          [--trace-out <file>]
 //
 // The sweep runs on one worker per hardware thread by default; --jobs 1
 // forces a serial run (the results are identical either way).
+// --trace-out records a Chrome-trace-event JSON timeline (per-worker
+// sweep-point spans; open in Perfetto).
 #include <iostream>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "model/spec.h"
+#include "obs/trace.h"
 #include "synth/frontier.h"
 #include "synth/synthesizer.h"
 #include "topology/generator.h"
@@ -21,15 +26,22 @@
 int main(int argc, char** argv) {
   using namespace cs;
   try {
-    // Split off the --jobs flag, keep the positional arguments.
+    // Split off the flags, keep the positional arguments.
     int jobs = 0;  // 0 = one worker per hardware thread
+    std::string trace_path;
     std::vector<std::string_view> args;
     for (int i = 1; i < argc; ++i) {
       if (std::string_view(argv[i]) == "--jobs" && i + 1 < argc) {
         jobs = static_cast<int>(util::parse_int(argv[++i], "--jobs"));
+      } else if (std::string_view(argv[i]) == "--trace-out" && i + 1 < argc) {
+        trace_path = argv[++i];
       } else {
         args.push_back(argv[i]);
       }
+    }
+    if (!trace_path.empty()) {
+      obs::session().enable();
+      obs::session().set_thread_name("main");
     }
 
     synth::SynthesisOptions options;
@@ -73,6 +85,11 @@ int main(int argc, char** argv) {
     std::cout << "\nReading: isolation falls as the usability floor rises; "
                  "the larger budget dominates row by row (paper Fig. 3a). "
                  "A '+' marks a capped probe (value is a lower bound).\n";
+    if (!trace_path.empty()) {
+      obs::session().disable();
+      obs::session().write_json(trace_path);
+      std::cout << "trace written to " << trace_path << "\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file exported by the obs tracer.
+
+Usage: check_trace.py <trace.json> [required-name-substring ...]
+
+Checks (stdlib json only):
+  * the file parses and has a top-level "traceEvents" array;
+  * every event carries ph/pid/tid/name, complete events ("X") carry
+    numeric ts/dur, counter events ("C") carry args.value;
+  * per tid, complete-event spans are properly nested (any two are
+    disjoint or one contains the other) — RAII scopes cannot overlap;
+  * async events ("b"/"e") carry an id and pair up begin-to-end; they
+    are exempt from the nesting check (they may overlap scoped spans —
+    that is why the exporter emits them as async);
+  * each extra argument matches at least one event name as a substring
+    (lets callers assert "an encoder span and a sweep point exist").
+
+Exit code 0 on success; prints the first failure and exits 1 otherwise.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    required = sys.argv[2:]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing 'traceEvents' array")
+    if not events:
+        fail("trace has no events")
+
+    spans_by_tid = {}
+    async_open = {}
+    n_async = 0
+    names = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                fail(f"event {i} lacks '{key}': {ev}")
+        names.add(ev["name"])
+        ph = ev["ph"]
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), (int, float)):
+                    fail(f"complete event {i} lacks numeric '{key}': {ev}")
+            spans_by_tid.setdefault(ev["tid"], []).append(ev)
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                fail(f"counter event {i} lacks args.value: {ev}")
+        elif ph in ("b", "e"):
+            if "id" not in ev or not isinstance(ev.get("ts"), (int, float)):
+                fail(f"async event {i} lacks id or numeric ts: {ev}")
+            key = (ev["name"], ev["id"])
+            if ph == "b":
+                if key in async_open:
+                    fail(f"async event {i}: duplicate begin for {key}")
+                async_open[key] = ev["ts"]
+                n_async += 1
+            else:
+                begin = async_open.pop(key, None)
+                if begin is None:
+                    fail(f"async event {i}: end without begin for {key}")
+                if ev["ts"] < begin - 1e-9:
+                    fail(f"async event {i}: end before begin for {key}")
+        elif ph != "M":
+            fail(f"event {i} has unexpected ph '{ph}'")
+    if async_open:
+        fail(f"async begins without ends: {sorted(async_open)}")
+
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        # Stack discipline: walk in start order, track open scopes.
+        stack = []
+        for ev in spans:
+            end = ev["ts"] + ev["dur"]
+            while stack and ev["ts"] >= stack[-1] - 1e-9:
+                stack.pop()
+            if stack and end > stack[-1] + 1e-9:
+                fail(
+                    f"tid {tid}: span '{ev['name']}' "
+                    f"[{ev['ts']}, {end}) overlaps an enclosing span "
+                    f"ending at {stack[-1]}"
+                )
+            stack.append(end)
+
+    for want in required:
+        if not any(want in n for n in names):
+            fail(f"no event name contains '{want}' (have: {sorted(names)})")
+
+    n_spans = sum(len(s) for s in spans_by_tid.values())
+    print(
+        f"check_trace: OK: {len(events)} events, {n_spans} spans + "
+        f"{n_async} async on {len(spans_by_tid)} track(s), "
+        f"{len(names)} distinct names"
+    )
+
+
+if __name__ == "__main__":
+    main()

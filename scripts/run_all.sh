@@ -10,10 +10,22 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 # Request-file smoke run of the synthesis server (cache + admission
-# control end to end; deterministic effort cap keeps it quick).
+# control end to end; deterministic effort cap keeps it quick). The
+# trace/metrics dumps double as an observability smoke: check_trace.py
+# validates JSON shape and per-track span nesting.
 ./build/examples/configsynth_server examples/data/server_requests.txt \
   --backend minipb --jobs 2 --time-limit 20000 --conflict-limit 20000 \
+  --trace-out server_trace.json --metrics-prom server_metrics.prom \
   2>&1 | tee server_output.txt
+python3 scripts/check_trace.py server_trace.json \
+  service/queue_wait service/solve synth/
+
+# CLI trace smoke: one synthesis run with the span tracer on, validated
+# the same way (encoder phases + solver counter timeline present).
+./build/examples/configsynth_cli synth examples/data/paper_example.cfg \
+  --backend minipb --trace-out cli_trace.json > /dev/null
+python3 scripts/check_trace.py cli_trace.json \
+  encode/ synth/check minipb/conflicts
 
 # Parallel-safety audit: the sweep-engine/thread-pool/service tests under
 # ThreadSanitizer on the MiniPB backend. Z3 is an uninstrumented system
@@ -22,13 +34,14 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 # service test. Skip with CS_SKIP_TSAN=1.
 if [ "${CS_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -G Ninja -DCONFIGSYNTH_SANITIZE=thread
-  cmake --build build-tsan --target sweep_test service_test
+  cmake --build build-tsan --target sweep_test service_test obs_test
   ./build-tsan/tests/sweep_test \
     --gtest_filter='ThreadPool*:SweepEngineMiniPb*:*minipb*' \
     2>&1 | tee tsan_output.txt
   ./build-tsan/tests/service_test \
     --gtest_filter='SynthServiceMiniPb*:ResultCache*:Metrics*:*minipb*' \
     2>&1 | tee -a tsan_output.txt
+  ./build-tsan/tests/obs_test 2>&1 | tee -a tsan_output.txt
 fi
 
 for b in build/bench/bench_*; do

@@ -419,6 +419,10 @@ Solver::Result Solver::search(std::int64_t conflict_budget,
     if (!conflict.is_none()) {
       ++stats_.conflicts;
       ++conflicts_here;
+      if (progress_every_ > 0 && stats_.conflicts >= next_progress_at_) {
+        next_progress_at_ = stats_.conflicts + progress_every_;
+        progress_(stats_);
+      }
       if (decision_level() == 0) {
         ok_ = false;
         unsat_core_.clear();

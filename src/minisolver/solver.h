@@ -87,6 +87,24 @@ class Solver {
     learnt_hook_ = std::move(hook);
   }
 
+  /// Periodic progress hook: invoked from the search loop with the
+  /// cumulative stats every `every_conflicts` conflicts (0 or an empty
+  /// callback disables it). Fires mid-search, so the callback must not
+  /// touch the solver; the backend layer uses it to stream
+  /// conflict/propagation/restart timelines into the tracer. Cost when
+  /// unset: one integer compare per conflict.
+  void set_progress_callback(std::int64_t every_conflicts,
+                             std::function<void(const Stats&)> callback) {
+    if (every_conflicts <= 0 || !callback) {
+      progress_every_ = 0;
+      progress_ = nullptr;
+      return;
+    }
+    progress_every_ = every_conflicts;
+    next_progress_at_ = stats_.conflicts + every_conflicts;
+    progress_ = std::move(callback);
+  }
+
  private:
   struct Reason {
     Clause* clause = nullptr;
@@ -180,6 +198,9 @@ class Solver {
   std::vector<Lit> unsat_core_;
 
   std::function<void(const std::vector<Lit>&)> learnt_hook_;
+  std::function<void(const Stats&)> progress_;
+  std::int64_t progress_every_ = 0;
+  std::int64_t next_progress_at_ = 0;
   std::int64_t conflict_limit_ = 0;
   std::int64_t time_limit_ms_ = 0;
   std::int64_t conflicts_at_solve_start_ = 0;

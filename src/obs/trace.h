@@ -1,0 +1,236 @@
+// Span-based tracing for the synthesis stack (DESIGN.md S9).
+//
+// The paper's whole evaluation is about *where synthesis time goes* as
+// topology size, CR count and thresholds scale; this module makes that
+// timeline observable instead of inferable from totals. A `TraceSession`
+// collects two event shapes from any thread:
+//
+//   * spans   — RAII `Span` objects bracketing a phase (encoder constraint
+//     families, a solver check, one sweep grid point, a service request
+//     stage), exported as Chrome trace-event "complete" events ("ph":"X")
+//     so a trace opens directly in Perfetto or chrome://tracing;
+//   * counter timelines — point-in-time samples of monotone counters
+//     ("ph":"C"), fed by the minisolver's periodic progress callback
+//     (every N conflicts) and by the Z3 backend around check calls.
+//
+// Cost model. Tracing is compiled in but *default-off*: every recording
+// entry point starts with one atomic load of a process-wide flag and a
+// branch — no allocation, no clock read, no lock when disabled. (The
+// load is acquire so an enable() on one thread happens-before recording
+// on threads that observe it; on x86/ARM that compiles to a plain load.)
+// Enabled-path appends go to per-thread buffers, so recording threads
+// never contend with each other.
+//
+// Thread-safety. Each thread owns a `ThreadTrack`: a chunked append-only
+// buffer written only by its owner and published with a release store of
+// the event count; readers (`snapshot`, `write_json`) acquire-load the
+// count and read only the published prefix, so concurrent append/export
+// is race-free (TSan-clean) without any per-event lock. Track
+// registration takes the session mutex once per thread per session
+// epoch. `clear()` invalidates and frees all tracks — it must not run
+// concurrently with recording threads (quiesce workers first; every
+// driver in this repo exports after its pool has drained).
+//
+// Timestamps are steady-clock microseconds since the session epoch
+// (util::Stopwatch is the same clock), so spans from different threads
+// are directly comparable and traces survive wall-clock adjustments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace cs::obs {
+
+/// One recorded event. Spans carry a duration; counters carry a value.
+/// Async spans additionally carry an id: they are exported as paired
+/// "b"/"e" events, which trace viewers group by id on their own track —
+/// the shape for intervals that legitimately overlap the recording
+/// thread's other spans (a service request's queue wait, recorded
+/// retroactively once the request starts).
+struct TraceEvent {
+  enum class Kind { kSpan, kCounter, kAsync };
+  Kind kind = Kind::kSpan;
+  /// Event name ("encode/placement", "sweep/point", "minipb/conflicts").
+  std::string name;
+  /// Category string — must point at storage with static lifetime
+  /// (string literals); categories group events in trace viewers.
+  const char* category = "";
+  double ts_us = 0;
+  double dur_us = 0;          // spans and async spans
+  std::int64_t value = 0;     // counters: the sample; async: the id
+  /// Small key/value annotations ("warm"="1", "req"="42").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Per-thread append-only event buffer (see the header comment for the
+/// publication protocol). Created and owned by the TraceSession; user
+/// code never touches it directly.
+class ThreadTrack {
+ public:
+  explicit ThreadTrack(int tid) : tid_(tid) {}
+  ~ThreadTrack();
+
+  ThreadTrack(const ThreadTrack&) = delete;
+  ThreadTrack& operator=(const ThreadTrack&) = delete;
+
+  int tid() const { return tid_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Owner thread only.
+  void append(TraceEvent event);
+
+  /// Any thread: visits the published prefix in append order.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    const std::size_t n = published_.load(std::memory_order_acquire);
+    const Chunk* chunk = &head_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t slot = i % kChunkSize;
+      if (i != 0 && slot == 0)
+        chunk = chunk->next.load(std::memory_order_relaxed);
+      fn(chunk->events[slot]);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kChunkSize = 256;
+  struct Chunk {
+    TraceEvent events[kChunkSize];
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  const int tid_;
+  std::string name_;  // set before workers start or by the owner thread
+  Chunk head_;
+  Chunk* tail_ = &head_;
+  std::size_t appended_ = 0;
+  std::atomic<std::size_t> published_{0};
+};
+
+/// The process-wide trace collector. One instance (`session()`) serves
+/// the whole stack so instrumentation points never need plumbing.
+class TraceSession {
+ public:
+  /// The recording gate — the only cost paid on the disabled path.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Starts recording (timestamps restart from zero on the first enable
+  /// after a clear).
+  void enable();
+  /// Stops recording; already-recorded events are kept for export.
+  void disable();
+  /// Drops all events and tracks. Must not race with recording threads.
+  void clear();
+
+  /// Microseconds since the session epoch.
+  double now_us() const { return epoch_.elapsed_seconds() * 1e6; }
+
+  /// Records a complete span with explicit timing. Scoped spans on one
+  /// track must nest; for intervals that cannot (recorded after the
+  /// fact, overlapping other work) use record_async_span instead.
+  void record_span(const char* category, std::string name, double ts_us,
+                   double dur_us,
+                   std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records an async span with explicit timing, exported as a paired
+  /// "b"/"e" event keyed by `id`. Use for intervals that overlap the
+  /// recording thread's scoped spans — a service request's queue wait
+  /// is recorded retroactively by whichever worker dequeues it, while
+  /// that worker's track already holds spans for earlier requests.
+  void record_async_span(
+      const char* category, std::string name, double ts_us, double dur_us,
+      std::int64_t id,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records one counter-timeline sample at the current time.
+  void record_counter(const char* category, std::string name,
+                      std::int64_t value);
+
+  /// Names the calling thread's track ("main", "worker"); exported as
+  /// trace metadata.
+  void set_thread_name(std::string name);
+
+  /// Copy of every published event (tests; stable across concurrent
+  /// appends — late events are simply not included).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Published events grouped by thread track, paired with each track's
+  /// tid (tests asserting per-thread properties like span nesting).
+  std::vector<std::pair<int, std::vector<TraceEvent>>> snapshot_by_track()
+      const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), loadable by
+  /// Perfetto and chrome://tracing.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path` (throws util::Error on I/O failure).
+  void write_json(const std::string& path) const;
+
+  /// The calling thread's track, registering it on first use.
+  ThreadTrack& track();
+
+ private:
+  static std::atomic<bool> enabled_;
+
+  util::Stopwatch epoch_;
+  mutable std::mutex mutex_;  // guards tracks_ and epoch_fresh_
+  std::vector<std::unique_ptr<ThreadTrack>> tracks_;
+  /// Bumped by clear() so threads re-register instead of touching freed
+  /// tracks.
+  std::atomic<std::uint64_t> generation_{1};
+  bool epoch_fresh_ = true;
+};
+
+/// The process-wide session.
+TraceSession& session();
+
+/// RAII span: records one complete event on destruction. When tracing is
+/// disabled at construction the object is inert (a relaxed load and a
+/// branch — nothing else).
+class Span {
+ public:
+  /// `category` and `name` must outlive the span (string literals).
+  Span(const char* category, const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value annotation (no-op when inert).
+  void arg(const char* key, std::string value);
+
+  /// Ends the span early (idempotent; the destructor becomes a no-op).
+  void end();
+
+ private:
+  bool active_;
+  const char* category_;
+  const char* name_;
+  double start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Counter-timeline sample helper: no-op when disabled.
+inline void counter(const char* category, const char* name,
+                    std::int64_t value) {
+  if (!TraceSession::enabled()) return;
+  session().record_counter(category, name, value);
+}
+
+/// Thread-name helper: no-op when disabled.
+inline void set_thread_name(const char* name) {
+  if (!TraceSession::enabled()) return;
+  session().set_thread_name(name);
+}
+
+}  // namespace cs::obs

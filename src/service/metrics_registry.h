@@ -52,6 +52,11 @@ class Histogram {
   double min_ms() const;  // 0 when empty
   double max_ms() const;
   double mean_ms() const;
+  /// Quantile estimate (q in [0,1]) interpolated linearly inside the
+  /// exponential buckets and clamped to the observed [min, max], so a
+  /// single-sample histogram reports that sample for every quantile.
+  /// 0 when empty.
+  double percentile_ms(double q) const;
   /// Upper bound of each finite bucket, shared by all histograms.
   static const std::vector<double>& bucket_bounds();
   /// Observation count per bucket (bucket_bounds().size() + 1 entries;
@@ -80,6 +85,12 @@ class MetricsRegistry {
 
   /// Aligned text tables (counters, then histograms), names sorted.
   std::string render() const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters as
+  /// `configsynth_<name>`, histograms as the standard `_bucket{le=...}`
+  /// cumulative series plus `_sum`/`_count`. Names are sanitized to the
+  /// Prometheus charset.
+  std::string render_prometheus() const;
 
   /// Writes one long-form CSV: kind,name,field,value rows (counters have
   /// one row; histograms one row per summary field and bucket).

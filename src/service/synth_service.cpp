@@ -1,8 +1,10 @@
 #include "service/synth_service.h"
 
 #include <iterator>
+#include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -13,6 +15,11 @@ namespace {
 /// Counter name for one backend's probe count.
 const char* probe_counter_name(smt::BackendKind kind) {
   return kind == smt::BackendKind::kZ3 ? "probes_z3" : "probes_minipb";
+}
+
+/// Trace-span tag for a backend.
+const char* backend_tag(smt::BackendKind kind) {
+  return kind == smt::BackendKind::kZ3 ? "z3" : "minipb";
 }
 
 }  // namespace
@@ -138,17 +145,31 @@ std::future<ServiceOutcome> SynthService::submit(ServiceRequest request) {
     ++queued_;
   }
 
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
   util::Stopwatch watch;  // request clock: starts at enqueue
-  auto task = [this, promise, request = std::move(request), watch]() {
+  auto task = [this, promise, request = std::move(request), request_id,
+               watch]() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --queued_;
     }
     const double queue_ms = watch.elapsed_ms();
     metrics_.histogram("queue_ms").observe(queue_ms);
+    if (obs::TraceSession::enabled()) {
+      // The wait is only known once the request starts, so it is recorded
+      // backdated to the enqueue instant — as an async span, because it
+      // overlaps earlier requests' spans on this worker's track.
+      obs::set_thread_name("service-worker");
+      obs::session().record_async_span(
+          "service", "service/queue_wait",
+          obs::session().now_us() - queue_ms * 1000.0, queue_ms * 1000.0,
+          static_cast<std::int64_t>(request_id),
+          {{"req", std::to_string(request_id)}});
+    }
     if (config_.on_start) config_.on_start(request);
     try {
-      promise->set_value(execute(request, queue_ms, watch));
+      promise->set_value(execute(request, request_id, queue_ms, watch));
     } catch (...) {
       promise->set_exception(std::current_exception());
     }
@@ -158,8 +179,10 @@ std::future<ServiceOutcome> SynthService::submit(ServiceRequest request) {
 }
 
 ServiceOutcome SynthService::execute(const ServiceRequest& request,
+                                     std::uint64_t request_id,
                                      double queue_ms,
                                      util::Stopwatch watch) {
+  const std::string rid = std::to_string(request_id);
   ServiceOutcome out;
   out.queue_ms = queue_ms;
   out.fingerprint = request_fingerprint(request);
@@ -195,8 +218,13 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
   // wait per outcome, so the loop terminates.
   std::shared_future<void> wait_for;
   std::shared_ptr<std::promise<void>> publish;
+  const auto traced_lookup = [&] {
+    obs::Span span("service", "service/cache_lookup");
+    span.arg("req", rid);
+    return cache_.lookup(out.fingerprint);
+  };
   for (bool waited = false;;) {
-    if (auto hit = cache_.lookup(out.fingerprint)) {
+    if (auto hit = traced_lookup()) {
       metrics_.counter("cache_hits").inc();
       out.cache_hit = true;
       out.coalesced = waited;
@@ -259,29 +287,38 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
   model::Fingerprint warm_key;
   WarmEntry entry;
   if (warm_eligible) {
+    obs::Span span("service", "service/warm_checkout");
+    span.arg("req", rid);
     warm_key = warm_fingerprint(request);
     entry = warm_checkout(warm_key);
+    span.arg("hit", entry.synth != nullptr ? "1" : "0");
   }
-  if (entry.synth != nullptr) {
-    metrics_.counter("warm_hits").inc();
-    out.result = synth::solve_sweep_point_on(*entry.synth, *entry.spec,
-                                             sweep, request.point, left,
-                                             /*charge_encode=*/false);
-  } else if (warm_eligible) {
-    metrics_.counter("warm_misses").inc();
-    util::Stopwatch encode_watch;
-    entry.spec = request.spec;
-    entry.synth = std::make_unique<synth::Synthesizer>(*request.spec,
-                                                       request.synthesis);
-    out.result = synth::solve_sweep_point_on(*entry.synth, *entry.spec,
-                                             sweep, request.point, left,
-                                             /*charge_encode=*/true);
-    // Like a cold sweep point, the first solve's wall clock includes the
-    // encode it paid for.
-    out.result.wall_seconds = encode_watch.elapsed_seconds();
-  } else {
-    out.result =
-        synth::solve_sweep_point(*request.spec, sweep, request.point, left);
+  {
+    obs::Span span("service", "service/solve");
+    span.arg("req", rid);
+    span.arg("backend", backend_tag(request.synthesis.backend));
+    span.arg("warm", entry.synth != nullptr ? "1" : "0");
+    if (entry.synth != nullptr) {
+      metrics_.counter("warm_hits").inc();
+      out.result = synth::solve_sweep_point_on(*entry.synth, *entry.spec,
+                                               sweep, request.point, left,
+                                               /*charge_encode=*/false);
+    } else if (warm_eligible) {
+      metrics_.counter("warm_misses").inc();
+      util::Stopwatch encode_watch;
+      entry.spec = request.spec;
+      entry.synth = std::make_unique<synth::Synthesizer>(*request.spec,
+                                                         request.synthesis);
+      out.result = synth::solve_sweep_point_on(*entry.synth, *entry.spec,
+                                               sweep, request.point, left,
+                                               /*charge_encode=*/true);
+      // Like a cold sweep point, the first solve's wall clock includes the
+      // encode it paid for.
+      out.result.wall_seconds = encode_watch.elapsed_seconds();
+    } else {
+      out.result =
+          synth::solve_sweep_point(*request.spec, sweep, request.point, left);
+    }
   }
   if (entry.synth != nullptr) warm_checkin(warm_key, std::move(entry));
   record_solver_effort(out.result, request.synthesis.backend);
@@ -298,6 +335,10 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
       metrics_.counter("retries").inc();
       out.retries = 1;
       sweep.synthesis.check_conflict_limit *= config_.retry_cap_factor;
+      obs::Span span("service", "service/retry");
+      span.arg("req", rid);
+      span.arg("conflict_limit",
+               std::to_string(sweep.synthesis.check_conflict_limit));
       synth::SweepPointResult retried =
           synth::solve_sweep_point(*request.spec, sweep, request.point, left);
       record_solver_effort(retried, request.synthesis.backend);

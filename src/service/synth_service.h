@@ -180,7 +180,8 @@ class SynthService {
   };
 
   ServiceOutcome execute(const ServiceRequest& request,
-                         double queued_ms_at_start, util::Stopwatch watch);
+                         std::uint64_t request_id, double queued_ms_at_start,
+                         util::Stopwatch watch);
   /// Removes and returns a parked synthesizer for `key` (empty entry on
   /// miss). Checkout transfers ownership, so entries are never shared.
   WarmEntry warm_checkout(const model::Fingerprint& key);
@@ -196,6 +197,9 @@ class SynthService {
   MetricsRegistry metrics_;
   ResultCache cache_;
   std::atomic<bool> cancel_all_{false};
+  /// Monotone request ids linking one request's trace spans (queue wait →
+  /// cache lookup → solve → retry) across its lifecycle.
+  std::atomic<std::uint64_t> next_request_id_{1};
 
   mutable std::mutex warm_mutex_;  // guards warm_pool_ and warm_order_
   std::unordered_map<model::Fingerprint, std::vector<WarmEntry>,

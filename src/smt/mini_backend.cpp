@@ -1,10 +1,25 @@
 #include "smt/mini_backend.h"
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace cs::smt {
 
 namespace {
+
+/// Counter-sampling cadence while tracing: every this many conflicts the
+/// solver's progress callback streams its cumulative counters into the
+/// tracer. Coarse enough to stay invisible next to conflict analysis,
+/// fine enough that the Fig. 4/5 workloads draw smooth timelines.
+constexpr std::int64_t kProgressSampleConflicts = 4096;
+
+void emit_progress_sample(const minisolver::Solver::Stats& s) {
+  obs::counter("solver", "minipb/conflicts", s.conflicts);
+  obs::counter("solver", "minipb/propagations",
+               s.propagations + s.pb_propagations);
+  obs::counter("solver", "minipb/restarts", s.restarts);
+  obs::counter("solver", "minipb/learned", s.learned_clauses);
+}
 
 std::vector<minisolver::PbTerm> to_mini_terms(const std::vector<Term>& terms) {
   std::vector<minisolver::PbTerm> out;
@@ -88,7 +103,19 @@ CheckResult MiniBackend::check(const std::vector<Lit>& assumptions) {
   std::vector<minisolver::Lit> mini;
   mini.reserve(assumptions.size());
   for (const Lit l : assumptions) mini.push_back(to_mini(l));
-  switch (solver_.solve(mini)) {
+  // Stream progress samples while tracing (installed per check so the
+  // solver pays nothing when the tracer is off); one closing sample makes
+  // even sub-cadence checks visible in the timeline.
+  const bool tracing = obs::TraceSession::enabled();
+  if (tracing)
+    solver_.set_progress_callback(kProgressSampleConflicts,
+                                  emit_progress_sample);
+  const minisolver::Solver::Result result = solver_.solve(mini);
+  if (tracing) {
+    emit_progress_sample(solver_.stats());
+    solver_.set_progress_callback(0, nullptr);
+  }
+  switch (result) {
     case minisolver::Solver::Result::kSat:
       return CheckResult::kSat;
     case minisolver::Solver::Result::kUnsat:

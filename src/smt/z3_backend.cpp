@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace cs::smt {
@@ -227,7 +228,20 @@ CheckResult Z3Backend::check(const std::vector<Lit>& assumptions) {
   if (needs_rebuild_) rebuild_solver();
   z3::expr_vector assume(ctx_);
   for (const Lit l : assumptions) assume.push_back(lit_expr(l));
+  // Z3 exposes no in-search hook, so the counter timeline is sampled at
+  // check granularity: one cumulative sample before and after each call
+  // brackets the check's effort on the trace's counter tracks.
+  const bool tracing = obs::TraceSession::enabled();
+  const auto emit_sample = [&] {
+    const SolverStats s = statistics();
+    obs::counter("solver", "z3/conflicts", s.conflicts);
+    obs::counter("solver", "z3/propagations", s.propagations);
+    obs::counter("solver", "z3/decisions", s.decisions);
+    obs::counter("solver", "z3/restarts", s.restarts);
+  };
+  if (tracing) emit_sample();
   const z3::check_result r = solver_.check(assume);
+  if (tracing) emit_sample();
 
   if (r == z3::sat) {
     const z3::model m = solver_.get_model();

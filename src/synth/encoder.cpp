@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace cs::synth {
@@ -25,17 +26,24 @@ std::uint64_t Encoding::pair_key(topology::NodeId a, topology::NodeId b) {
 Encoding::Encoding(const model::ProblemSpec& spec,
                    topology::RouteTable& routes, smt::Backend& backend)
     : spec_(spec), routes_(routes), backend_(backend) {
-  spec_.validate();
-  create_flow_vars();
-  create_pair_and_link_vars();
-  create_host_pattern_vars();
-  create_app_pattern_vars();
-  add_pattern_constraints();
-  create_score_ladders();
-  add_placement_constraints();
-  add_user_constraints();
-  add_host_requirements();
-  build_metric_terms();
+  // One span per constraint family, so a trace shows where encode time
+  // goes as the topology/CR parameters scale (the paper's Fig. 4 axis).
+  const auto phase = [](const char* name, auto&& body) {
+    obs::Span span("encode", name);
+    body();
+  };
+  phase("encode/validate", [&] { spec_.validate(); });
+  phase("encode/flow-vars", [&] { create_flow_vars(); });
+  phase("encode/pair-link-vars", [&] { create_pair_and_link_vars(); });
+  phase("encode/host-pattern-vars", [&] { create_host_pattern_vars(); });
+  phase("encode/app-pattern-vars", [&] { create_app_pattern_vars(); });
+  phase("encode/pattern-constraints", [&] { add_pattern_constraints(); });
+  phase("encode/score-ladders", [&] { create_score_ladders(); });
+  phase("encode/placement-constraints",
+        [&] { add_placement_constraints(); });
+  phase("encode/user-constraints", [&] { add_user_constraints(); });
+  phase("encode/host-requirements", [&] { add_host_requirements(); });
+  phase("encode/metric-terms", [&] { build_metric_terms(); });
 }
 
 void Encoding::counted_clause(const std::vector<smt::Lit>& lits) {

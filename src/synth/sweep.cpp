@@ -4,6 +4,7 @@
 #include <future>
 #include <memory>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -160,6 +161,11 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
   result.points.resize(request.points.size());
   if (request.points.empty()) return result;  // nothing to schedule
 
+  obs::Span sweep_span("sweep", "sweep/run");
+  sweep_span.arg("jobs", std::to_string(jobs));
+  sweep_span.arg("points", std::to_string(request.points.size()));
+  sweep_span.arg("warm", warm ? "1" : "0");
+
   util::Stopwatch sweep_watch;
   // Remaining budget when a point starts; < 0 means "skip it". 0 from the
   // caller means "no deadline" and stays 0 through the clamp in
@@ -192,6 +198,11 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
       mark_skipped(index);
       return;
     }
+    obs::Span span("sweep", "sweep/point");
+    span.arg("index", std::to_string(index));
+    span.arg("warm", "0");
+    span.arg("objective",
+             std::string(sweep_objective_name(request.points[index].objective)));
     result.points[index] =
         solve_sweep_point(spec_, request, request.points[index], left);
   };
@@ -210,6 +221,11 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
       }
       util::Stopwatch watch;
       const bool first_use = synth == nullptr;
+      obs::Span span("sweep", "sweep/point");
+      span.arg("index", std::to_string(i));
+      span.arg("warm", first_use ? "0" : "1");
+      span.arg("objective",
+               std::string(sweep_objective_name(request.points[i].objective)));
       if (first_use)
         synth = std::make_unique<Synthesizer>(spec_, request.synthesis);
       result.points[i] =
@@ -232,6 +248,7 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
       std::vector<std::future<void>> pending;
       for (std::size_t begin = 0; begin < n; begin += chunk)
         pending.push_back(pool.submit([&run_chunk, begin, chunk, n] {
+          obs::set_thread_name("sweep-worker");
           run_chunk(begin, std::min(begin + chunk, n));
         }));
       for (std::future<void>& f : pending) f.get();  // rethrows task errors
@@ -243,7 +260,10 @@ SweepResult SweepEngine::run(const SweepRequest& request) const {
     std::vector<std::future<void>> pending;
     pending.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
-      pending.push_back(pool.submit([&run_point, i] { run_point(i); }));
+      pending.push_back(pool.submit([&run_point, i] {
+        obs::set_thread_name("sweep-worker");
+        run_point(i);
+      }));
     for (std::future<void>& f : pending) f.get();  // rethrows task errors
   }
 

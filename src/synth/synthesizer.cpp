@@ -2,9 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace cs::synth {
+
+namespace {
+
+const char* status_tag(smt::CheckResult status) {
+  switch (status) {
+    case smt::CheckResult::kSat:
+      return "sat";
+    case smt::CheckResult::kUnsat:
+      return "unsat";
+    case smt::CheckResult::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Synthesizer::Synthesizer(const model::ProblemSpec& spec,
                          SynthesisOptions options)
@@ -13,7 +30,10 @@ Synthesizer::Synthesizer(const model::ProblemSpec& spec,
       routes_(spec.network, spec.route_options),
       backend_(smt::make_backend(options.backend)) {
   util::Stopwatch watch;
-  encoding_ = std::make_unique<Encoding>(spec_, routes_, *backend_);
+  {
+    obs::Span span("synth", "synth/encode");
+    encoding_ = std::make_unique<Encoding>(spec_, routes_, *backend_);
+  }
   encode_seconds_ = watch.elapsed_seconds();
   if (options_.check_time_limit_ms > 0)
     backend_->set_time_limit_ms(options_.check_time_limit_ms);
@@ -48,7 +68,9 @@ SynthesisResult Synthesizer::resolve(const model::Sliders& sliders) {
              "resolve() needs retractable thresholds "
              "(ThresholdMode::kAssumption)");
   ++resolves_;
+  obs::Span span("synth", "synth/resolve");
   SynthesisResult result = synthesize(sliders);
+  span.arg("status", status_tag(result.status));
   result.encode_seconds = 0;  // amortized: nothing was re-encoded
   return result;
 }
@@ -92,7 +114,11 @@ SynthesisResult Synthesizer::synthesize_partial(
   result.encoding = encoding_->stats();
 
   util::Stopwatch watch;
-  result.status = backend_->check(assumptions);
+  {
+    obs::Span span("synth", "synth/check");
+    result.status = backend_->check(assumptions);
+    span.arg("status", status_tag(result.status));
+  }
   result.solve_seconds = watch.elapsed_seconds();
   result.solver_memory_bytes = backend_->memory_bytes();
 

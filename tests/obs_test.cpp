@@ -1,0 +1,380 @@
+// Tests for the span tracer (src/obs) and its integration with the
+// synthesis stack:
+//   * disabled path — recording entry points are inert, nothing is stored;
+//   * span structure — spans on one thread track are properly nested
+//     (any two either disjoint or contained), since they come from RAII
+//     scopes;
+//   * JSON export — the Chrome trace-event output parses (validated with
+//     a small recursive-descent JSON parser) and every event carries the
+//     keys Perfetto requires;
+//   * determinism — a cold sweep of the paper example emits the same
+//     span multiset (names + counts) at --jobs 1 and --jobs 4, because
+//     per-point solver state is independent of the partition.
+//
+// The tracer is process-global state; these tests run in one gtest
+// binary, serially, and each test starts from a clear()ed session.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "spec_helpers.h"
+#include "synth/sweep.h"
+
+namespace cs::obs {
+namespace {
+
+/// Resets the tracer to a known state. Registered per test because the
+/// session outlives individual tests.
+struct SessionReset {
+  SessionReset() {
+    session().disable();
+    session().clear();
+  }
+  ~SessionReset() {
+    session().disable();
+    session().clear();
+  }
+};
+
+// ---- minimal JSON syntax validator ----------------------------------------
+// Recursive descent over the exported text; returns false on the first
+// syntax error. Scalars are validated, structure is walked, nothing is
+// built — the structural assertions use TraceSession::snapshot() instead.
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // control characters must be escaped
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start && text_[start] != '-' ? true : pos_ > start + 1;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- tracer core -----------------------------------------------------------
+
+TEST(Obs, DisabledPathRecordsNothing) {
+  SessionReset reset;
+  ASSERT_FALSE(TraceSession::enabled());
+  {
+    Span span("test", "test/should-not-appear");
+    span.arg("key", "value");
+  }
+  counter("test", "test/counter", 42);
+  set_thread_name("ghost");
+  EXPECT_TRUE(session().snapshot().empty());
+  EXPECT_EQ(session().to_json().find("should-not-appear"), std::string::npos);
+}
+
+TEST(Obs, SpansAndCountersRoundTrip) {
+  SessionReset reset;
+  session().enable();
+  {
+    Span outer("test", "test/outer");
+    outer.arg("k", "v");
+    Span inner("test", "test/inner");
+  }
+  counter("test", "test/c", 7);
+  session().disable();
+
+  const auto events = session().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // RAII order: inner ends (and records) before outer.
+  EXPECT_EQ(events[0].name, "test/inner");
+  EXPECT_EQ(events[1].name, "test/outer");
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].first, "k");
+  EXPECT_EQ(events[2].kind, TraceEvent::Kind::kCounter);
+  EXPECT_EQ(events[2].value, 7);
+  // Containment: outer started no later and ended no earlier than inner.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+}
+
+TEST(Obs, PerThreadTracksDoNotInterleave) {
+  SessionReset reset;
+  session().enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      set_thread_name(("worker-" + std::to_string(t)).c_str());
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("test", "test/span");
+        span.arg("thread", std::to_string(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  session().disable();
+
+  const auto events = session().snapshot();
+  std::map<std::string, int> per_thread;
+  for (const TraceEvent& e : events)
+    if (e.kind == TraceEvent::Kind::kSpan && e.name == "test/span")
+      per_thread[e.args.at(0).second]++;
+  ASSERT_EQ(per_thread.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [thread, count] : per_thread)
+    EXPECT_EQ(count, kSpansPerThread) << "thread " << thread;
+}
+
+TEST(Obs, ExportedJsonParses) {
+  SessionReset reset;
+  session().enable();
+  session().set_thread_name("main");
+  {
+    Span span("test", "test/escaping");
+    span.arg("quote", "a\"b\\c\nd\te");  // exercises string escaping
+  }
+  counter("test", "test/c", -3);
+  session().disable();
+
+  const std::string json = session().to_json();
+  EXPECT_TRUE(JsonCursor(json).parse()) << json;
+  // The envelope and both event shapes are present.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  // Required complete-event keys.
+  for (const char* key : {"\"name\"", "\"ts\"", "\"dur\"", "\"pid\"",
+                          "\"tid\"", "\"cat\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+// ---- stack integration -----------------------------------------------------
+
+/// Span names per track must nest: sort by start, then every later span
+/// on the same track that starts inside an earlier one must also end
+/// inside it.
+void expect_proper_nesting(const std::vector<TraceEvent>& spans) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      const TraceEvent& a = spans[i];
+      const TraceEvent& b = spans[j];
+      const double a_end = a.ts_us + a.dur_us;
+      const double b_end = b.ts_us + b.dur_us;
+      const bool disjoint = b.ts_us >= a_end || a.ts_us >= b_end;
+      const bool a_in_b = b.ts_us <= a.ts_us && a_end <= b_end;
+      const bool b_in_a = a.ts_us <= b.ts_us && b_end <= a_end;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << a.name << " [" << a.ts_us << "," << a_end << ") overlaps "
+          << b.name << " [" << b.ts_us << "," << b_end << ")";
+    }
+  }
+}
+
+synth::SweepRequest example_grid(int jobs) {
+  std::vector<model::Sliders> grid;
+  for (int iso = 0; iso <= 3; ++iso)
+    grid.push_back(model::Sliders{util::Fixed::from_int(iso),
+                                  util::Fixed::from_int(4),
+                                  util::Fixed::from_int(60)});
+  synth::SweepRequest request = synth::SweepRequest::feasibility_grid(grid);
+  request.synthesis.backend = smt::BackendKind::kMiniPb;
+  // Deterministic effort cap: capped outcomes are a pure function of the
+  // formula, so runs reproduce across worker counts (see sweep_test.cpp).
+  request.synthesis.check_conflict_limit = 20'000;
+  request.jobs = jobs;
+  return request;
+}
+
+/// Multiset of span names recorded during one cold sweep of the paper
+/// example at the given worker count.
+std::map<std::string, int> sweep_span_names(int jobs) {
+  session().clear();
+  session().enable();
+  const model::ProblemSpec spec = cs::testing::make_example_spec();
+  const synth::SweepEngine engine(spec);
+  const synth::SweepResult result = engine.run(example_grid(jobs));
+  session().disable();
+  EXPECT_EQ(result.points.size(), 4u);
+
+  std::map<std::string, int> names;
+  for (const TraceEvent& e : session().snapshot())
+    if (e.kind == TraceEvent::Kind::kSpan) names[e.name]++;
+  return names;
+}
+
+TEST(ObsSweep, SpanMultisetIdenticalAcrossJobs) {
+  SessionReset reset;
+  const std::map<std::string, int> serial = sweep_span_names(1);
+  const std::map<std::string, int> parallel = sweep_span_names(4);
+  // The instrumented layers all fired.
+  EXPECT_EQ(serial.at("sweep/run"), 1);
+  EXPECT_EQ(serial.at("sweep/point"), 4);
+  EXPECT_EQ(serial.at("synth/encode"), 4);  // cold: one encode per point
+  EXPECT_GE(serial.at("synth/check"), 4);
+  EXPECT_EQ(serial.count("encode/flow-vars"), 1u);
+  // Partitioning must not change what work was done.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ObsSweep, SpansNestProperlyPerTrack) {
+  SessionReset reset;
+  sweep_span_names(4);
+  // RAII spans come from stack scopes, so any two spans recorded by one
+  // thread must be disjoint or contained — overlap would mean a track
+  // mixed events from two threads.
+  std::size_t tracks_with_spans = 0;
+  for (const auto& [tid, events] : session().snapshot_by_track()) {
+    std::vector<TraceEvent> spans;
+    for (const TraceEvent& e : events)
+      if (e.kind == TraceEvent::Kind::kSpan) spans.push_back(e);
+    if (!spans.empty()) ++tracks_with_spans;
+    expect_proper_nesting(spans);
+  }
+  // Main thread (sweep/run) plus at least one pool worker.
+  EXPECT_GE(tracks_with_spans, 2u);
+}
+
+}  // namespace
+}  // namespace cs::obs

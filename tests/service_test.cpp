@@ -138,6 +138,81 @@ TEST(Metrics, CountersAndHistogramsRender) {
   EXPECT_NE(text.find("solve_ms"), std::string::npos);
 }
 
+TEST(Metrics, PercentilesInterpolateUniformSamples) {
+  // 1..100 ms, one each: the exact order statistics are 50/90/99, and
+  // they fall where linear interpolation inside the exponential buckets
+  // lands (cumulative counts line up with the bucket edges).
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile_ms(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ms(0.90), 90.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ms(0.99), 99.0);
+  // Quantile extremes clamp to the observed range.
+  EXPECT_DOUBLE_EQ(h.percentile_ms(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ms(1.0), 100.0);
+}
+
+TEST(Metrics, PercentileSingleSampleAndEmpty) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile_ms(0.5), 0.0);
+  // One sample: every quantile is that sample (the clamp to [min, max]
+  // overrides whatever the bucket interpolation would claim).
+  Histogram h;
+  h.observe(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ms(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ms(0.99), 7.0);
+}
+
+TEST(Metrics, PercentileOverflowBucketUsesObservedMax) {
+  // All mass beyond the last finite bound (10000): the overflow bucket's
+  // upper edge is the observed max, so quantiles stay finite and inside
+  // [min, max].
+  Histogram h;
+  h.observe(20000.0);
+  h.observe(40000.0);
+  const double p99 = h.percentile_ms(0.99);
+  EXPECT_GE(p99, 20000.0);
+  EXPECT_LE(p99, 40000.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ms(1.0), 40000.0);
+}
+
+TEST(Metrics, RenderSurfacesPercentiles) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i)
+    reg.histogram("queue_ms").observe(static_cast<double>(i));
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("p50 ms"), std::string::npos);
+  EXPECT_NE(text.find("p99 ms"), std::string::npos);
+  EXPECT_NE(text.find("50.000"), std::string::npos);
+  EXPECT_NE(text.find("99.000"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("requests_total").add(5);
+  reg.histogram("solve_ms").observe(1.0);   // le="1"
+  reg.histogram("solve_ms").observe(7.0);   // le="10"
+  reg.histogram("solve_ms").observe(20000.0);  // +Inf only
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# TYPE configsynth_requests_total counter\n"
+                      "configsynth_requests_total 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE configsynth_solve_ms histogram"),
+            std::string::npos);
+  // Bucket series is cumulative and ends at +Inf == _count.
+  EXPECT_NE(text.find("configsynth_solve_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("configsynth_solve_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("configsynth_solve_ms_bucket{le=\"10000\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("configsynth_solve_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("configsynth_solve_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("configsynth_solve_ms_sum 20008.000"),
+            std::string::npos);
+}
+
 // ---- SynthService acceptance triad -----------------------------------------
 
 class BackendServiceTest : public ::testing::TestWithParam<BackendKind> {};
