@@ -1,0 +1,323 @@
+// Solver-core throughput benchmark: conflicts/sec and propagations/sec of
+// the MiniPB solver on the paper's workload families, measured for both PB
+// propagators (the default watched-sum prefix and the reference counter
+// method, selected per run via CS_MINIPB_PB_MODE / Solver::set_pb_mode)
+// and for both phases (cold and warm).
+//
+// Three workload groups:
+//   * fig4a_h{8,10,12} — the hosts ladder swept end-to-end through the
+//     sweep engine (cold fresh-per-point, warm assumption-swapping);
+//     measures the whole solver including the clause arena.
+//   * fig5a_grid — isolation 0..6 x usability {5,6} at 10 hosts; the
+//     tight corner blows the 20000-conflict cap, so part of the grid is
+//     pure bounded solver work.
+//   * fig5a_pb_core — the PB skeleton of the Fig. 5(a) encoding family
+//     at paper scale, driven directly on minisolver::Solver: ~300
+//     defense variables, ~300 long >=-sums (per-flow isolation,
+//     per-host usability, cost) whose term count is O(#flows) with the
+//     ConfigSynth coefficient palette, plus ternary routing clauses.
+//     Cold = one capped plain solve; warm = thousands of threshold-probe
+//     assumption rounds on a persistent solver. This is the workload
+//     where PB propagation dominates, so its warm watched/counter ratio
+//     is the number the watched-sum rewrite is accountable for.
+//
+// Unlike the figure benches this one is MiniPB-only — it measures the
+// from-scratch solver, not the paper's Z3 numbers — and it emits a
+// machine-readable artifact, BENCH_solver.json (schema cs-bench-solver-v1),
+// that scripts/check_bench.py validates and compares against the committed
+// baseline in bench/baselines/.
+//
+// Throughput rates are only meaningful when the solver did real work, so
+// every run uses a deterministic conflict cap (hard points become a fixed
+// amount of work instead of an unbounded one). peak_rss_bytes is the
+// process-wide high-water mark when the run finishes, so it is monotone
+// across the runs of one invocation — compare like-positioned runs only.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/workloads.h"
+#include "minisolver/solver.h"
+#include "synth/sweep.h"
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cs;
+using minisolver::Lit;
+using minisolver::PbTerm;
+using minisolver::Solver;
+using minisolver::Var;
+
+struct RunRecord {
+  std::string workload;
+  const char* pb_mode;
+  const char* phase;  // "cold" | "warm"
+  int points = 0;
+  double wall_seconds = 0;
+  std::int64_t conflicts = 0;
+  std::int64_t propagations = 0;
+  std::int64_t peak_rss_bytes = 0;
+
+  double conflicts_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(conflicts) / wall_seconds
+                            : 0.0;
+  }
+  double propagations_per_sec() const {
+    return wall_seconds > 0
+               ? static_cast<double>(propagations) / wall_seconds
+               : 0.0;
+  }
+};
+
+// ---- sweep-engine workloads (whole solver, end to end) ---------------------
+
+struct Workload {
+  std::string name;
+  model::ProblemSpec spec;
+  std::vector<model::Sliders> grid;
+};
+
+std::vector<Workload> make_workloads() {
+  std::vector<Workload> out;
+  for (const int hosts : {8, 10, 12}) {
+    const int routers = std::clamp(8 + hosts / 5, 8, 20);
+    Workload w;
+    w.name = "fig4a_h" + std::to_string(hosts);
+    w.spec = bench::make_eval_spec(hosts, routers, 0.10,
+                                   1000 + static_cast<std::uint64_t>(hosts));
+    for (const int iso : {1, 3, 5})
+      w.grid.push_back(model::Sliders{util::Fixed::from_int(iso),
+                                      util::Fixed::from_int(3),
+                                      util::Fixed::from_int(10 * hosts)});
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "fig5a_grid";
+    w.spec = bench::make_eval_spec(10, 10, 0.10, 4242);
+    for (int iso = 0; iso <= 6; ++iso)
+      for (const int usab : {5, 6})
+        w.grid.push_back(model::Sliders{util::Fixed::from_int(iso),
+                                        util::Fixed::from_int(usab),
+                                        util::Fixed::from_int(100)});
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+RunRecord measure_sweep(const Workload& w, const char* pb_mode,
+                        const char* phase, const synth::SweepEngine& engine,
+                        synth::SweepRequest& request) {
+  request.warm_start = std::string_view(phase) == "warm";
+  util::Stopwatch watch;
+  const synth::SweepResult result = engine.run(request);
+  RunRecord rec;
+  rec.workload = w.name;
+  rec.pb_mode = pb_mode;
+  rec.phase = phase;
+  rec.points = static_cast<int>(result.points.size());
+  rec.wall_seconds = watch.elapsed_seconds();
+  rec.conflicts = result.total_solver.conflicts;
+  rec.propagations = result.total_solver.propagations;
+  rec.peak_rss_bytes = util::peak_rss_bytes();
+  return rec;
+}
+
+// ---- PB-core workload (direct solver, PB propagation dominates) ------------
+
+constexpr int kPbVars = 300;      // defense placement variables
+constexpr int kPbSums = 300;      // per-flow / per-host / cost sums
+constexpr int kPbSumLen = 150;    // O(#flows) terms per sum (30-host scale)
+constexpr int kPbClauses = 300;   // ternary routing-structure clauses
+constexpr int kPbWarmRounds = 10000;
+constexpr std::int64_t kPbCap = 30000;
+
+/// Loads the Fig. 5(a)-shaped PB skeleton: long descending-coefficient
+/// sums over a shared variable pool (every variable lands in ~#sums/2
+/// constraints, the high occurrence degree of the paper's usability and
+/// cost sums) with a loose threshold-probe bound at 20% of each total.
+void build_pb_core(Solver& s, util::Rng& rng) {
+  for (int v = 0; v < kPbVars; ++v) (void)s.new_var();
+  static const std::int64_t palette[] = {1000, 2500, 5000, 7500, 10000};
+  for (int p = 0; p < kPbSums; ++p) {
+    std::vector<PbTerm> terms;
+    std::int64_t total = 0;
+    for (int t = 0; t < kPbSumLen; ++t) {
+      const Var v = static_cast<Var>(rng.uniform(0, kPbVars - 1));
+      const std::int64_t coeff = palette[rng.uniform(0, 4)];
+      total += coeff;
+      terms.push_back(
+          PbTerm{rng.chance(0.5) ? Lit::pos(v) : Lit::neg(v), coeff});
+    }
+    (void)s.add_linear_ge(terms, total / 5);
+  }
+  for (int c = 0; c < kPbClauses; ++c) {
+    std::vector<Lit> cl;
+    for (int l = 0; l < 3; ++l) {
+      const Var v = static_cast<Var>(rng.uniform(0, kPbVars - 1));
+      cl.push_back(rng.chance(0.5) ? Lit::pos(v) : Lit::neg(v));
+    }
+    (void)s.add_clause(cl);
+  }
+}
+
+/// Cold: load the skeleton into a fresh solver and solve it once — the
+/// wall includes constraint normalization and the mode's watch setup
+/// (tight prefixes vs full occurrence registration). Warm: a persistent
+/// solver re-solved under kPbWarmRounds random threshold-assumption
+/// rounds (the synthesizer's probe pattern); the wall excludes loading.
+/// Returns the record plus the verdict tally so the caller can
+/// differential-check the two modes.
+RunRecord measure_pb_core(const char* pb_mode, const char* phase,
+                          std::int64_t verdicts[3]) {
+  Solver s;
+  if (std::string_view(pb_mode) == "counter")
+    s.set_pb_mode(Solver::PbMode::kCounter);
+  util::Rng rng(4242);
+  RunRecord rec;
+  rec.workload = "fig5a_pb_core";
+  rec.pb_mode = pb_mode;
+  rec.phase = phase;
+  const bool cold = std::string_view(phase) == "cold";
+  util::Stopwatch watch;  // cold wall includes the load below
+  build_pb_core(s, rng);
+  s.set_conflict_limit(kPbCap);
+  if (!cold) watch.reset();  // warm wall starts after the load
+  if (cold) {
+    rec.points = 1;
+    verdicts[static_cast<int>(s.solve())]++;
+  } else {
+    rec.points = kPbWarmRounds;
+    for (int round = 0; round < kPbWarmRounds; ++round) {
+      std::vector<Lit> assume;
+      for (Var v = 0; v < kPbVars; ++v)
+        if (rng.chance(0.1))
+          assume.push_back(rng.chance(0.5) ? Lit::pos(v) : Lit::neg(v));
+      verdicts[static_cast<int>(s.solve(assume))]++;
+    }
+  }
+  rec.wall_seconds = watch.elapsed_seconds();
+  rec.conflicts = s.stats().conflicts;
+  rec.propagations = s.stats().propagations;
+  rec.peak_rss_bytes = util::peak_rss_bytes();
+  return rec;
+}
+
+// ---- output ----------------------------------------------------------------
+
+void write_json(const char* path, const std::vector<RunRecord>& runs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"cs-bench-solver-v1\",\n");
+  std::fprintf(f, "  \"backend\": \"minipb\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"pb_mode\": \"%s\", \"phase\": "
+        "\"%s\", \"points\": %d, \"wall_seconds\": %.6f, \"conflicts\": "
+        "%lld, \"propagations\": %lld, \"conflicts_per_sec\": %.1f, "
+        "\"propagations_per_sec\": %.1f, \"peak_rss_bytes\": %lld}%s\n",
+        r.workload.c_str(), r.pb_mode, r.phase, r.points, r.wall_seconds,
+        static_cast<long long>(r.conflicts),
+        static_cast<long long>(r.propagations), r.conflicts_per_sec(),
+        r.propagations_per_sec(),
+        static_cast<long long>(r.peak_rss_bytes),
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+double rate_of(const std::vector<RunRecord>& runs, std::string_view workload,
+               std::string_view phase, std::string_view pb_mode) {
+  for (const RunRecord& r : runs)
+    if (r.workload == workload && std::string_view(r.phase) == phase &&
+        std::string_view(r.pb_mode) == pb_mode)
+      return r.propagations_per_sec();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cs;
+  const bench::TraceGuard trace(argc, argv);
+  std::vector<RunRecord> runs;
+
+  for (const Workload& w : make_workloads()) {
+    for (const char* mode : {"watched", "counter"}) {
+      // The propagator is chosen at backend construction, which happens
+      // inside SweepEngine::run — the env var must be set before it.
+      ::setenv("CS_MINIPB_PB_MODE", mode, 1);
+      synth::SweepRequest request =
+          synth::SweepRequest::feasibility_grid(w.grid);
+      request.synthesis.backend = smt::BackendKind::kMiniPb;
+      request.synthesis.check_conflict_limit = 20000;
+      request.jobs = bench::jobs(argc, argv);
+      const synth::SweepEngine engine(w.spec);
+      for (const char* phase : {"cold", "warm"})
+        runs.push_back(measure_sweep(w, mode, phase, engine, request));
+    }
+  }
+  ::unsetenv("CS_MINIPB_PB_MODE");
+
+  // Differential self-check rides along: both propagators must tally the
+  // same verdicts on the PB-core rounds.
+  std::int64_t tally[2][3] = {};
+  int mode_idx = 0;
+  for (const char* mode : {"watched", "counter"}) {
+    for (const char* phase : {"cold", "warm"})
+      runs.push_back(measure_pb_core(mode, phase, tally[mode_idx]));
+    ++mode_idx;
+  }
+  for (int v = 0; v < 3; ++v) {
+    if (tally[0][v] != tally[1][v]) {
+      std::fprintf(stderr,
+                   "pb_core verdict divergence between propagators\n");
+      return 1;
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const RunRecord& r : runs) {
+    char cps[32], pps[32];
+    std::snprintf(cps, sizeof cps, "%.0f", r.conflicts_per_sec());
+    std::snprintf(pps, sizeof pps, "%.0f", r.propagations_per_sec());
+    rows.push_back({r.workload, r.pb_mode, r.phase,
+                    std::to_string(r.points),
+                    bench::fmt_seconds(r.wall_seconds),
+                    std::to_string(r.conflicts), cps, pps});
+  }
+  bench::emit("solver_core",
+              "Solver core: PB propagator throughput (MiniPB)",
+              {"workload", "pb_mode", "phase", "points", "wall(s)",
+               "conflicts", "conflicts/s", "props/s"},
+              rows);
+
+  write_json("BENCH_solver.json", runs);
+  std::printf("(JSON written to BENCH_solver.json)\n");
+
+  // The headline numbers. The end-to-end grid mixes encode and clause
+  // work into the denominator; the PB-core warm rounds isolate what the
+  // watched-sum propagator actually changed.
+  const double grid =
+      rate_of(runs, "fig5a_grid", "cold", "watched") /
+      std::max(1.0, rate_of(runs, "fig5a_grid", "cold", "counter"));
+  const double core =
+      rate_of(runs, "fig5a_pb_core", "warm", "watched") /
+      std::max(1.0, rate_of(runs, "fig5a_pb_core", "warm", "counter"));
+  std::printf("fig5a_grid cold watched/counter propagation throughput: "
+              "%.2fx\n", grid);
+  std::printf("fig5a_pb_core warm watched/counter propagation throughput: "
+              "%.2fx\n", core);
+  return 0;
+}

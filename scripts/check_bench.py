@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate BENCH_solver.json (schema cs-bench-solver-v1) and optionally
+compare it against a committed baseline.
+
+Usage: check_bench.py <BENCH_solver.json> [--baseline <baseline.json>]
+
+Schema checks (stdlib json only; exit 2 on failure — the emitter broke):
+  * top-level "schema" equals "cs-bench-solver-v1", "runs" is a
+    non-empty array;
+  * every run carries workload/pb_mode/phase plus numeric points,
+    wall_seconds, conflicts, propagations, conflicts_per_sec,
+    propagations_per_sec, peak_rss_bytes;
+  * pb_mode is watched|counter, phase is cold|warm, counts are
+    non-negative, and (workload, pb_mode, phase) keys are unique;
+  * the stated rates agree with conflicts/wall and propagations/wall.
+
+Baseline comparison (exit 1 on regression — machine-speed dependent, so
+callers treat it as a warning, not a gate):
+  * runs are matched to baseline runs by (workload, pb_mode, phase);
+  * a matched run whose conflicts_per_sec falls below baseline/1.5 is
+    flagged, likewise propagations_per_sec. Runs with fewer than 1000
+    conflicts (resp. 100000 propagations) are skipped — the rate of a
+    near-idle run is noise, not throughput;
+  * runs missing from the baseline (new workloads) are reported but not
+    flagged.
+
+Exit code 0 when the schema is valid and no regression was flagged.
+"""
+import json
+import sys
+
+SCHEMA = "cs-bench-solver-v1"
+REGRESSION_FACTOR = 1.5
+MIN_CONFLICTS = 1000
+MIN_PROPAGATIONS = 100_000
+
+REQUIRED_STR = ("workload", "pb_mode", "phase")
+REQUIRED_NUM = ("points", "wall_seconds", "conflicts", "propagations",
+                "conflicts_per_sec", "propagations_per_sec",
+                "peak_rss_bytes")
+
+
+def schema_fail(msg):
+    print(f"check_bench: SCHEMA FAIL: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        schema_fail(f"{path}: {e}")
+
+
+def validate(doc, path):
+    if doc.get("schema") != SCHEMA:
+        schema_fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        schema_fail(f"{path}: 'runs' must be a non-empty array")
+    keyed = {}
+    for i, run in enumerate(runs):
+        where = f"{path}: runs[{i}]"
+        if not isinstance(run, dict):
+            schema_fail(f"{where}: not an object")
+        for field in REQUIRED_STR:
+            if not isinstance(run.get(field), str) or not run[field]:
+                schema_fail(f"{where}: missing string field {field!r}")
+        for field in REQUIRED_NUM:
+            if not isinstance(run.get(field), (int, float)):
+                schema_fail(f"{where}: missing numeric field {field!r}")
+            if run[field] < 0:
+                schema_fail(f"{where}: negative {field}")
+        if run["pb_mode"] not in ("watched", "counter"):
+            schema_fail(f"{where}: pb_mode {run['pb_mode']!r}")
+        if run["phase"] not in ("cold", "warm"):
+            schema_fail(f"{where}: phase {run['phase']!r}")
+        key = (run["workload"], run["pb_mode"], run["phase"])
+        if key in keyed:
+            schema_fail(f"{where}: duplicate run key {key}")
+        keyed[key] = run
+        # The stated rates must agree with the raw counts.
+        if run["wall_seconds"] > 0:
+            for count, rate in (("conflicts", "conflicts_per_sec"),
+                                ("propagations", "propagations_per_sec")):
+                stated = run[rate]
+                actual = run[count] / run["wall_seconds"]
+                if abs(stated - actual) > max(1.0, 0.01 * actual):
+                    schema_fail(f"{where}: {rate} {stated} != {count}/wall "
+                                f"{actual:.1f}")
+    return keyed
+
+
+def main():
+    args = sys.argv[1:]
+    if not args or len(args) not in (1, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = args[0]
+    baseline_path = None
+    if len(args) == 3:
+        if args[1] != "--baseline":
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        baseline_path = args[2]
+
+    current = validate(load(path), path)
+    print(f"check_bench: {path}: schema OK ({len(current)} runs)")
+    if baseline_path is None:
+        return
+
+    baseline = validate(load(baseline_path), baseline_path)
+    regressions = []
+    for key, run in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            print(f"check_bench: note: {key} not in baseline (new workload)")
+            continue
+        for count, rate, floor in (
+                ("conflicts", "conflicts_per_sec", MIN_CONFLICTS),
+                ("propagations", "propagations_per_sec", MIN_PROPAGATIONS)):
+            if run[count] < floor or base[count] < floor:
+                continue
+            if run[rate] * REGRESSION_FACTOR < base[rate]:
+                regressions.append(
+                    f"{key}: {rate} {run[rate]:.0f} < baseline "
+                    f"{base[rate]:.0f}/{REGRESSION_FACTOR}")
+    if regressions:
+        for r in regressions:
+            print(f"check_bench: REGRESSION: {r}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench: no >{REGRESSION_FACTOR}x throughput regression "
+          f"vs {baseline_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,7 +34,8 @@ python3 scripts/check_trace.py cli_trace.json \
 # service test. Skip with CS_SKIP_TSAN=1.
 if [ "${CS_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -G Ninja -DCONFIGSYNTH_SANITIZE=thread
-  cmake --build build-tsan --target sweep_test service_test obs_test
+  cmake --build build-tsan \
+    --target sweep_test service_test obs_test minisolver_test fuzz_minipb
   ./build-tsan/tests/sweep_test \
     --gtest_filter='ThreadPool*:SweepEngineMiniPb*:*minipb*' \
     2>&1 | tee tsan_output.txt
@@ -42,11 +43,26 @@ if [ "${CS_SKIP_TSAN:-0}" != "1" ]; then
     --gtest_filter='SynthServiceMiniPb*:ResultCache*:Metrics*:*minipb*' \
     2>&1 | tee -a tsan_output.txt
   ./build-tsan/tests/obs_test 2>&1 | tee -a tsan_output.txt
+  # Solver-core coverage: the arena/watched-sum/reduce paths themselves,
+  # plus a short differential fuzz burst, instrumented.
+  ./build-tsan/tests/minisolver_test 2>&1 | tee -a tsan_output.txt
+  ./build-tsan/tests/fuzz_minipb 500 2>&1 | tee -a tsan_output.txt
 fi
 
 for b in build/bench/bench_*; do
   echo "### $b"
   "$b"
 done 2>&1 | tee bench_output.txt
+
+# Solver-core bench artifact sanity: a schema failure (exit 2) means the
+# emitter broke and should block; a throughput regression vs the committed
+# baseline (exit 1) is machine-speed dependent, so warn only.
+python3 scripts/check_bench.py BENCH_solver.json \
+  --baseline bench/baselines/BENCH_solver.json
+case $? in
+  0) ;;
+  1) echo "WARNING: solver bench throughput regressed vs baseline" ;;
+  *) echo "BENCH_solver.json schema check failed"; exit 2 ;;
+esac
 
 echo "Artifacts written. What each bench/CSV means: docs/BENCHMARKS.md"

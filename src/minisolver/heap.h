@@ -17,6 +17,12 @@ class ActivityHeap {
       : activity_(activity) {}
 
   bool empty() const { return heap_.empty(); }
+  /// Pre-sizes the position index for `n` variables so the bulk
+  /// new_var() loops of the encoder don't pay repeated reallocation.
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    if (position_.size() < n) position_.resize(n, -1);
+  }
   bool contains(Var v) const {
     return v < static_cast<Var>(position_.size()) &&
            position_[static_cast<std::size_t>(v)] >= 0;

@@ -32,6 +32,12 @@ class Lit {
     return static_cast<std::size_t>(code_);
   }
 
+  /// Inverse of index(): reconstructs a literal from its dense index.
+  /// The clause arena stores literals as raw 32-bit words (clause.h).
+  static constexpr Lit from_index(std::uint32_t idx) {
+    return Lit(static_cast<std::int32_t>(idx));
+  }
+
   constexpr bool valid() const { return code_ >= 0; }
 
   constexpr bool operator==(const Lit&) const = default;

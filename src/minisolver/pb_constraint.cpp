@@ -59,6 +59,10 @@ PbConstraint normalize_pb(std::vector<PbTerm> terms, std::int64_t bound) {
     }
     out.max_coeff = std::min(out.max_coeff, out.bound);
   }
+  // Watched-sum working state starts empty; the solver builds the watched
+  // prefix when the constraint is attached (Solver::add_linear_ge).
+  out.watch_sum = 0;
+  out.num_watched = 0;
   return out;
 }
 

@@ -23,12 +23,41 @@ Var Solver::new_var() {
   reason_.push_back(Reason{});
   activity_.push_back(0.0);
   seen_.push_back(0);
+  lbd_seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   pb_occs_.emplace_back();
   pb_occs_.emplace_back();
+  pb_watch_occs_.emplace_back();
+  pb_watch_occs_.emplace_back();
   order_.insert(v);
   return v;
+}
+
+void Solver::reserve_vars(std::size_t n) {
+  assigns_.reserve(n);
+  polarity_.reserve(n);
+  phase_vote_.reserve(n);
+  level_.reserve(n);
+  trail_pos_.reserve(n);
+  reason_.reserve(n);
+  activity_.reserve(n);
+  seen_.reserve(n);
+  lbd_seen_.reserve(n);
+  trail_.reserve(n);
+  watches_.reserve(2 * n);
+  bin_watches_.reserve(2 * n);
+  pb_occs_.reserve(2 * n);
+  pb_watch_occs_.reserve(2 * n);
+  order_.reserve(n);
+}
+
+void Solver::set_pb_mode(PbMode mode) {
+  CS_REQUIRE(pbs_.empty(),
+             "set_pb_mode after PB constraints were added");
+  pb_mode_ = mode;
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
@@ -58,8 +87,9 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     ok_ = propagate().is_none();
     return ok_;
   }
-  clauses_.push_back(Clause{std::move(keep), 0.0, false, false, false});
-  attach_clause(&clauses_.back());
+  const ClauseRef cref = ca_.alloc(keep, /*learnt=*/false);
+  clauses_.push_back(cref);
+  attach_clause(cref);
   return true;
 }
 
@@ -85,27 +115,55 @@ bool Solver::add_linear_ge(std::vector<PbTerm> terms, std::int64_t bound) {
 
   pbs_.push_back(std::move(pb));
   PbConstraint* stored = &pbs_.back();
+  pb_terms_total_ += stored->terms.size();
   for (const PbTerm& t : stored->terms) {
-    pb_occs_[t.lit.index()].push_back({stored, t.coeff});
     // Seed the initial phase toward satisfying this constraint.
     const auto v = static_cast<std::size_t>(t.lit.var());
     phase_vote_[v] += t.lit.is_neg() ? -t.coeff : t.coeff;
     polarity_[v] = phase_vote_[v] >= 0 ? 1 : 0;
   }
 
-  // Account for level-0 assignments made before this constraint arrived.
-  for (const PbTerm& t : stored->terms)
-    if (value(t.lit) == LBool::kFalse) stored->max_possible -= t.coeff;
-
-  if (stored->max_possible < stored->bound) {
-    ok_ = false;
-    return false;
-  }
-  const std::int64_t slack = stored->max_possible - stored->bound;
-  for (const PbTerm& t : stored->terms) {
-    if (t.coeff <= slack) break;  // sorted by coefficient, descending
-    if (value(t.lit) == LBool::kUndef)
-      unchecked_enqueue(t.lit, Reason{nullptr, stored});
+  if (pb_mode_ == PbMode::kCounter) {
+    for (const PbTerm& t : stored->terms)
+      pb_occs_[t.lit.index()].push_back({stored, t.coeff});
+    // Account for level-0 assignments made before this constraint arrived.
+    for (const PbTerm& t : stored->terms)
+      if (value(t.lit) == LBool::kFalse) stored->max_possible -= t.coeff;
+    if (stored->max_possible < stored->bound) {
+      ok_ = false;
+      return false;
+    }
+    const std::int64_t slack = stored->max_possible - stored->bound;
+    for (const PbTerm& t : stored->terms) {
+      if (t.coeff <= slack) break;  // sorted by coefficient, descending
+      if (value(t.lit) == LBool::kUndef)
+        unchecked_enqueue(t.lit, Reason{kRefUndef, stored});
+    }
+  } else {
+    // Build the initial watched prefix: watch descending-coefficient
+    // terms until the non-false watched mass reaches bound + max_coeff
+    // (then no falsification of an unwatched literal can matter).
+    const std::int64_t threshold = stored->bound + stored->max_coeff;
+    while (stored->num_watched < stored->terms.size() &&
+           stored->watch_sum < threshold) {
+      const PbTerm& t = stored->terms[stored->num_watched++];
+      pb_watch_occs_[t.lit.index()].push_back({stored, t.coeff});
+      if (value(t.lit) != LBool::kFalse) stored->watch_sum += t.coeff;
+    }
+    if (stored->watch_sum < threshold) {
+      // Fully watched: watch_sum is exactly the counter method's
+      // max_possible, so the same conflict/propagation rules apply.
+      if (stored->watch_sum < stored->bound) {
+        ok_ = false;
+        return false;
+      }
+      const std::int64_t slack = stored->watch_sum - stored->bound;
+      for (const PbTerm& t : stored->terms) {
+        if (t.coeff <= slack) break;
+        if (value(t.lit) == LBool::kUndef)
+          unchecked_enqueue(t.lit, Reason{kRefUndef, stored});
+      }
+    }
   }
   ok_ = propagate().is_none();
   return ok_;
@@ -125,8 +183,14 @@ void Solver::unchecked_enqueue(Lit p, Reason reason) {
   trail_pos_[v] = static_cast<std::int32_t>(trail_.size());
   reason_[v] = reason;
   trail_.push_back(p);
-  // Counter maintenance: ~p just became false in every PB that contains it.
-  for (auto& [pb, coeff] : pb_occs_[(~p).index()]) pb->max_possible -= coeff;
+  // ~p just became false; maintain whichever PB sum the mode tracks.
+  if (pb_mode_ == PbMode::kCounter) {
+    for (auto& [pb, coeff] : pb_occs_[(~p).index()])
+      pb->max_possible -= coeff;
+  } else {
+    for (auto& [pb, coeff] : pb_watch_occs_[(~p).index()])
+      pb->watch_sum -= coeff;
+  }
 }
 
 void Solver::cancel_until(int target_level) {
@@ -139,8 +203,16 @@ void Solver::cancel_until(int target_level) {
     const auto v = static_cast<std::size_t>(p.var());
     assigns_[v] = LBool::kUndef;
     reason_[v] = Reason{};
-    for (auto& [pb, coeff] : pb_occs_[(~p).index()])
-      pb->max_possible += coeff;
+    if (pb_mode_ == PbMode::kCounter) {
+      for (auto& [pb, coeff] : pb_occs_[(~p).index()])
+        pb->max_possible += coeff;
+    } else {
+      // Watches registered while ~p was already false never contributed
+      // to watch_sum; once ~p is unassigned every watched occurrence
+      // contributes, so the unconditional add is the exact inverse.
+      for (auto& [pb, coeff] : pb_watch_occs_[(~p).index()])
+        pb->watch_sum += coeff;
+    }
     order_.insert(p.var());
   }
   trail_.resize(static_cast<std::size_t>(floor));
@@ -152,64 +224,110 @@ Solver::Reason Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
+    const Lit false_lit = ~p;
 
-    // --- clause propagation: clauses watching ~p (registered under p) ---
+    // --- binary clauses watching ~p: no arena access on the fast path ---
+    {
+      const std::vector<BinWatcher>& bws = bin_watches_[p.index()];
+      for (const BinWatcher& bw : bws) {
+        const LBool val = value(bw.other);
+        if (val == LBool::kFalse) return Reason{bw.cref, nullptr};
+        if (val == LBool::kUndef)
+          unchecked_enqueue(bw.other, Reason{bw.cref, nullptr});
+      }
+    }
+
+    // --- long clauses watching ~p (registered under p) ------------------
     std::vector<Watcher>& ws = watches_[p.index()];
     std::size_t keep = 0;
     std::size_t i = 0;
     Reason conflict{};
     for (; i < ws.size(); ++i) {
       const Watcher w = ws[i];
-      if (w.clause->deleted) continue;  // lazily dropped
       if (value(w.blocker) == LBool::kTrue) {
         ws[keep++] = w;
         continue;
       }
-      Clause& c = *w.clause;
+      Clause c = ca_.deref(w.cref);
+      if (c.marked()) continue;  // lazily dropped by reduce_db/simplify
       // Normalize so the false watched literal sits at position 1.
-      const Lit false_lit = ~p;
-      if (c[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      if (c[0] == false_lit) c.swap_lits(0, 1);
       CS_ENSURE(c[1] == false_lit, "watch invariant broken");
-      if (value(c[0]) == LBool::kTrue) {
-        ws[keep++] = Watcher{&c, c[0]};
+      const Lit first = c[0];
+      if (value(first) == LBool::kTrue) {
+        ws[keep++] = Watcher{w.cref, first};
         continue;
       }
       // Look for a new literal to watch.
       bool moved = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
         if (value(c[k]) != LBool::kFalse) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[(~c[1]).index()].push_back(Watcher{&c, c[0]});
+          c.swap_lits(1, k);
+          watches_[(~c[1]).index()].push_back(Watcher{w.cref, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // Unit or conflicting.
-      ws[keep++] = Watcher{&c, c[0]};
-      if (value(c[0]) == LBool::kFalse) {
-        conflict = Reason{&c, nullptr};
+      ws[keep++] = Watcher{w.cref, first};
+      if (value(first) == LBool::kFalse) {
+        conflict = Reason{w.cref, nullptr};
         ++i;
         break;
       }
-      unchecked_enqueue(c[0], Reason{&c, nullptr});
+      unchecked_enqueue(first, Reason{w.cref, nullptr});
     }
     // Compact the remainder after an early conflict exit.
     for (; i < ws.size(); ++i) ws[keep++] = ws[i];
     ws.resize(keep);
     if (!conflict.is_none()) return conflict;
 
-    // --- PB propagation over constraints containing ~p -----------------
-    for (auto& [pb, coeff] : pb_occs_[(~p).index()]) {
-      (void)coeff;
-      if (pb->max_possible < pb->bound) return Reason{nullptr, pb};
-      const std::int64_t slack = pb->max_possible - pb->bound;
-      if (slack >= pb->max_coeff) continue;
-      for (const PbTerm& t : pb->terms) {
-        if (t.coeff <= slack) break;  // descending coefficients
-        if (value(t.lit) == LBool::kUndef) {
-          ++stats_.pb_propagations;
-          unchecked_enqueue(t.lit, Reason{nullptr, pb});
+    // --- PB propagation over constraints watching/containing ~p ---------
+    if (pb_mode_ == PbMode::kWatchedSum) {
+      // Index-based loop: extending a watched prefix can append to this
+      // very occurrence list (when the newly watched term's literal is
+      // ~p), so the vector must be re-fetched every iteration.
+      const std::size_t fidx = false_lit.index();
+      for (std::size_t oi = 0; oi < pb_watch_occs_[fidx].size(); ++oi) {
+        PbConstraint* pb = pb_watch_occs_[fidx][oi].first;
+        const std::int64_t threshold = pb->bound + pb->max_coeff;
+        if (pb->watch_sum >= threshold) continue;
+        // Grow the watched prefix until the invariant is restored or
+        // every term is watched. Terms already false join the watch list
+        // without contributing to watch_sum.
+        while (pb->num_watched < pb->terms.size() &&
+               pb->watch_sum < threshold) {
+          const PbTerm& t = pb->terms[pb->num_watched++];
+          pb_watch_occs_[t.lit.index()].push_back({pb, t.coeff});
+          ++pb_watch_growth_;
+          if (value(t.lit) != LBool::kFalse) pb->watch_sum += t.coeff;
+        }
+        if (pb->watch_sum >= threshold) continue;
+        // Fully watched: watch_sum == Σ coeff over non-false terms.
+        if (pb->watch_sum < pb->bound) return Reason{kRefUndef, pb};
+        const std::int64_t slack = pb->watch_sum - pb->bound;
+        for (const PbTerm& t : pb->terms) {
+          if (t.coeff <= slack) break;  // descending coefficients
+          if (value(t.lit) == LBool::kUndef) {
+            ++stats_.pb_propagations;
+            unchecked_enqueue(t.lit, Reason{kRefUndef, pb});
+          }
+        }
+      }
+    } else {
+      for (auto& [pb, coeff] : pb_occs_[false_lit.index()]) {
+        (void)coeff;
+        if (pb->max_possible < pb->bound) return Reason{kRefUndef, pb};
+        const std::int64_t slack = pb->max_possible - pb->bound;
+        if (slack >= pb->max_coeff) continue;
+        for (const PbTerm& t : pb->terms) {
+          if (t.coeff <= slack) break;  // descending coefficients
+          if (value(t.lit) == LBool::kUndef) {
+            ++stats_.pb_propagations;
+            unchecked_enqueue(t.lit, Reason{kRefUndef, pb});
+          }
         }
       }
     }
@@ -220,9 +338,13 @@ Solver::Reason Solver::propagate() {
 void Solver::reason_literals(const Reason& reason, Lit p,
                              std::vector<Lit>& out) const {
   out.clear();
-  if (reason.clause != nullptr) {
-    for (const Lit l : reason.clause->lits)
+  if (reason.cref != kRefUndef) {
+    const Clause c = ca_.deref(reason.cref);
+    const std::uint32_t size = c.size();
+    for (std::uint32_t k = 0; k < size; ++k) {
+      const Lit l = c[k];
       if (!(p.valid() && l == p)) out.push_back(l);
+    }
     return;
   }
   CS_ENSURE(reason.pb != nullptr, "reason_literals on decision");
@@ -246,12 +368,66 @@ void Solver::bump_var(Var v) {
   order_.update(v);
 }
 
-void Solver::bump_clause(Clause& c) {
-  c.activity += clause_inc_;
-  if (c.activity > 1e20) {
-    for (Clause* l : learnts_) l->activity *= 1e-20;
+void Solver::bump_clause(Clause c) {
+  c.set_activity(c.activity() + static_cast<float>(clause_inc_));
+  if (c.activity() > 1e20f) {
+    for (const ClauseRef cr : learnts_) {
+      Clause l = ca_.deref(cr);
+      if (!l.marked()) l.set_activity(l.activity() * 1e-20f);
+    }
     clause_inc_ *= 1e-20;
   }
+}
+
+int Solver::compute_lbd(const std::vector<Lit>& lits) {
+  ++lbd_stamp_;
+  int lbd = 0;
+  for (const Lit l : lits) {
+    const auto lev =
+        static_cast<std::size_t>(level_[static_cast<std::size_t>(l.var())]);
+    if (lev == 0) continue;
+    if (lbd_seen_[lev] != lbd_stamp_) {
+      lbd_seen_[lev] = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+int Solver::compute_lbd(Clause c) {
+  ++lbd_stamp_;
+  int lbd = 0;
+  const std::uint32_t size = c.size();
+  for (std::uint32_t k = 0; k < size; ++k) {
+    const auto lev = static_cast<std::size_t>(
+        level_[static_cast<std::size_t>(c[k].var())]);
+    if (lev == 0) continue;
+    if (lbd_seen_[lev] != lbd_stamp_) {
+      lbd_seen_[lev] = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::on_learnt_used(Clause c) {
+  if (c.tier() == ClauseTier::kCore) return;
+  const int lbd = compute_lbd(c);
+  if (lbd < c.lbd()) {
+    c.set_lbd(lbd);
+    if (lbd <= kCoreLbd) {
+      if (c.tier() == ClauseTier::kLocal) --num_local_;
+      c.set_tier(ClauseTier::kCore);
+      ++stats_.lbd_core;
+      return;
+    }
+    if (lbd <= kTier2Lbd && c.tier() == ClauseTier::kLocal) {
+      --num_local_;
+      c.set_tier(ClauseTier::kTier2);
+      ++stats_.lbd_tier2;
+    }
+  }
+  if (c.tier() == ClauseTier::kTier2) c.set_touched(true);
 }
 
 int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
@@ -264,8 +440,13 @@ int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
   auto index = static_cast<std::int32_t>(trail_.size()) - 1;
 
   do {
-    if (conflict.clause != nullptr && conflict.clause->learnt)
-      bump_clause(*conflict.clause);
+    if (conflict.cref != kRefUndef) {
+      Clause c = ca_.deref(conflict.cref);
+      if (c.learnt()) {
+        bump_clause(c);
+        on_learnt_used(c);
+      }
+    }
     reason_literals(conflict, p, reason_lits);
     for (const Lit q : reason_lits) {
       const auto v = static_cast<std::size_t>(q.var());
@@ -373,40 +554,233 @@ Lit Solver::pick_branch_lit() {
   return kUndefLit;
 }
 
-void Solver::attach_clause(Clause* c) {
-  CS_ENSURE(c->size() >= 2, "attach of short clause");
-  watches_[(~c->lits[0]).index()].push_back(Watcher{c, c->lits[1]});
-  watches_[(~c->lits[1]).index()].push_back(Watcher{c, c->lits[0]});
+void Solver::attach_clause(ClauseRef cref) {
+  const Clause c = ca_.deref(cref);
+  CS_ENSURE(c.size() >= 2, "attach of short clause");
+  const Lit l0 = c[0];
+  const Lit l1 = c[1];
+  if (c.size() == 2) {
+    bin_watches_[(~l0).index()].push_back(BinWatcher{l1, cref});
+    bin_watches_[(~l1).index()].push_back(BinWatcher{l0, cref});
+  } else {
+    watches_[(~l0).index()].push_back(Watcher{cref, l1});
+    watches_[(~l1).index()].push_back(Watcher{cref, l0});
+  }
 }
 
-void Solver::detach_clause(Clause* c) {
-  // Lazy detach: propagate() skips deleted clauses and drops their
-  // watchers during compaction.
-  c->deleted = true;
+void Solver::detach_bin_eager(ClauseRef cref, Lit l0, Lit l1) {
+  for (const Lit l : {l0, l1}) {
+    std::vector<BinWatcher>& bws = bin_watches_[(~l).index()];
+    std::erase_if(bws,
+                  [cref](const BinWatcher& bw) { return bw.cref == cref; });
+  }
+}
+
+void Solver::detach_long_eager(ClauseRef cref, Lit l0, Lit l1) {
+  for (const Lit l : {l0, l1}) {
+    std::vector<Watcher>& ws = watches_[(~l).index()];
+    std::erase_if(ws, [cref](const Watcher& w) { return w.cref == cref; });
+  }
 }
 
 void Solver::reduce_db() {
-  // Keep binary clauses and locked reasons; drop the least active half of
-  // the rest.
-  const auto locked = [&](const Clause* c) {
-    const Var v = c->lits[0].var();
-    return value(c->lits[0]) == LBool::kTrue &&
-           reason_[static_cast<std::size_t>(v)].clause == c;
+  // Glucose-style tiered reduction: core clauses are permanent, tier2
+  // clauses that sat out the epoch demote to local, and the least-active
+  // half of the (unlocked, non-binary) local tier is deleted.
+  const auto locked = [&](ClauseRef cr, const Clause& c) {
+    const Lit l0 = c[0];
+    const auto v = static_cast<std::size_t>(l0.var());
+    return value(l0) == LBool::kTrue && reason_[v].cref == cr;
   };
-  std::vector<Clause*> candidates;
-  candidates.reserve(learnts_.size());
-  for (Clause* c : learnts_)
-    if (!c->deleted && c->size() > 2 && !locked(c)) candidates.push_back(c);
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Clause* a, const Clause* b) {
-              return a->activity < b->activity;
-            });
-  const std::size_t to_delete = candidates.size() / 2;
-  for (std::size_t i = 0; i < to_delete; ++i) {
-    detach_clause(candidates[i]);
-    ++stats_.deleted_clauses;
+  std::vector<ClauseRef> locals;
+  locals.reserve(num_local_);
+  for (const ClauseRef cr : learnts_) {
+    const Clause c = ca_.deref(cr);
+    if (c.marked() || c.tier() != ClauseTier::kLocal) continue;
+    if (c.size() <= 2 || locked(cr, c)) continue;
+    locals.push_back(cr);
   }
-  std::erase_if(learnts_, [](const Clause* c) { return c->deleted; });
+  std::sort(locals.begin(), locals.end(),
+            [&](ClauseRef a, ClauseRef b) {
+              const float aa = ca_.deref(a).activity();
+              const float ab = ca_.deref(b).activity();
+              if (aa != ab) return aa < ab;
+              return a < b;  // deterministic tie-break (arena order = age)
+            });
+  const std::size_t to_delete = locals.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    ca_.free_clause(locals[i]);
+    ++stats_.deleted_clauses;
+    --num_local_;
+  }
+  for (const ClauseRef cr : learnts_) {
+    Clause c = ca_.deref(cr);
+    if (c.marked() || c.tier() != ClauseTier::kTier2) continue;
+    if (c.touched()) {
+      c.set_touched(false);
+    } else {
+      c.set_tier(ClauseTier::kLocal);
+      ++num_local_;
+      ++stats_.lbd_local;
+    }
+  }
+  std::erase_if(learnts_, [this](ClauseRef cr) {
+    return ca_.deref(cr).marked();
+  });
+  maybe_gc();
+}
+
+void Solver::simplify() {
+  CS_ENSURE(decision_level() == 0, "simplify above level 0");
+  if (!ok_) return;
+  // Root-level assignments are permanent and their reasons are never
+  // examined again (analyze/analyze_final skip level 0), so clear them:
+  // no clause stays locked and the GC has no root reasons to chase.
+  for (const Lit p : trail_)
+    reason_[static_cast<std::size_t>(p.var())] = Reason{};
+
+  const auto process = [&](std::vector<ClauseRef>& list, bool learnt_list) {
+    std::size_t keep_n = 0;
+    for (const ClauseRef cr : list) {
+      Clause c = ca_.deref(cr);
+      if (c.marked()) continue;
+      bool satisfied = false;
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 0; k < size; ++k) {
+        if (value(c[k]) == LBool::kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) {
+        if (size == 2) detach_bin_eager(cr, c[0], c[1]);
+        if (learnt_list && c.tier() == ClauseTier::kLocal) --num_local_;
+        ca_.free_clause(cr);
+        ++stats_.deleted_clauses;
+        continue;
+      }
+      // Strip root-false literals. At a stable root the two watched
+      // positions of a non-satisfied clause are unassigned, so false
+      // literals only occur at positions >= 2.
+      std::uint32_t n = size;
+      for (std::uint32_t k = 2; k < n;) {
+        if (value(c[k]) == LBool::kFalse) {
+          c.swap_lits(k, n - 1);
+          --n;
+        } else {
+          ++k;
+        }
+      }
+      if (n != size) {
+        ca_.note_shrink(size - n);
+        const Lit w0 = c[0];
+        const Lit w1 = c[1];
+        c.shrink_to(n);
+        if (n == 2) {
+          // The long-list watchers are stale; move to the binary lists.
+          // Binary clauses are never reduced, so promote learnts to core.
+          detach_long_eager(cr, w0, w1);
+          attach_clause(cr);
+          if (learnt_list && c.tier() != ClauseTier::kCore) {
+            if (c.tier() == ClauseTier::kLocal) --num_local_;
+            c.set_tier(ClauseTier::kCore);
+            c.set_lbd(std::min(c.lbd(), 2));
+            ++stats_.lbd_core;
+          }
+        }
+      }
+      list[keep_n++] = cr;
+    }
+    list.resize(keep_n);
+  };
+  process(clauses_, /*learnt_list=*/false);
+  process(learnts_, /*learnt_list=*/true);
+  ++stats_.db_simplify_rounds;
+  simplified_trail_size_ = trail_.size();
+  maybe_gc();
+}
+
+void Solver::maybe_gc() {
+  if (ca_.wasted_words() * 5 > ca_.size_words()) garbage_collect();
+}
+
+void Solver::retighten_pb_watches() {
+  if (pb_mode_ != PbMode::kWatchedSum) return;
+  // Growth-triggered: scanning every constraint pays off only once the
+  // prefixes have inflated measurably past tight; below the threshold
+  // the shrink/regrow churn costs more than the shorter lists save.
+  if (pb_watch_growth_ * 4 <= pb_terms_total_) return;
+  CS_ENSURE(decision_level() == 0, "retighten above the root");
+  for (PbConstraint& pb : pbs_) {
+    // Recompute the tight prefix under the root assignment. Between
+    // episodes every constraint satisfies the watch invariant
+    // (watch_sum >= threshold or fully watched), so the tight prefix is
+    // never longer than the current one — shrinking needs no new
+    // occurrence registrations.
+    const std::int64_t threshold = pb.bound + pb.max_coeff;
+    std::size_t tight = 0;
+    std::int64_t sum = 0;
+    while (tight < pb.terms.size() && sum < threshold) {
+      if (value(pb.terms[tight].lit) != LBool::kFalse)
+        sum += pb.terms[tight].coeff;
+      ++tight;
+    }
+    if (tight >= pb.num_watched) continue;
+    // Drop the stale tail's occurrence entries: normalize_pb merges
+    // duplicate variables, so each (constraint, literal) pair has
+    // exactly one entry.
+    for (std::size_t i = tight; i < pb.num_watched; ++i) {
+      auto& occ = pb_watch_occs_[pb.terms[i].lit.index()];
+      for (std::size_t j = 0; j < occ.size(); ++j) {
+        if (occ[j].first == &pb) {
+          occ[j] = occ.back();
+          occ.pop_back();
+          break;
+        }
+      }
+    }
+    pb.num_watched = tight;
+    pb.watch_sum = sum;
+  }
+  pb_watch_growth_ = 0;
+}
+
+void Solver::garbage_collect() {
+  ClauseAllocator fresh;
+  fresh.reserve_words(ca_.live_words());
+  // Watcher lists: purge entries for deleted clauses, relocate the rest.
+  for (std::vector<Watcher>& ws : watches_) {
+    std::size_t keep = 0;
+    for (Watcher& w : ws) {
+      if (ca_.deref(w.cref).marked()) continue;
+      ca_.reloc(w.cref, fresh);
+      ws[keep++] = w;
+    }
+    ws.resize(keep);
+  }
+  // Binary clauses are only ever freed with eager watcher removal
+  // (simplify), so every binary watcher is live.
+  for (std::vector<BinWatcher>& bws : bin_watches_) {
+    for (BinWatcher& bw : bws) ca_.reloc(bw.cref, fresh);
+  }
+  // Reasons of current trail literals (reduce_db never frees locked
+  // clauses; root reasons are cleared by simplify before it frees).
+  for (const Lit p : trail_) {
+    Reason& r = reason_[static_cast<std::size_t>(p.var())];
+    if (r.cref != kRefUndef) ca_.reloc(r.cref, fresh);
+  }
+  const auto reloc_list = [&](std::vector<ClauseRef>& list) {
+    std::size_t keep = 0;
+    for (ClauseRef& cr : list) {
+      if (ca_.deref(cr).marked()) continue;
+      ca_.reloc(cr, fresh);
+      list[keep++] = cr;
+    }
+    list.resize(keep);
+  };
+  reloc_list(clauses_);
+  reloc_list(learnts_);
+  ca_ = std::move(fresh);
 }
 
 Solver::Result Solver::search(std::int64_t conflict_budget,
@@ -434,13 +808,26 @@ Solver::Result Solver::search(std::int64_t conflict_budget,
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0], Reason{});
       } else {
-        clauses_.push_back(Clause{learnt, 0.0, true, false, false});
-        Clause* c = &clauses_.back();
-        learnts_.push_back(c);
+        const int lbd = compute_lbd(learnt);
+        const ClauseRef cref = ca_.alloc(learnt, /*learnt=*/true);
+        Clause c = ca_.deref(cref);
+        c.set_lbd(lbd);
+        if (lbd <= kCoreLbd) {
+          c.set_tier(ClauseTier::kCore);
+          ++stats_.lbd_core;
+        } else if (lbd <= kTier2Lbd) {
+          c.set_tier(ClauseTier::kTier2);
+          ++stats_.lbd_tier2;
+        } else {
+          c.set_tier(ClauseTier::kLocal);
+          ++num_local_;
+          ++stats_.lbd_local;
+        }
+        learnts_.push_back(cref);
         ++stats_.learned_clauses;
-        bump_clause(*c);
-        attach_clause(c);
-        unchecked_enqueue(learnt[0], Reason{c, nullptr});
+        bump_clause(c);
+        attach_clause(cref);
+        unchecked_enqueue(learnt[0], Reason{cref, nullptr});
       }
       decay_var_activity();
       decay_clause_activity();
@@ -456,7 +843,7 @@ Solver::Result Solver::search(std::int64_t conflict_budget,
       cancel_until(0);
       return Result::kUnknown;
     }
-    if (static_cast<double>(learnts_.size()) > max_learnts_) {
+    if (static_cast<double>(num_local_) > max_learnts_) {
       reduce_db();
       max_learnts_ *= 1.5;
     }
@@ -513,10 +900,21 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
     deadline_seconds_ = now + static_cast<double>(time_limit_ms_) / 1000.0;
   }
 
+  if (trail_.size() > simplified_trail_size_) simplify();
+  if (!ok_) return Result::kUnsat;
+  retighten_pb_watches();
+
   Result result = Result::kUnknown;
   for (std::int64_t episode = 1; result == Result::kUnknown; ++episode) {
     result = search(luby(episode) * 100, assumptions);
-    if (result == Result::kUnknown && out_of_budget()) break;
+    if (result == Result::kUnknown) {
+      if (out_of_budget()) break;
+      // Between restarts the solver sits at the root: fold any new
+      // root-level facts into the clause database, and shrink the PB
+      // watch prefixes the episode's falsification churn inflated.
+      if (trail_.size() > simplified_trail_size_) simplify();
+      retighten_pb_watches();
+    }
   }
   cancel_until(0);
   return result;
@@ -541,19 +939,71 @@ bool Solver::model_value(Var v) const {
   return model_[static_cast<std::size_t>(v)] != 0;
 }
 
-std::size_t Solver::memory_estimate_bytes() const {
-  std::size_t bytes = 0;
-  bytes += assigns_.size() * (sizeof(LBool) + sizeof(char) + sizeof(int) +
-                              sizeof(std::int32_t) + sizeof(Reason) +
-                              sizeof(double));
-  for (const Clause& c : clauses_)
-    bytes += sizeof(Clause) + c.size() * sizeof(Lit);
+bool Solver::pb_bookkeeping_ok() const {
+  for (const PbConstraint& pb : pbs_) {
+    if (pb_mode_ == PbMode::kCounter) {
+      std::int64_t expect = 0;
+      for (const PbTerm& t : pb.terms)
+        if (value(t.lit) != LBool::kFalse) expect += t.coeff;
+      if (expect != pb.max_possible) return false;
+    } else {
+      if (pb.num_watched > pb.terms.size()) return false;
+      std::int64_t expect = 0;
+      for (std::size_t i = 0; i < pb.num_watched; ++i)
+        if (value(pb.terms[i].lit) != LBool::kFalse)
+          expect += pb.terms[i].coeff;
+      if (expect != pb.watch_sum) return false;
+    }
+  }
+  return true;
+}
+
+std::pair<std::size_t, std::size_t> Solver::pb_watched_terms() const {
+  std::size_t watched = 0, total = 0;
+  for (const PbConstraint& pb : pbs_) {
+    total += pb.terms.size();
+    watched +=
+        pb_mode_ == PbMode::kWatchedSum ? pb.num_watched : pb.terms.size();
+  }
+  return {watched, total};
+}
+
+Solver::MemoryBreakdown Solver::memory_breakdown() const {
+  MemoryBreakdown mb;
+  mb.arena_capacity_bytes = ca_.capacity_words() * sizeof(std::uint32_t);
+  mb.arena_size_bytes = ca_.size_words() * sizeof(std::uint32_t);
+  mb.arena_wasted_bytes = ca_.wasted_words() * sizeof(std::uint32_t);
+  for (const auto& ws : watches_)
+    mb.watcher_bytes += ws.capacity() * sizeof(Watcher);
+  mb.watcher_bytes += watches_.capacity() * sizeof(std::vector<Watcher>);
+  for (const auto& bws : bin_watches_)
+    mb.binary_watcher_bytes += bws.capacity() * sizeof(BinWatcher);
+  mb.binary_watcher_bytes +=
+      bin_watches_.capacity() * sizeof(std::vector<BinWatcher>);
   for (const PbConstraint& pb : pbs_)
-    bytes += sizeof(PbConstraint) + pb.terms.size() * sizeof(PbTerm);
-  for (const auto& ws : watches_) bytes += ws.size() * sizeof(Watcher);
-  for (const auto& occ : pb_occs_)
-    bytes += occ.size() * sizeof(std::pair<PbConstraint*, std::int64_t>);
-  return bytes;
+    mb.pb_bytes += sizeof(PbConstraint) + pb.terms.capacity() * sizeof(PbTerm);
+  for (const auto& occs : {std::cref(pb_occs_), std::cref(pb_watch_occs_)}) {
+    for (const auto& occ : occs.get())
+      mb.pb_occ_bytes +=
+          occ.capacity() * sizeof(std::pair<PbConstraint*, std::int64_t>);
+    mb.pb_occ_bytes +=
+        occs.get().capacity() *
+        sizeof(std::vector<std::pair<PbConstraint*, std::int64_t>>);
+  }
+  mb.var_bytes =
+      assigns_.capacity() * sizeof(LBool) + polarity_.capacity() +
+      phase_vote_.capacity() * sizeof(std::int64_t) +
+      level_.capacity() * sizeof(int) +
+      trail_pos_.capacity() * sizeof(std::int32_t) +
+      reason_.capacity() * sizeof(Reason) +
+      activity_.capacity() * sizeof(double) + seen_.capacity() +
+      lbd_seen_.capacity() * sizeof(std::int64_t) +
+      trail_.capacity() * sizeof(Lit);
+  return mb;
+}
+
+std::size_t Solver::memory_estimate_bytes() const {
+  return memory_breakdown().total();
 }
 
 }  // namespace cs::minisolver

@@ -3,12 +3,17 @@
 //
 // This is the from-scratch solving substrate of the repo (DESIGN.md S4): a
 // MiniSat-style conflict-driven clause-learning SAT core (two-watched
-// literals, VSIDS decision heuristic, 1-UIP clause learning, phase saving,
-// Luby restarts, activity-based clause-database reduction) extended with
-// counter-propagated pseudo-Boolean constraints Σ a_i·lit_i ≥ bound, which
-// is exactly the theory fragment the ConfigSynth encoding needs. It solves
-// under assumptions and extracts an unsat core over them, which powers the
-// paper's Algorithm 1 (systematic analysis of UNSAT results) without Z3.
+// literals with blocker literals over an arena of 32-bit clause
+// references, inline binary-clause watch lists, VSIDS decision heuristic,
+// 1-UIP clause learning, phase saving, Luby restarts, LBD-tiered
+// clause-database reduction with root-level simplification) extended with
+// slack-based watched-sum pseudo-Boolean constraints Σ a_i·lit_i ≥ bound,
+// which is exactly the theory fragment the ConfigSynth encoding needs.
+// The older counter-method PB propagator stays compiled in as a
+// runtime-selectable reference (PbMode::kCounter) for differential
+// testing and benchmarking. The solver solves under assumptions and
+// extracts an unsat core over them, which powers the paper's Algorithm 1
+// (systematic analysis of UNSAT results) without Z3.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +33,13 @@ class Solver {
  public:
   enum class Result { kSat, kUnsat, kUnknown };
 
+  /// Pseudo-Boolean propagation strategy. kWatchedSum visits a constraint
+  /// only when one of its *watched* literals is falsified and the watched
+  /// coefficient mass drops below bound + max_coeff; kCounter is the
+  /// original visit-on-every-falsification reference propagator, kept for
+  /// differential testing and as the benchmark baseline.
+  enum class PbMode { kWatchedSum, kCounter };
+
   struct Stats {
     std::int64_t decisions = 0;
     std::int64_t propagations = 0;
@@ -36,6 +48,40 @@ class Solver {
     std::int64_t learned_clauses = 0;
     std::int64_t deleted_clauses = 0;
     std::int64_t pb_propagations = 0;
+    // Monotone clause-DB composition counters: clauses *entering* each
+    // LBD tier (at learn time, by promotion, or by tier2 demotion for
+    // lbd_local), so deltas across solves stay meaningful.
+    std::int64_t lbd_core = 0;
+    std::int64_t lbd_tier2 = 0;
+    std::int64_t lbd_local = 0;
+    /// Root-level simplification rounds run between restarts.
+    std::int64_t db_simplify_rounds = 0;
+  };
+
+  /// Exact footprint of the constraint store, split by owner. The arena
+  /// numbers distinguish reserved capacity, allocated words, and words
+  /// freed-but-not-yet-collected so Table VI reports honest memory.
+  struct MemoryBreakdown {
+    std::size_t arena_capacity_bytes = 0;
+    std::size_t arena_size_bytes = 0;    // allocated (live + wasted)
+    std::size_t arena_wasted_bytes = 0;  // freed, awaiting GC
+    std::size_t watcher_bytes = 0;
+    std::size_t binary_watcher_bytes = 0;
+    std::size_t pb_bytes = 0;
+    std::size_t pb_occ_bytes = 0;
+    std::size_t var_bytes = 0;
+
+    std::size_t total() const {
+      return arena_capacity_bytes + watcher_bytes + binary_watcher_bytes +
+             pb_bytes + pb_occ_bytes + var_bytes;
+    }
+    /// Fraction of allocated arena words that are garbage.
+    double wasted_fraction() const {
+      return arena_size_bytes == 0
+                 ? 0.0
+                 : static_cast<double>(arena_wasted_bytes) /
+                       static_cast<double>(arena_size_bytes);
+    }
   };
 
   Solver();
@@ -43,6 +89,9 @@ class Solver {
   /// Creates a fresh unassigned variable.
   Var new_var();
   std::size_t num_vars() const { return assigns_.size(); }
+
+  /// Pre-sizes all per-variable arrays for `n` variables.
+  void reserve_vars(std::size_t n);
 
   /// Adds a clause (≥1 literals). Returns false if the solver is already
   /// in an unsatisfiable state after the addition.
@@ -53,6 +102,11 @@ class Solver {
 
   /// Adds Σ terms ≤ bound (encoded by negating coefficients).
   bool add_linear_le(std::vector<PbTerm> terms, std::int64_t bound);
+
+  /// Selects the PB propagation strategy. Must be called before the first
+  /// PB constraint is added; defaults to kWatchedSum.
+  void set_pb_mode(PbMode mode);
+  PbMode pb_mode() const { return pb_mode_; }
 
   /// False once the constraint store is unsatisfiable at level 0.
   bool ok() const { return ok_; }
@@ -78,8 +132,24 @@ class Solver {
 
   const Stats& stats() const { return stats_; }
 
-  /// Rough heap footprint of the constraint store (for Table VI).
+  /// Heap footprint of the constraint store (for Table VI); equals
+  /// memory_breakdown().total().
   std::size_t memory_estimate_bytes() const;
+  MemoryBreakdown memory_breakdown() const;
+
+  /// Debug invariant check: recomputes every PB constraint's propagation
+  /// bookkeeping (watch_sum in kWatchedSum mode, max_possible in kCounter
+  /// mode) from the current assignment and compares against the
+  /// incrementally maintained values. The differential fuzzer calls this
+  /// after every solve.
+  bool pb_bookkeeping_ok() const;
+
+  /// Diagnostic: (watched terms, total terms) over all PB constraints.
+  /// In kWatchedSum mode the first component is the summed watch-prefix
+  /// length — the fraction tells how far the prefixes have degenerated
+  /// toward full (counter-equivalent) watching. In kCounter mode both
+  /// components equal the total term count.
+  std::pair<std::size_t, std::size_t> pb_watched_terms() const;
 
   /// Debug hook invoked with every learned clause (after minimization).
   /// Used by the test suite to audit soundness against reference models.
@@ -107,9 +177,9 @@ class Solver {
 
  private:
   struct Reason {
-    Clause* clause = nullptr;
+    ClauseRef cref = kRefUndef;
     PbConstraint* pb = nullptr;
-    bool is_none() const { return clause == nullptr && pb == nullptr; }
+    bool is_none() const { return cref == kRefUndef && pb == nullptr; }
   };
 
   LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
@@ -148,11 +218,41 @@ class Solver {
   Lit pick_branch_lit();
   void bump_var(Var v);
   void decay_var_activity() { var_inc_ /= kVarDecay; }
-  void bump_clause(Clause& c);
+  void bump_clause(Clause c);
   void decay_clause_activity() { clause_inc_ /= kClauseDecay; }
-  void attach_clause(Clause* c);
-  void detach_clause(Clause* c);
+  void attach_clause(ClauseRef cref);
+  /// Eagerly removes a binary clause's two inline watchers.
+  void detach_bin_eager(ClauseRef cref, Lit l0, Lit l1);
+  /// Eagerly removes a long clause's two watchers (root simplification
+  /// shrinking a clause to binary must reattach it on the binary lists).
+  void detach_long_eager(ClauseRef cref, Lit l0, Lit l1);
+
+  /// Distinct decision levels among the literals (the Glucose LBD).
+  int compute_lbd(const std::vector<Lit>& lits);
+  int compute_lbd(Clause c);
+  /// Tier bookkeeping when a learnt clause participates in a conflict:
+  /// recompute LBD, promote on improvement, flag tier2 clauses as used.
+  void on_learnt_used(Clause c);
+
+  /// Deletes the least-active half of the local tier and demotes tier2
+  /// clauses that sat out the epoch (Glucose-style reduction).
   void reduce_db();
+  /// Root-level simplification: drops satisfied clauses, strips false
+  /// literals, reattaches clauses that shrank to binary.
+  void simplify();
+  /// Compacts the arena when the wasted fraction exceeds ~20%.
+  void maybe_gc();
+  void garbage_collect();
+
+  /// Root-level watch-prefix re-tightening (kWatchedSum only). The
+  /// prefix only ever grows during search — deep falsification churn
+  /// saturates it toward full (counter-equivalent) watching, and a
+  /// saturated prefix keeps paying occurrence-list updates for terms
+  /// that can no longer matter. At the root every assignment is
+  /// permanent, so the tight prefix is recomputable exactly: shrink
+  /// back to it and physically drop the stale occurrence entries.
+  /// Requires decision_level() == 0.
+  void retighten_pb_watches();
 
   /// One restart-bounded CDCL search episode.
   Result search(std::int64_t conflict_budget,
@@ -177,15 +277,35 @@ class Solver {
   std::vector<std::int32_t> trail_lim_;
   std::size_t qhead_ = 0;
 
+  ClauseAllocator ca_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
-  std::deque<Clause> clauses_;                 // stable addresses
-  std::vector<Clause*> learnts_;
+  /// Inline binary-clause watchers, same indexing; propagation over these
+  /// never touches the arena.
+  std::vector<std::vector<BinWatcher>> bin_watches_;
+  std::vector<ClauseRef> clauses_;
+  std::vector<ClauseRef> learnts_;  // all tiers
+  std::size_t num_local_ = 0;       // learnts currently in the local tier
   double max_learnts_ = 0;
+  /// Root trail size after the last simplify(); another round runs only
+  /// once new root facts arrive.
+  std::size_t simplified_trail_size_ = 0;
 
+  PbMode pb_mode_ = PbMode::kWatchedSum;
   std::deque<PbConstraint> pbs_;
-  /// pb_occs_[lit.index()] lists constraints containing `lit` (hit when
-  /// `lit` becomes false).
+  /// kCounter mode: pb_occs_[lit.index()] lists constraints containing
+  /// `lit` (hit when `lit` becomes false).
   std::vector<std::vector<std::pair<PbConstraint*, std::int64_t>>> pb_occs_;
+  /// kWatchedSum mode: same shape, but only *watched* terms are
+  /// registered; the lists grow as watched prefixes extend.
+  std::vector<std::vector<std::pair<PbConstraint*, std::int64_t>>>
+      pb_watch_occs_;
+  /// Total PB terms across pbs_, and the number of propagate-time
+  /// prefix extensions since the last retighten_pb_watches(). The
+  /// retighten fires once growth exceeds a quarter of the total —
+  /// often enough to keep occurrence lists near the tight prefix,
+  /// rarely enough that shrink/regrow churn amortizes away.
+  std::size_t pb_terms_total_ = 0;
+  std::size_t pb_watch_growth_ = 0;
 
   std::vector<double> activity_;
   double var_inc_ = 1.0;
@@ -193,6 +313,9 @@ class Solver {
   ActivityHeap order_;
 
   std::vector<char> seen_;  // scratch for analyze
+  /// Level-stamp scratch for compute_lbd (indexed by decision level).
+  std::vector<std::int64_t> lbd_seen_;
+  std::int64_t lbd_stamp_ = 0;
   std::vector<Lit> model_trail_;
   std::vector<char> model_;
   std::vector<Lit> unsat_core_;

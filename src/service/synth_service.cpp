@@ -32,6 +32,12 @@ void SynthService::record_solver_effort(const synth::SweepPointResult& r,
   metrics_.counter("solver_propagations_total").add(r.solver.propagations);
   metrics_.counter("solver_decisions_total").add(r.solver.decisions);
   metrics_.counter("solver_restarts_total").add(r.solver.restarts);
+  // Clause-DB composition (MiniPB only; zero deltas on Z3 requests).
+  metrics_.counter("solver_lbd_core_total").add(r.solver.lbd_core);
+  metrics_.counter("solver_lbd_tier2_total").add(r.solver.lbd_tier2);
+  metrics_.counter("solver_lbd_local_total").add(r.solver.lbd_local);
+  metrics_.counter("solver_db_simplify_rounds_total")
+      .add(r.solver.db_simplify_rounds);
 }
 
 SynthService::SynthService(ServiceConfig config)

@@ -56,6 +56,13 @@ struct SolverStats {
   std::int64_t decisions = 0;
   std::int64_t restarts = 0;
   std::int64_t learned_clauses = 0;
+  // Clause-DB composition (MiniPB only; Z3 leaves them 0): monotone
+  // counts of learnt clauses entering each LBD tier, plus the number of
+  // root-level database simplification rounds.
+  std::int64_t lbd_core = 0;
+  std::int64_t lbd_tier2 = 0;
+  std::int64_t lbd_local = 0;
+  std::int64_t db_simplify_rounds = 0;
 
   SolverStats& operator+=(const SolverStats& o) {
     conflicts += o.conflicts;
@@ -63,6 +70,10 @@ struct SolverStats {
     decisions += o.decisions;
     restarts += o.restarts;
     learned_clauses += o.learned_clauses;
+    lbd_core += o.lbd_core;
+    lbd_tier2 += o.lbd_tier2;
+    lbd_local += o.lbd_local;
+    db_simplify_rounds += o.db_simplify_rounds;
     return *this;
   }
   /// Delta between two cumulative snapshots (this − o).
@@ -73,6 +84,10 @@ struct SolverStats {
     d.decisions -= o.decisions;
     d.restarts -= o.restarts;
     d.learned_clauses -= o.learned_clauses;
+    d.lbd_core -= o.lbd_core;
+    d.lbd_tier2 -= o.lbd_tier2;
+    d.lbd_local -= o.lbd_local;
+    d.db_simplify_rounds -= o.db_simplify_rounds;
     return d;
   }
   bool operator==(const SolverStats&) const = default;

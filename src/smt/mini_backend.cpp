@@ -1,5 +1,8 @@
 #include "smt/mini_backend.h"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -19,6 +22,12 @@ void emit_progress_sample(const minisolver::Solver::Stats& s) {
                s.propagations + s.pb_propagations);
   obs::counter("solver", "minipb/restarts", s.restarts);
   obs::counter("solver", "minipb/learned", s.learned_clauses);
+  // Clause-DB composition: Perfetto draws the three tiers as stacked
+  // timelines, making reduce/simplify epochs visible over a solve.
+  obs::counter("solver", "minipb/lbd_core", s.lbd_core);
+  obs::counter("solver", "minipb/lbd_tier2", s.lbd_tier2);
+  obs::counter("solver", "minipb/lbd_local", s.lbd_local);
+  obs::counter("solver", "minipb/db_simplify", s.db_simplify_rounds);
 }
 
 std::vector<minisolver::PbTerm> to_mini_terms(const std::vector<Term>& terms) {
@@ -50,6 +59,12 @@ std::int64_t max_sum(const std::vector<Term>& terms) {
 }
 
 }  // namespace
+
+MiniBackend::MiniBackend() {
+  const char* mode = std::getenv("CS_MINIPB_PB_MODE");
+  if (mode != nullptr && std::string_view(mode) == "counter")
+    solver_.set_pb_mode(minisolver::Solver::PbMode::kCounter);
+}
 
 BoolVar MiniBackend::new_bool(const std::string& name) {
   (void)name;  // MiniPB variables are anonymous

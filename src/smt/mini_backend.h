@@ -14,6 +14,12 @@ namespace cs::smt {
 
 class MiniBackend final : public Backend {
  public:
+  /// Honors the CS_MINIPB_PB_MODE environment variable ("counter" selects
+  /// the reference counter propagator; anything else keeps the default
+  /// watched-sum mode) so whole-stack A/B runs — benches, differential
+  /// sweeps — need no API plumbing.
+  MiniBackend();
+
   BoolVar new_bool(const std::string& name) override;
   std::size_t num_vars() const override { return solver_.num_vars(); }
 
@@ -47,6 +53,10 @@ class MiniBackend final : public Backend {
     out.decisions = s.decisions;
     out.restarts = s.restarts;
     out.learned_clauses = s.learned_clauses;
+    out.lbd_core = s.lbd_core;
+    out.lbd_tier2 = s.lbd_tier2;
+    out.lbd_local = s.lbd_local;
+    out.db_simplify_rounds = s.db_simplify_rounds;
     return out;
   }
   std::string name() const override { return "minipb"; }

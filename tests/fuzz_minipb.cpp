@@ -1,6 +1,15 @@
 // Fuzz driver for the MiniPB solver: random clause+PB instances with wide
-// coefficient ranges, solved twice under random assumptions, cross-checked
-// against brute force. Prints the first failing seed and exits non-zero.
+// coefficient ranges, solved under random assumptions and cross-checked
+// against brute force. Every instance runs *differentially*: one solver
+// uses the default watched-sum PB propagator, a second uses the reference
+// counter propagator, and the two must agree on every verdict while both
+// keep their per-constraint slack bookkeeping exact
+// (Solver::pb_bookkeeping_ok). Odd seeds generate PB-heavy instances
+// (more and longer constraints, bounds pushed toward the coefficient
+// total) so the watched-prefix machinery is exercised hard. When built
+// with CONFIGSYNTH_WITH_Z3, every 25th seed is additionally cross-checked
+// against the Z3 backend. Prints the first failing seed and exits
+// non-zero.
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,6 +17,10 @@
 #include "minisolver/solver.h"
 #include "util/rng.h"
 #include "util/strings.h"
+
+#ifdef CONFIGSYNTH_WITH_Z3
+#include "smt/ir.h"
+#endif
 
 using namespace cs;
 using minisolver::Lit;
@@ -24,10 +37,11 @@ struct Instance {
   std::vector<Lit> guards;  // assumption candidates
 };
 
-Instance gen(util::Rng& rng) {
+Instance gen(util::Rng& rng, bool pb_heavy) {
   Instance inst;
-  inst.vars = static_cast<int>(rng.uniform(6, 14));
-  const int clauses = static_cast<int>(rng.uniform(0, 20));
+  inst.vars = static_cast<int>(rng.uniform(6, pb_heavy ? 12 : 14));
+  const int clauses =
+      static_cast<int>(rng.uniform(0, pb_heavy ? 8 : 20));
   for (int c = 0; c < clauses; ++c) {
     std::vector<Lit> cl;
     const int len = static_cast<int>(rng.uniform(1, 3));
@@ -49,23 +63,34 @@ Instance gen(util::Rng& rng) {
           inst.clauses.push_back(
               {Lit::neg(group[i]), Lit::neg(group[j])});
   }
-  const int pbs = static_cast<int>(rng.uniform(1, 4));
+  const int pbs =
+      static_cast<int>(rng.uniform(pb_heavy ? 3 : 1, pb_heavy ? 8 : 4));
   for (int p = 0; p < pbs; ++p) {
     std::vector<PbTerm> terms;
-    const int len = static_cast<int>(rng.uniform(2, 7));
+    const int len = static_cast<int>(
+        rng.uniform(pb_heavy ? 3 : 2, pb_heavy ? 10 : 7));
     std::int64_t total = 0;
     for (int t = 0; t < len; ++t) {
       const Var v = static_cast<Var>(rng.uniform(0, inst.vars - 1));
-      // ConfigSynth-like coefficient palette.
+      // ConfigSynth-like coefficient palette; the heavy mode mixes small
+      // coefficients in so watched prefixes grow term by term instead of
+      // all at once.
       static const std::int64_t palette[] = {1,    2500, 5000,
                                              7500, 10000};
+      static const std::int64_t heavy_palette[] = {
+          1, 2, 3, 100, 2500, 5000, 7500, 10000, 20000};
       const std::int64_t coeff =
-          palette[rng.uniform(0, 4)];
+          pb_heavy ? heavy_palette[rng.uniform(0, 8)]
+                   : palette[rng.uniform(0, 4)];
       total += coeff;
       terms.push_back(
           PbTerm{rng.chance(0.7) ? Lit::pos(v) : Lit::neg(v), coeff});
     }
-    std::int64_t bound = rng.uniform(0, total);
+    // Heavy mode biases the bound toward the coefficient total, where
+    // near-every literal matters and slack stays close to zero.
+    std::int64_t bound = pb_heavy && rng.chance(0.5)
+                             ? rng.uniform(total / 2, total)
+                             : rng.uniform(0, total);
     const bool ge = rng.chance(0.6);
     if (!ge) {
       // Encode Σ ≤ bound as Σ(−t) ≥ −bound, matching add_linear_le.
@@ -127,6 +152,68 @@ std::vector<Lit> gen_assumptions(util::Rng& rng, const Instance& inst) {
   return out;
 }
 
+/// Loads the instance into a solver; returns add-time consistency.
+bool load(Solver& s, const Instance& inst) {
+  for (int v = 0; v < inst.vars; ++v) (void)s.new_var();
+  bool consistent = true;
+  for (const auto& cl : inst.clauses) consistent &= s.add_clause(cl);
+  for (const auto& [terms, bound] : inst.ges)
+    consistent &= s.add_linear_ge(terms, bound);
+  return consistent;
+}
+
+/// Model satisfies every clause and PB constraint of the instance.
+bool model_valid(const Solver& s, const Instance& inst) {
+  std::uint32_t m = 0;
+  for (int v = 0; v < inst.vars; ++v)
+    if (s.model_value(v)) m |= 1u << v;
+  for (const auto& cl : inst.clauses) {
+    bool sat = false;
+    for (const Lit l : cl) sat = sat || lit_true(m, l);
+    if (!sat) return false;
+  }
+  for (const auto& [terms, bound] : inst.ges) {
+    std::int64_t sum = 0;
+    for (const PbTerm& t : terms) sum += lit_true(m, t.lit) ? t.coeff : 0;
+    if (sum < bound) return false;
+  }
+  return true;
+}
+
+#ifdef CONFIGSYNTH_WITH_Z3
+/// Independent verdict from the Z3 backend (no limits: always decided).
+bool z3_sat(const Instance& inst, const std::vector<Lit>& assume) {
+  auto backend = smt::make_backend(smt::BackendKind::kZ3);
+  for (int v = 0; v < inst.vars; ++v) (void)backend->new_bool("f");
+  const auto to_smt = [](Lit l) {
+    return smt::Lit{l.var(), l.is_neg()};
+  };
+  for (const auto& cl : inst.clauses) {
+    std::vector<smt::Lit> lits;
+    for (const Lit l : cl) lits.push_back(to_smt(l));
+    backend->add_clause(lits);
+  }
+  for (const auto& [terms, bound] : inst.ges) {
+    std::vector<smt::Term> smt_terms;
+    for (const PbTerm& t : terms)
+      smt_terms.push_back(smt::Term{to_smt(t.lit), t.coeff});
+    backend->add_linear_ge(smt_terms, bound);
+  }
+  std::vector<smt::Lit> smt_assume;
+  for (const Lit a : assume) smt_assume.push_back(to_smt(a));
+  return backend->check(smt_assume) == smt::CheckResult::kSat;
+}
+#endif
+
+const char* verdict_name(Solver::Result r) {
+  switch (r) {
+    case Solver::Result::kSat: return "sat";
+    case Solver::Result::kUnsat: return "unsat";
+    case Solver::Result::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,15 +223,27 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (long long seed = 0; seed < iterations; ++seed) {
     util::Rng rng(static_cast<std::uint64_t>(seed) * 2654435761u + 17);
-    const Instance inst = gen(rng);
+    const bool pb_heavy = (seed % 2) == 1;
+    const Instance inst = gen(rng, pb_heavy);
 
-    Solver s;
-    for (int v = 0; v < inst.vars; ++v) (void)s.new_var();
-    bool consistent = true;
-    for (const auto& cl : inst.clauses) consistent &= s.add_clause(cl);
-    for (const auto& [terms, bound] : inst.ges)
-      consistent &= s.add_linear_ge(terms, bound);
-    if (!consistent) {
+    // Differential pair: default watched-sum vs reference counter.
+    Solver watched;
+    Solver counter;
+    counter.set_pb_mode(Solver::PbMode::kCounter);
+    const bool w_consistent = load(watched, inst);
+    const bool c_consistent = load(counter, inst);
+    if (w_consistent != c_consistent) {
+      std::printf("seed %lld: add-time divergence watched=%d counter=%d\n",
+                  seed, w_consistent, c_consistent);
+      ++failures;
+      continue;
+    }
+    if (!watched.pb_bookkeeping_ok() || !counter.pb_bookkeeping_ok()) {
+      std::printf("seed %lld: slack bookkeeping broken after load\n", seed);
+      ++failures;
+      continue;
+    }
+    if (!w_consistent) {
       if (brute(inst, {})) {
         std::printf("seed %lld: store claims unsat, brute says sat\n", seed);
         ++failures;
@@ -154,41 +253,44 @@ int main(int argc, char** argv) {
 
     // Two sequential assumption solves, then a plain solve; every verdict
     // is checked against enumeration (this exercises clause learning
-    // across calls).
+    // across calls) and against the sibling propagator.
     for (int round = 0; round < 3; ++round) {
       const std::vector<Lit> assume =
           round < 2 ? gen_assumptions(rng, inst) : std::vector<Lit>{};
-      const auto verdict = s.solve(assume);
-      const bool expect = brute(inst, assume);
-      if ((verdict == Solver::Result::kSat) != expect) {
-        std::printf("seed %lld round %d: solver=%s brute=%s\n", seed, round,
-                    verdict == Solver::Result::kSat ? "sat" : "unsat",
-                    expect ? "sat" : "unsat");
+      const auto w_verdict = watched.solve(assume);
+      const auto c_verdict = counter.solve(assume);
+      if (w_verdict != c_verdict) {
+        std::printf("seed %lld round %d: watched=%s counter=%s\n", seed,
+                    round, verdict_name(w_verdict), verdict_name(c_verdict));
         ++failures;
         break;
       }
-      if (verdict == Solver::Result::kSat) {
-        // model must satisfy everything
-        std::uint32_t m = 0;
-        for (int v = 0; v < inst.vars; ++v)
-          if (s.model_value(v)) m |= 1u << v;
-        bool ok = true;
-        for (const auto& cl : inst.clauses) {
-          bool sat = false;
-          for (const Lit l : cl) sat = sat || lit_true(m, l);
-          ok = ok && sat;
-        }
-        for (const auto& [terms, bound] : inst.ges) {
-          std::int64_t sum = 0;
-          for (const PbTerm& t : terms)
-            sum += lit_true(m, t.lit) ? t.coeff : 0;
-          ok = ok && sum >= bound;
-        }
-        if (!ok) {
-          std::printf("seed %lld round %d: invalid model\n", seed, round);
-          ++failures;
-          break;
-        }
+      if (!watched.pb_bookkeeping_ok() || !counter.pb_bookkeeping_ok()) {
+        std::printf("seed %lld round %d: slack bookkeeping diverged\n",
+                    seed, round);
+        ++failures;
+        break;
+      }
+      const bool expect = brute(inst, assume);
+      if ((w_verdict == Solver::Result::kSat) != expect) {
+        std::printf("seed %lld round %d: solver=%s brute=%s\n", seed, round,
+                    verdict_name(w_verdict), expect ? "sat" : "unsat");
+        ++failures;
+        break;
+      }
+#ifdef CONFIGSYNTH_WITH_Z3
+      if (seed % 25 == 0 && z3_sat(inst, assume) != expect) {
+        std::printf("seed %lld round %d: z3 disagrees with brute\n", seed,
+                    round);
+        ++failures;
+        break;
+      }
+#endif
+      if (w_verdict == Solver::Result::kSat &&
+          (!model_valid(watched, inst) || !model_valid(counter, inst))) {
+        std::printf("seed %lld round %d: invalid model\n", seed, round);
+        ++failures;
+        break;
       }
     }
     if (failures >= 5) break;

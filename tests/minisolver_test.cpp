@@ -466,5 +466,101 @@ TEST(Solver, MemoryEstimateGrows) {
   EXPECT_GT(s.memory_estimate_bytes(), empty);
 }
 
+TEST(Solver, MemoryBreakdownIsConsistent) {
+  Solver s;
+  std::vector<std::vector<Var>> x;
+  build_php(s, 7, 6, x);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  const Solver::MemoryBreakdown mb = s.memory_breakdown();
+  EXPECT_EQ(mb.total(), s.memory_estimate_bytes());
+  EXPECT_GE(mb.arena_capacity_bytes, mb.arena_size_bytes);
+  EXPECT_GE(mb.arena_size_bytes, mb.arena_wasted_bytes);
+  EXPECT_GE(mb.wasted_fraction(), 0.0);
+  EXPECT_LE(mb.wasted_fraction(), 1.0);
+  EXPECT_GT(mb.arena_size_bytes, 0u);
+  EXPECT_GT(mb.var_bytes, 0u);
+}
+
+TEST(Solver, ConflictLimitMidReduceEpochLeavesSolverReusable) {
+  // Exhausting the conflict budget after clause-DB reductions have begun
+  // must leave the solver checkout-able (the service warm pool re-solves
+  // on the same instance after a kUnknown): the interrupted solve's
+  // arena, watch lists and learnt tiers stay coherent.
+  Solver s;
+  std::vector<std::vector<Var>> x;
+  build_php(s, 8, 7, x);
+  s.set_conflict_limit(3000);
+  ASSERT_EQ(s.solve(), Result::kUnknown);
+  // The budget must genuinely land mid-epoch: reductions already ran.
+  EXPECT_GT(s.stats().deleted_clauses, 0);
+  // Re-solve with assumptions on the reused solver, then unrestricted.
+  s.set_conflict_limit(0);
+  EXPECT_EQ(s.solve({Lit::pos(x[0][0])}), Result::kUnsat);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, RootSimplifyFoldsNewFactsBetweenSolves) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  const Var d = s.new_var();
+  s.add_clause({Lit::pos(a), Lit::pos(b)});
+  s.add_clause({Lit::neg(a), Lit::pos(b), Lit::pos(c), Lit::pos(d)});
+  s.add_clause({Lit::pos(a)});  // root fact: a = true
+  ASSERT_EQ(s.solve(), Result::kSat);
+  const std::int64_t rounds = s.stats().db_simplify_rounds;
+  EXPECT_GE(rounds, 1);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b) || s.model_value(c) || s.model_value(d));
+  // Another root fact arrives; the next solve runs another round and the
+  // store stays sound.
+  s.add_clause({Lit::neg(b)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_GT(s.stats().db_simplify_rounds, rounds);
+  EXPECT_TRUE(s.model_value(c) || s.model_value(d));
+}
+
+TEST(Solver, LbdTierCountsCoverEveryLearntClause) {
+  Solver s;
+  std::vector<std::vector<Var>> x;
+  build_php(s, 6, 5, x);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  const Solver::Stats& st = s.stats();
+  EXPECT_GT(st.learned_clauses, 0);
+  // Every multi-literal learnt clause entered exactly one tier at learn
+  // time; promotions/demotions only add further entries.
+  EXPECT_GE(st.lbd_core + st.lbd_tier2 + st.lbd_local, 0);
+  EXPECT_GT(st.lbd_core + st.lbd_tier2 + st.lbd_local, 0);
+}
+
+TEST(Solver, CounterModeMatchesWatchedSumVerdicts) {
+  // The reference counter propagator and the watched-sum default must
+  // agree across a mixed clause/PB instance, including after an
+  // interrupted solve; both keep exact slack bookkeeping.
+  const auto build = [](Solver& s) {
+    std::vector<PbTerm> terms;
+    for (int i = 0; i < 12; ++i)
+      terms.push_back(PbTerm{Lit::pos(s.new_var()), (i % 4) + 1});
+    s.add_linear_ge(terms, 18);
+    s.add_linear_le(terms, 24);
+    for (int i = 0; i + 2 < 12; i += 3)
+      s.add_clause({Lit::neg(i), Lit::neg(i + 1), Lit::neg(i + 2)});
+  };
+  Solver watched;
+  Solver counter;
+  counter.set_pb_mode(Solver::PbMode::kCounter);
+  EXPECT_EQ(watched.pb_mode(), Solver::PbMode::kWatchedSum);
+  build(watched);
+  build(counter);
+  const std::vector<std::vector<Lit>> rounds = {
+      {}, {Lit::pos(0), Lit::pos(1)}, {Lit::neg(4), Lit::neg(7), Lit::neg(11)}};
+  for (const std::vector<Lit>& assume : rounds) {
+    EXPECT_EQ(watched.solve(assume), counter.solve(assume));
+    EXPECT_TRUE(watched.pb_bookkeeping_ok());
+    EXPECT_TRUE(counter.pb_bookkeeping_ok());
+  }
+}
+
 }  // namespace
 }  // namespace cs::minisolver

@@ -434,6 +434,49 @@ TEST(SweepEngineMiniPb, WarmSweepAccumulatesSolverStats) {
   EXPECT_EQ(result.warm_reuses, static_cast<int>(grid.size()) - 1);
 }
 
+TEST(SweepEngineMiniPb, WarmSweepSurvivesConflictCappedPoint) {
+  // Regression: a warm worker whose solver exhausts its conflict budget
+  // mid-flight (possibly mid reduce-epoch, with learnt clauses already
+  // marked for deletion) must stay usable — the *same* synthesizer then
+  // re-solves the remaining grid points and still decides them correctly.
+  // Sliders (6,5,40) are calibrated to blow a 3000-conflict cap on the
+  // example spec; (3,3,60) decides SAT in ~100 conflicts and (10,10,5)
+  // is instantly UNSAT, so the cap only bites the hard point.
+  const model::ProblemSpec spec = make_example_spec();
+  const std::vector<model::Sliders> grid = {
+      model::Sliders{util::Fixed::from_int(6), util::Fixed::from_int(5),
+                     util::Fixed::from_int(40)},
+      model::Sliders{util::Fixed::from_int(3), util::Fixed::from_int(3),
+                     util::Fixed::from_int(60)},
+      model::Sliders{util::Fixed::from_int(10), util::Fixed::from_int(10),
+                     util::Fixed::from_int(5)},
+  };
+  SweepRequest request = SweepRequest::feasibility_grid(grid);
+  request.synthesis.backend = BackendKind::kMiniPb;
+  request.synthesis.check_conflict_limit = 3000;
+  request.warm_start = true;
+  request.jobs = 1;  // single worker chunk: the capped solver is reused
+  const SweepResult warm = SweepEngine(spec).run(request);
+  ASSERT_EQ(warm.points.size(), 3u);
+  // Calibration self-check: the hard point really hit the cap (it is not
+  // skipped — the budget expired inside the solver, not in the engine).
+  ASSERT_EQ(warm.points[0].status, smt::CheckResult::kUnknown);
+  EXPECT_FALSE(warm.points[0].skipped);
+  EXPECT_GE(warm.points[0].solver.conflicts, 3000);
+  // The capped synthesizer kept serving: both remaining points are warm
+  // re-solves and carry the verdicts a fresh solver produces.
+  EXPECT_EQ(warm.warm_reuses, 2);
+  EXPECT_TRUE(warm.points[1].warm);
+  EXPECT_TRUE(warm.points[2].warm);
+  EXPECT_EQ(warm.points[1].status, smt::CheckResult::kSat);
+  EXPECT_EQ(warm.points[2].status, smt::CheckResult::kUnsat);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    Synthesizer direct(spec, request.synthesis);
+    EXPECT_EQ(warm.points[i].status, direct.synthesize(grid[i]).status)
+        << "point " << i;
+  }
+}
+
 TEST(SweepEngineMiniPb, IncrementalModeMatchesFreshOnVerdictAndBound) {
   // The incremental (reuse_synthesizer) path accumulates guards but must
   // agree with the fresh-per-point path on feasibility and the maximum
