@@ -11,17 +11,14 @@
 //   explain <input.cfg>          run Algorithm 1 on an UNSAT slider triple
 //   check <input.cfg> <design>   re-validate a saved design file
 //
-// Common flags (after the subcommand arguments):
-//   --backend z3|minipb   solver backend (default z3)
-//   --time-limit <ms>     per-check cap (default 20000)
-//   --jobs <N>            sweep workers for `frontier` (default: one per
-//                         hardware thread; 1 = serial; results are
-//                         identical either way)
+// Common flags (after the subcommand arguments) are the shared surface
+// of net/options.h — --backend, --time-limit, --conflict-limit, --jobs
+// (sweep workers for `frontier`; 0 = one per hardware thread), and
+// --trace-out; the service-only flags (--queue-limit, --cache-capacity,
+// --metrics-*) are accepted for uniformity but only apply to the
+// service-backed binaries. Plus:
 //   --out <file>          where `synth` writes the design (default
 //                         design.txt)
-//   --trace-out <file>    record a Chrome-trace-event JSON timeline of
-//                         the run (open in Perfetto; see
-//                         docs/OBSERVABILITY.md)
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -31,6 +28,7 @@
 #include "analysis/exposure.h"
 #include "analysis/report.h"
 #include "model/input_file.h"
+#include "net/options.h"
 #include "obs/trace.h"
 #include "synth/assistance.h"
 #include "synth/frontier.h"
@@ -44,35 +42,25 @@ namespace {
 using namespace cs;
 
 struct CliOptions {
-  synth::SynthesisOptions synthesis;
+  /// Shared flag surface; `common.service.workers` doubles as the sweep
+  /// worker count for `frontier`.
+  net::CommonOptions common;
   std::string out_path = "design.txt";
-  /// Sweep workers for grid subcommands; 0 = one per hardware thread.
-  int jobs = 0;
-  /// When non-empty, the run is traced and the timeline written here.
-  std::string trace_path;
 };
 
 CliOptions parse_flags(int argc, char** argv, int first_flag) {
   CliOptions opts;
-  opts.synthesis.check_time_limit_ms = 20000;
+  opts.common.synthesis.check_time_limit_ms = 20000;
+  opts.common.service.workers = 0;  // frontier: one per hardware thread
   for (int i = first_flag; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> std::string {
       CS_REQUIRE(i + 1 < argc, "flag " + flag + " needs a value");
       return argv[++i];
     };
-    if (flag == "--backend") {
-      opts.synthesis.backend = smt::backend_from_name(next());
-    } else if (flag == "--time-limit") {
-      opts.synthesis.check_time_limit_ms =
-          util::parse_int(next(), "time limit");
-    } else if (flag == "--jobs") {
-      opts.jobs = static_cast<int>(util::parse_int(next(), "jobs"));
-      CS_REQUIRE(opts.jobs >= 0, "--jobs must be >= 0");
+    if (net::consume_common_flag(opts.common, argc, argv, i)) {
     } else if (flag == "--out") {
       opts.out_path = next();
-    } else if (flag == "--trace-out") {
-      opts.trace_path = next();
     } else {
       throw util::SpecError("unknown flag '" + flag + "'");
     }
@@ -81,7 +69,7 @@ CliOptions parse_flags(int argc, char** argv, int first_flag) {
 }
 
 int cmd_synth(const model::ProblemSpec& spec, const CliOptions& opts) {
-  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  synth::Synthesizer synthesizer(spec, opts.common.synthesis);
   const synth::SynthesisResult result = synthesizer.synthesize();
   std::cout << analysis::render_report(spec, result);
   if (result.status != smt::CheckResult::kSat) {
@@ -103,7 +91,7 @@ int cmd_synth(const model::ProblemSpec& spec, const CliOptions& opts) {
 }
 
 int cmd_optimize(const model::ProblemSpec& spec, const CliOptions& opts) {
-  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  synth::Synthesizer synthesizer(spec, opts.common.synthesis);
   const synth::BoundSearchResult best = synth::maximize_isolation(
       synthesizer, spec, spec.sliders.usability, spec.sliders.budget);
   if (!best.feasible) {
@@ -121,7 +109,7 @@ int cmd_optimize(const model::ProblemSpec& spec, const CliOptions& opts) {
 }
 
 int cmd_mincost(const model::ProblemSpec& spec, const CliOptions& opts) {
-  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  synth::Synthesizer synthesizer(spec, opts.common.synthesis);
   const synth::BoundSearchResult r = synth::minimize_cost(
       synthesizer, spec, spec.sliders.isolation, spec.sliders.usability);
   if (!r.feasible) {
@@ -141,8 +129,8 @@ int cmd_mincost(const model::ProblemSpec& spec, const CliOptions& opts) {
 int cmd_frontier(const model::ProblemSpec& spec, const CliOptions& opts) {
   synth::FrontierOptions fopts = synth::FrontierOptions::fig3_defaults(
       spec.sliders.budget / 2, spec.sliders.budget);
-  fopts.jobs = opts.jobs;  // 0 = one worker per hardware thread
-  const auto points = synth::explore_frontier(spec, opts.synthesis, fopts);
+  fopts.jobs = opts.common.service.workers;  // 0 = one per hardware thread
+  const auto points = synth::explore_frontier(spec, opts.common.synthesis, fopts);
   std::cout << synth::render_frontier(points);
   return 0;
 }
@@ -153,7 +141,7 @@ int cmd_assist(const model::ProblemSpec& spec) {
 }
 
 int cmd_explain(const model::ProblemSpec& spec, const CliOptions& opts) {
-  synth::Synthesizer synthesizer(spec, opts.synthesis);
+  synth::Synthesizer synthesizer(spec, opts.common.synthesis);
   std::cout << synth::analyze_unsat(synthesizer, spec).to_string();
   return 0;
 }
@@ -183,7 +171,7 @@ int main(int argc, char** argv) {
 
     if (cmd == "check") CS_REQUIRE(argc >= 4, "check needs a design file");
     const CliOptions opts = parse_flags(argc, argv, cmd == "check" ? 4 : 3);
-    if (!opts.trace_path.empty()) {
+    if (!opts.common.trace_path.empty()) {
       obs::session().enable();
       obs::session().set_thread_name("main");
     }
@@ -199,10 +187,10 @@ int main(int argc, char** argv) {
       return 2;
     };
     const int code = run();
-    if (!opts.trace_path.empty()) {
+    if (!opts.common.trace_path.empty()) {
       obs::session().disable();
-      obs::session().write_json(opts.trace_path);
-      std::cerr << "trace written to " << opts.trace_path << "\n";
+      obs::session().write_json(opts.common.trace_path);
+      std::cerr << "trace written to " << opts.common.trace_path << "\n";
     }
     return code;
   } catch (const std::exception& e) {

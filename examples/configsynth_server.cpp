@@ -1,101 +1,82 @@
 // configsynth_server — many clients, one warm synthesis service.
 //
-// Reads a newline-delimited request file and drives service::SynthService
-// with every request, printing per-request outcomes and the service
-// metrics dump. Each line is:
+// Two front-ends over the same service::SynthService and the same
+// cs-req-v1 codec (net/request_codec.h, docs/PROTOCOL.md):
 //
-//   <spec.cfg> <objective> <isolation> <usability> <budget>
+//   configsynth_server <requests.txt> [flags]
+//     File mode. Reads a newline-delimited cs-req-v1 request file and
+//     prints one cs-resp-v1 response line per request, in submission
+//     order, followed by a summary and the service metrics dump. `file:`
+//     spec paths resolve relative to the request file; a line consisting
+//     of the single word `metrics` prints a snapshot once every request
+//     above it has completed. Malformed lines get a structured
+//     `status=error` response instead of aborting the batch.
 //
-// where <spec.cfg> is a paper Table IV input file (resolved relative to
-// the request file), <objective> is feasibility | max-isolation |
-// min-cost, and the three sliders are the request's thresholds (each
-// objective reads the subset it needs). '#' starts a comment. Specs are
-// parsed once per distinct path and shared across requests — repeated
-// lines exercise the result cache.
+//   configsynth_server --listen <port> [--spec-root <dir>] [flags]
+//     TCP mode. Serves cs-req-v1 over keep-alive connections on an
+//     epoll loop (net/server.h), with HTTP `GET /metrics` on the same
+//     port. `file:` spec paths resolve under --spec-root (default ".").
+//     Port 0 picks an ephemeral port (printed on startup).
 //
-// Flags:
-//   --backend z3|minipb     solver backend (default z3)
-//   --jobs <N>              service workers (default 2; 0 = hardware)
-//   --queue-limit <N>       admission-control queue depth (default 64)
-//   --cache-capacity <N>    LRU result-cache entries (default 256)
-//   --time-limit <ms>       per-check wall cap (default 20000)
-//   --conflict-limit <n>    per-check deterministic effort cap (default 0)
-//   --metrics-csv <file>    also dump the metrics registry as CSV
-//   --metrics-prom <file>   also dump the metrics in Prometheus text
-//                           exposition format
-//   --trace-out <file>      record a Chrome-trace-event JSON timeline of
-//                           the run (open in Perfetto)
+// Both modes accept the shared flag surface (net/options.h):
+// --backend, --jobs, --queue-limit, --cache-capacity, --time-limit,
+// --conflict-limit, --metrics-csv, --metrics-prom, --trace-out.
 //
-// A request line consisting of the single word `metrics` is a command,
-// not a request: the server prints a metrics snapshot once every request
-// above that line has completed (results stream in submission order).
-//
-// SIGINT/SIGTERM cancel queued requests cooperatively: in-flight solves
-// finish, and the metrics dump (table, CSV, Prometheus, trace) still
-// happens, so an interrupted run is observable rather than silent.
+// SIGINT/SIGTERM drain gracefully in both modes: queued requests are
+// cancelled cooperatively, in-flight solves finish and answer, and the
+// metrics dump (summary, CSV, Prometheus, trace) still happens before
+// the conventional fatal-signal exit code 130 — an interrupted run is
+// observable rather than silent.
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "model/input_file.h"
+#include "net/options.h"
+#include "net/request_codec.h"
+#include "net/server.h"
 #include "obs/trace.h"
 #include "service/synth_service.h"
 #include "util/strings.h"
-#include "util/table.h"
+#include "util/timer.h"
 
 namespace {
 
 using namespace cs;
 
-struct ServerOptions {
-  synth::SynthesisOptions synthesis;
-  service::ServiceConfig service;
-  std::string metrics_csv;
-  std::string metrics_prom;
-  std::string trace_path;
-};
-
-/// Raised by the SIGINT/SIGTERM handler; the collection loop polls it.
+/// Raised by the SIGINT/SIGTERM handler. File mode polls the flag; TCP
+/// mode additionally gets a write to the drain eventfd (write(2) is
+/// async-signal-safe, so the epoll loop wakes immediately).
 std::atomic<bool> g_interrupted{false};
+std::atomic<int> g_signal_fd{-1};
 
-void handle_signal(int) { g_interrupted.store(true); }
+void handle_signal(int) {
+  g_interrupted.store(true);
+  const int fd = g_signal_fd.load();
+  if (fd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+  }
+}
 
 std::string dirname_of(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? std::string(".")
                                     : path.substr(0, slash);
-}
-
-synth::SweepObjective objective_from_name(const std::string& name) {
-  for (const synth::SweepObjective o :
-       {synth::SweepObjective::kFeasibility,
-        synth::SweepObjective::kMaxIsolation,
-        synth::SweepObjective::kMinCost}) {
-    if (name == synth::sweep_objective_name(o)) return o;
-  }
-  throw util::SpecError("unknown objective '" + name +
-                        "' (want feasibility|max-isolation|min-cost)");
-}
-
-std::string status_name(smt::CheckResult s) {
-  switch (s) {
-    case smt::CheckResult::kSat:
-      return "sat";
-    case smt::CheckResult::kUnsat:
-      return "unsat";
-    case smt::CheckResult::kUnknown:
-      return "unknown";
-  }
-  return "?";
 }
 
 std::string fmt_ms(double ms) {
@@ -104,133 +85,148 @@ std::string fmt_ms(double ms) {
   return buf;
 }
 
-}  // namespace
+void dump_metrics(const service::MetricsRegistry& metrics,
+                  const net::CommonOptions& opts) {
+  std::cout << metrics.render();
+  if (!opts.metrics_csv.empty()) {
+    metrics.write_csv(opts.metrics_csv);
+    std::cout << "\nmetrics csv written to " << opts.metrics_csv << "\n";
+  }
+  if (!opts.metrics_prom.empty()) {
+    std::ofstream prom(opts.metrics_prom);
+    CS_REQUIRE(static_cast<bool>(prom), "cannot open metrics-prom file '" +
+                                            opts.metrics_prom + "'");
+    prom << metrics.render_prometheus();
+    std::cout << "metrics prometheus written to " << opts.metrics_prom
+              << "\n";
+  }
+  if (!opts.trace_path.empty()) {
+    // The pool is idle by the time either mode dumps, so the export
+    // cannot race with recording.
+    obs::session().disable();
+    obs::session().write_json(opts.trace_path);
+    std::cout << "trace written to " << opts.trace_path << "\n";
+  }
+}
 
-int main(int argc, char** argv) {
-  try {
-    if (argc < 2) {
-      std::cerr << "usage: " << argv[0] << " <requests.txt> [flags]\n";
-      return 2;
+/// One response-in-submission-order slot: already answered (parse
+/// errors, hello acks) or waiting on a service future.
+struct Slot {
+  bool ready = false;
+  net::WireResponse response;           // ready slots
+  std::size_t future_index = 0;         // pending slots
+  std::string id;
+  synth::SweepPoint point;
+};
+
+int run_file_mode(const std::string& requests_path,
+                  const net::CommonOptions& opts) {
+  std::ifstream in(requests_path);
+  CS_REQUIRE(static_cast<bool>(in),
+             "cannot open request file '" + requests_path + "'");
+  const std::string base_dir = dirname_of(requests_path);
+
+  service::SynthService service(opts.service);
+  std::map<std::string, std::shared_ptr<const model::ProblemSpec>> specs;
+  std::vector<Slot> slots;
+  std::vector<std::future<service::ServiceOutcome>> pending;
+  /// Slot counts after which a `metrics` command line asks for a
+  /// snapshot (0 = before any line answered).
+  std::vector<std::size_t> metrics_after;
+  std::uint64_t next_auto_id = 1;
+  util::Stopwatch watch;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    net::ParsedLine parsed;
+    try {
+      parsed = net::RequestCodec::parse_line(line);
+    } catch (const util::Error& e) {
+      Slot slot;
+      slot.ready = true;
+      slot.response = net::RequestCodec::error_response("-", e.what());
+      slots.push_back(std::move(slot));
+      continue;
     }
-    const std::string requests_path = argv[1];
-
-    ServerOptions opts;
-    opts.synthesis.check_time_limit_ms = 20000;
-    opts.service.workers = 2;
-    for (int i = 2; i < argc; ++i) {
-      const std::string flag = argv[i];
-      const auto next = [&]() -> std::string {
-        CS_REQUIRE(i + 1 < argc, "flag " + flag + " needs a value");
-        return argv[++i];
-      };
-      if (flag == "--backend") {
-        opts.synthesis.backend = smt::backend_from_name(next());
-      } else if (flag == "--jobs") {
-        opts.service.workers =
-            static_cast<int>(util::parse_int(next(), "jobs"));
-      } else if (flag == "--queue-limit") {
-        opts.service.queue_limit =
-            static_cast<std::size_t>(util::parse_int(next(), "queue limit"));
-      } else if (flag == "--cache-capacity") {
-        opts.service.cache_capacity = static_cast<std::size_t>(
-            util::parse_int(next(), "cache capacity"));
-      } else if (flag == "--time-limit") {
-        opts.synthesis.check_time_limit_ms =
-            util::parse_int(next(), "time limit");
-      } else if (flag == "--conflict-limit") {
-        opts.synthesis.check_conflict_limit =
-            util::parse_int(next(), "conflict limit");
-      } else if (flag == "--metrics-csv") {
-        opts.metrics_csv = next();
-      } else if (flag == "--metrics-prom") {
-        opts.metrics_prom = next();
-      } else if (flag == "--trace-out") {
-        opts.trace_path = next();
-      } else {
-        throw util::SpecError("unknown flag '" + flag + "'");
-      }
-    }
-
-    // Parse the request file; specs load once per distinct path.
-    std::ifstream in(requests_path);
-    CS_REQUIRE(static_cast<bool>(in),
-               "cannot open request file '" + requests_path + "'");
-    const std::string base_dir = dirname_of(requests_path);
-    std::map<std::string, std::shared_ptr<const model::ProblemSpec>> specs;
-    std::vector<std::pair<std::string, service::ServiceRequest>> requests;
-    /// 1-based request counts after which a `metrics` command line asks
-    /// for a snapshot (0 = before any request completed).
-    std::vector<std::size_t> metrics_after;
-    std::string line;
-    int line_no = 0;
-    while (std::getline(in, line)) {
-      ++line_no;
-      const std::string text = util::trim(line);
-      if (text.empty() || text[0] == '#') continue;
-      const std::vector<std::string> tok = util::split_ws(text);
-      if (tok.size() == 1 && tok[0] == "metrics") {
-        metrics_after.push_back(requests.size());
+    switch (parsed.kind) {
+      case net::LineKind::kBlank:
+        continue;
+      case net::LineKind::kHello: {
+        Slot slot;
+        slot.ready = true;
+        slot.response.status = net::WireStatus::kOk;
+        slot.response.message = std::string(net::RequestCodec::kVersion);
+        slots.push_back(std::move(slot));
         continue;
       }
-      CS_REQUIRE(tok.size() == 5,
-                 "request line " + std::to_string(line_no) +
-                     ": want '<spec.cfg> <objective> <I> <U> <B>' "
-                     "or the command 'metrics'");
-      std::string path = tok[0];
-      if (path[0] != '/') path = base_dir + "/" + path;
-      auto& spec = specs[path];
-      if (!spec) {
-        spec = std::make_shared<const model::ProblemSpec>(
-            model::parse_input_file(path));
+      case net::LineKind::kMetrics:
+        metrics_after.push_back(slots.size());
+        continue;
+      case net::LineKind::kRequest:
+        break;
+    }
+
+    net::WireRequest& request = parsed.request;
+    const std::string id = request.id.empty()
+                               ? std::to_string(next_auto_id++)
+                               : request.id;
+    Slot slot;
+    slot.id = id;
+    slot.point = request.point;
+    try {
+      std::shared_ptr<const model::ProblemSpec> spec;
+      if (request.spec_kind == net::SpecRefKind::kInline) {
+        auto& cached = specs["inline\n" + request.spec];
+        if (!cached) {
+          std::istringstream spec_in(request.spec);
+          cached = std::make_shared<const model::ProblemSpec>(
+              model::parse_input(spec_in));
+        }
+        spec = cached;
+      } else {
+        const std::string path = request.spec[0] == '/'
+                                     ? request.spec
+                                     : base_dir + "/" + request.spec;
+        auto& cached = specs[path];
+        if (!cached)
+          cached = std::make_shared<const model::ProblemSpec>(
+              model::parse_input_file(path));
+        spec = cached;
       }
-      service::ServiceRequest req;
-      req.spec = spec;
-      req.point.objective = objective_from_name(tok[1]);
-      req.point.isolation =
-          util::Fixed::from_double(util::parse_double(tok[2], "isolation"));
-      req.point.usability =
-          util::Fixed::from_double(util::parse_double(tok[3], "usability"));
-      req.point.budget =
-          util::Fixed::from_double(util::parse_double(tok[4], "budget"));
-      req.synthesis = opts.synthesis;
-      requests.emplace_back(tok[0], std::move(req));
+      service::ServiceRequest sreq;
+      sreq.spec = std::move(spec);
+      sreq.point = request.point;
+      sreq.synthesis = opts.synthesis;
+      sreq.deadline_ms = request.deadline_ms;
+      slot.future_index = pending.size();
+      pending.push_back(service.submit(std::move(sreq)));
+    } catch (const util::Error& e) {
+      slot.ready = true;
+      slot.response = net::RequestCodec::error_response(id, e.what());
     }
-    CS_REQUIRE(!requests.empty(), "request file has no requests");
+    slots.push_back(std::move(slot));
+  }
+  CS_REQUIRE(!slots.empty(), "request file has no requests");
 
-    if (!opts.trace_path.empty()) {
-      obs::session().enable();
-      obs::session().set_thread_name("main");
-    }
-    std::signal(SIGINT, handle_signal);
-    std::signal(SIGTERM, handle_signal);
-
-    // Drive the service: submit everything, then collect in order.
-    service::SynthService service(opts.service);
-    std::vector<std::future<service::ServiceOutcome>> pending;
-    pending.reserve(requests.size());
-    util::Stopwatch watch;
-    for (auto& [name, req] : requests)
-      pending.push_back(service.submit(req));
-
-    const auto metrics_snapshot = [&](std::size_t done) {
+  const auto emit_markers = [&](std::size_t done) {
+    for (const std::size_t after : metrics_after) {
+      if (after != done) continue;
       std::cout << "--- metrics after " << done << " request"
                 << (done == 1 ? "" : "s") << " ---\n"
                 << service.metrics().render() << "\n";
-    };
-    const auto emit_markers = [&](std::size_t done) {
-      for (const std::size_t after : metrics_after)
-        if (after == done) metrics_snapshot(done);
-    };
-    emit_markers(0);
+    }
+  };
+  emit_markers(0);
 
-    util::TextTable table({"#", "spec", "objective", "status", "bound",
-                           "source", "probes", "ms"});
-    int failures = 0;
-    bool cancelled = false;
-    for (std::size_t i = 0; i < pending.size(); ++i) {
+  int failures = 0;
+  bool cancelled = false;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    if (!slot.ready) {
+      auto& fut = pending[slot.future_index];
       // Poll instead of blocking so a SIGINT/SIGTERM can cancel the
       // still-queued tail while in-flight solves finish normally.
-      while (pending[i].wait_for(std::chrono::milliseconds(50)) !=
+      while (fut.wait_for(std::chrono::milliseconds(50)) !=
              std::future_status::ready) {
         if (g_interrupted.load() && !cancelled) {
           cancelled = true;
@@ -239,66 +235,106 @@ int main(int argc, char** argv) {
           service.cancel_pending();
         }
       }
-      const service::ServiceOutcome out = pending[i].get();
-      const auto& [name, req] = requests[i];
-      std::string status, bound = "-";
-      if (out.rejected) {
-        status = "rejected";
-        ++failures;
-      } else if (out.result.skipped) {
-        status = "skipped";
-      } else {
-        status = status_name(out.result.status);
-        if (out.result.search.feasible)
-          bound = req.point.objective == synth::SweepObjective::kFeasibility
-                      ? out.result.search.metrics.isolation.to_string()
-                      : out.result.search.bound.to_string();
-        else if (out.result.status == smt::CheckResult::kUnsat &&
-                 !out.result.conflicting.empty()) {
-          bound = "core:";
-          for (const synth::ThresholdKind k : out.result.conflicting)
-            bound += " " + std::string(synth::threshold_name(k));
-        }
-      }
-      table.add_row({std::to_string(i + 1), name,
-                     std::string(sweep_objective_name(req.point.objective)),
-                     status, bound,
-                     out.rejected || out.result.skipped ? "-"
-                     : out.cache_hit ? (out.coalesced ? "coalesced" : "cache")
-                                     : "solved",
-                     std::to_string(out.result.search.probes),
-                     fmt_ms(out.total_ms)});
-      emit_markers(i + 1);
+      slot.response = net::RequestCodec::response_from_outcome(
+          slot.id, slot.point, fut.get());
+      slot.ready = true;
     }
-    const double wall = watch.elapsed_seconds();
+    if (slot.response.status == net::WireStatus::kError ||
+        slot.response.status == net::WireStatus::kRejected)
+      ++failures;
+    std::cout << net::RequestCodec::render_response(slot.response) << "\n";
+    emit_markers(i + 1);
+  }
+  const double wall = watch.elapsed_seconds();
 
-    std::cout << table.render() << "\n"
-              << requests.size() << " requests in " << fmt_ms(wall * 1000)
-              << " ms ("
-              << fmt_ms(static_cast<double>(requests.size()) / wall)
-              << " req/s), " << service.workers() << " workers\n\n"
-              << service.metrics().render();
-    if (!opts.metrics_csv.empty()) {
-      service.metrics().write_csv(opts.metrics_csv);
-      std::cout << "\nmetrics csv written to " << opts.metrics_csv << "\n";
+  std::cout << "\n"
+            << slots.size() << " requests in " << fmt_ms(wall * 1000)
+            << " ms ("
+            << fmt_ms(static_cast<double>(slots.size()) / wall)
+            << " req/s), " << service.workers() << " workers\n\n";
+  dump_metrics(service.metrics(), opts);
+  if (cancelled) return 130;  // conventional fatal-signal exit
+  return failures == 0 ? 0 : 1;
+}
+
+int run_tcp_mode(int port, const std::string& spec_root,
+                 const net::CommonOptions& opts) {
+  net::ServerConfig config;
+  config.port = port;
+  config.spec_root = spec_root;
+  config.service = opts.service;
+  config.synthesis = opts.synthesis;
+  net::TcpServer server(std::move(config));
+
+  const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  CS_ENSURE(efd >= 0, "eventfd failed");
+  g_signal_fd.store(efd);
+  server.drain_on(efd);
+
+  std::cout << "listening on 127.0.0.1:" << server.port()
+            << " (cs-req-v1; HTTP GET /metrics on the same port)\n"
+            << std::flush;
+  server.run();  // returns once a drain completes
+
+  g_signal_fd.store(-1);
+  ::close(efd);
+  std::cout << "\ndrained; final metrics:\n\n";
+  dump_metrics(server.metrics(), opts);
+  return g_interrupted.load() ? 130 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    net::CommonOptions opts;
+    opts.synthesis.check_time_limit_ms = 20000;
+    opts.service.workers = 2;
+    std::string requests_path;
+    std::string spec_root = ".";
+    int listen_port = -1;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto next = [&]() -> std::string {
+        CS_REQUIRE(i + 1 < argc, "flag " + flag + " needs a value");
+        return argv[++i];
+      };
+      if (net::consume_common_flag(opts, argc, argv, i)) {
+        continue;
+      } else if (flag == "--listen") {
+        listen_port =
+            static_cast<int>(util::parse_int(next(), "listen port"));
+        CS_REQUIRE(listen_port >= 0 && listen_port <= 65535,
+                   "--listen wants a port in [0, 65535]");
+      } else if (flag == "--spec-root") {
+        spec_root = next();
+      } else if (!flag.empty() && flag[0] != '-' && requests_path.empty()) {
+        requests_path = flag;
+      } else {
+        throw util::SpecError("unknown flag '" + flag + "'");
+      }
     }
-    if (!opts.metrics_prom.empty()) {
-      std::ofstream prom(opts.metrics_prom);
-      CS_REQUIRE(static_cast<bool>(prom), "cannot open metrics-prom file '" +
-                                              opts.metrics_prom + "'");
-      prom << service.metrics().render_prometheus();
-      std::cout << "metrics prometheus written to " << opts.metrics_prom
-                << "\n";
+    if (listen_port < 0 && requests_path.empty()) {
+      std::cerr << "usage: " << argv[0] << " <requests.txt> [flags]\n"
+                << "       " << argv[0]
+                << " --listen <port> [--spec-root <dir>] [flags]\n"
+                << "common flags:\n"
+                << net::common_flags_help();
+      return 2;
     }
+    CS_REQUIRE(listen_port < 0 || requests_path.empty(),
+               "--listen and a request file are mutually exclusive");
+
     if (!opts.trace_path.empty()) {
-      // All futures have resolved and the pool is idle, so the export
-      // cannot race with recording.
-      obs::session().disable();
-      obs::session().write_json(opts.trace_path);
-      std::cout << "trace written to " << opts.trace_path << "\n";
+      obs::session().enable();
+      obs::session().set_thread_name("main");
     }
-    if (cancelled) return 130;  // conventional fatal-signal exit
-    return failures == 0 ? 0 : 1;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    return listen_port >= 0 ? run_tcp_mode(listen_port, spec_root, opts)
+                            : run_file_mode(requests_path, opts);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

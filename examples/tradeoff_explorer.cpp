@@ -4,19 +4,20 @@
 // interactive version of the paper's Fig. 3(a) analysis, runnable on any
 // generated network.
 //
-// Usage: tradeoff_explorer [z3|minipb] [hosts] [routers] [seed] [--jobs N]
-//                          [--trace-out <file>]
+// Usage: tradeoff_explorer [z3|minipb] [hosts] [routers] [seed] [flags]
 //
-// The sweep runs on one worker per hardware thread by default; --jobs 1
-// forces a serial run (the results are identical either way).
-// --trace-out records a Chrome-trace-event JSON timeline (per-worker
-// sweep-point spans; open in Perfetto).
+// Flags are the shared surface of net/options.h (the positional backend,
+// when given, wins over --backend; --jobs picks the sweep workers, 0 = one per
+// hardware thread and 1 forces a serial run with identical results;
+// --time-limit/--conflict-limit cap each probe; --trace-out records a
+// Chrome-trace-event JSON timeline with per-worker sweep-point spans).
 #include <iostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "model/spec.h"
+#include "net/options.h"
 #include "obs/trace.h"
 #include "synth/frontier.h"
 #include "synth/synthesizer.h"
@@ -27,27 +28,21 @@ int main(int argc, char** argv) {
   using namespace cs;
   try {
     // Split off the flags, keep the positional arguments.
-    int jobs = 0;  // 0 = one worker per hardware thread
-    std::string trace_path;
+    net::CommonOptions opts;
+    opts.synthesis.check_time_limit_ms = 20000;  // boundary probes are hard
+    opts.service.workers = 0;  // one sweep worker per hardware thread
     std::vector<std::string_view> args;
     for (int i = 1; i < argc; ++i) {
-      if (std::string_view(argv[i]) == "--jobs" && i + 1 < argc) {
-        jobs = static_cast<int>(util::parse_int(argv[++i], "--jobs"));
-      } else if (std::string_view(argv[i]) == "--trace-out" && i + 1 < argc) {
-        trace_path = argv[++i];
-      } else {
-        args.push_back(argv[i]);
-      }
+      if (net::consume_common_flag(opts, argc, argv, i)) continue;
+      args.push_back(argv[i]);
     }
-    if (!trace_path.empty()) {
+    if (!opts.trace_path.empty()) {
       obs::session().enable();
       obs::session().set_thread_name("main");
     }
 
-    synth::SynthesisOptions options;
-    options.check_time_limit_ms = 20000;  // boundary probes are hard
     if (args.size() > 0)
-      options.backend = smt::backend_from_name(std::string(args[0]));
+      opts.synthesis.backend = smt::backend_from_name(std::string(args[0]));
     const int hosts =
         args.size() > 1
             ? static_cast<int>(util::parse_int(args[1], "hosts"))
@@ -79,16 +74,16 @@ int main(int argc, char** argv) {
     synth::FrontierOptions fopts =
         synth::FrontierOptions::fig3_defaults(util::Fixed::from_int(60),
                                               util::Fixed::from_int(150));
-    fopts.jobs = jobs;
-    const auto points = synth::explore_frontier(spec, options, fopts);
+    fopts.jobs = opts.service.workers;
+    const auto points = synth::explore_frontier(spec, opts.synthesis, fopts);
     std::cout << synth::render_frontier(points);
     std::cout << "\nReading: isolation falls as the usability floor rises; "
                  "the larger budget dominates row by row (paper Fig. 3a). "
                  "A '+' marks a capped probe (value is a lower bound).\n";
-    if (!trace_path.empty()) {
+    if (!opts.trace_path.empty()) {
       obs::session().disable();
-      obs::session().write_json(trace_path);
-      std::cout << "trace written to " << trace_path << "\n";
+      obs::session().write_json(opts.trace_path);
+      std::cout << "trace written to " << opts.trace_path << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

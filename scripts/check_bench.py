@@ -1,43 +1,64 @@
 #!/usr/bin/env python3
-"""Validate BENCH_solver.json (schema cs-bench-solver-v1) and optionally
-compare it against a committed baseline.
+"""Validate a bench JSON artifact and optionally compare it against a
+committed baseline. The artifact's top-level "schema" field selects the
+validator:
 
-Usage: check_bench.py <BENCH_solver.json> [--baseline <baseline.json>]
+  cs-bench-solver-v1  (BENCH_solver.json, bench_solver_core)
+  cs-bench-load-v1    (BENCH_load.json, bench_load)
+
+Usage: check_bench.py <bench.json> [--baseline <baseline.json>]
 
 Schema checks (stdlib json only; exit 2 on failure — the emitter broke):
-  * top-level "schema" equals "cs-bench-solver-v1", "runs" is a
-    non-empty array;
-  * every run carries workload/pb_mode/phase plus numeric points,
-    wall_seconds, conflicts, propagations, conflicts_per_sec,
-    propagations_per_sec, peak_rss_bytes;
+
+cs-bench-solver-v1:
+  * "runs" is a non-empty array; every run carries workload/pb_mode/phase
+    plus numeric points, wall_seconds, conflicts, propagations,
+    conflicts_per_sec, propagations_per_sec, peak_rss_bytes;
   * pb_mode is watched|counter, phase is cold|warm, counts are
-    non-negative, and (workload, pb_mode, phase) keys are unique;
+    non-negative, (workload, pb_mode, phase) keys are unique;
   * the stated rates agree with conflicts/wall and propagations/wall.
+
+cs-bench-load-v1:
+  * "runs" is a non-empty array; every run carries backend/mode strings
+    plus numeric dup_pct, connections, requests, rejected, errors,
+    wall_seconds, req_per_sec, p50_ms, p99_ms, hit_rate_pct;
+  * mode is closed|open, dup_pct and hit_rate_pct lie in [0, 100],
+    p50_ms <= p99_ms, errors == 0 (rejected may be positive: open-loop
+    bursts past the admission queue are turned away by design),
+    (backend, dup_pct, mode) keys are unique;
+  * req_per_sec agrees with requests/wall_seconds.
 
 Baseline comparison (exit 1 on regression — machine-speed dependent, so
 callers treat it as a warning, not a gate):
-  * runs are matched to baseline runs by (workload, pb_mode, phase);
-  * a matched run whose conflicts_per_sec falls below baseline/1.5 is
-    flagged, likewise propagations_per_sec. Runs with fewer than 1000
-    conflicts (resp. 100000 propagations) are skipped — the rate of a
-    near-idle run is noise, not throughput;
-  * runs missing from the baseline (new workloads) are reported but not
-    flagged.
+  * runs are matched to baseline runs by their key;
+  * solver: a matched run whose conflicts_per_sec (propagations_per_sec)
+    falls below baseline/1.5 is flagged; runs under 1000 conflicts
+    (100000 propagations) are skipped — near-idle rates are noise;
+  * load: a matched run whose req_per_sec falls below baseline/1.5 is
+    flagged; runs under 50 requests are skipped;
+  * runs missing from the baseline are reported but not flagged.
 
 Exit code 0 when the schema is valid and no regression was flagged.
 """
 import json
 import sys
 
-SCHEMA = "cs-bench-solver-v1"
 REGRESSION_FACTOR = 1.5
 MIN_CONFLICTS = 1000
 MIN_PROPAGATIONS = 100_000
+MIN_REQUESTS = 50
 
-REQUIRED_STR = ("workload", "pb_mode", "phase")
-REQUIRED_NUM = ("points", "wall_seconds", "conflicts", "propagations",
-                "conflicts_per_sec", "propagations_per_sec",
-                "peak_rss_bytes")
+SOLVER_SCHEMA = "cs-bench-solver-v1"
+LOAD_SCHEMA = "cs-bench-load-v1"
+
+SOLVER_STR = ("workload", "pb_mode", "phase")
+SOLVER_NUM = ("points", "wall_seconds", "conflicts", "propagations",
+              "conflicts_per_sec", "propagations_per_sec",
+              "peak_rss_bytes")
+LOAD_STR = ("backend", "mode")
+LOAD_NUM = ("dup_pct", "connections", "requests", "rejected", "errors",
+            "wall_seconds", "req_per_sec", "p50_ms", "p99_ms",
+            "hit_rate_pct")
 
 
 def schema_fail(msg):
@@ -53,25 +74,42 @@ def load(path):
         schema_fail(f"{path}: {e}")
 
 
-def validate(doc, path):
-    if doc.get("schema") != SCHEMA:
-        schema_fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+def check_runs(doc, path):
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:
         schema_fail(f"{path}: 'runs' must be a non-empty array")
+    return runs
+
+
+def check_fields(run, where, str_fields, num_fields):
+    if not isinstance(run, dict):
+        schema_fail(f"{where}: not an object")
+    for field in str_fields:
+        if not isinstance(run.get(field), str) or not run[field]:
+            schema_fail(f"{where}: missing string field {field!r}")
+    for field in num_fields:
+        if not isinstance(run.get(field), (int, float)):
+            schema_fail(f"{where}: missing numeric field {field!r}")
+        if run[field] < 0:
+            schema_fail(f"{where}: negative {field}")
+
+
+def check_rate(run, where, count, rate, wall="wall_seconds"):
+    """The stated rate must agree with count/wall (1% tolerance)."""
+    if run[wall] <= 0:
+        return
+    stated = run[rate]
+    actual = run[count] / run[wall]
+    if abs(stated - actual) > max(1.0, 0.01 * actual):
+        schema_fail(f"{where}: {rate} {stated} != {count}/wall "
+                    f"{actual:.1f}")
+
+
+def validate_solver(doc, path):
     keyed = {}
-    for i, run in enumerate(runs):
+    for i, run in enumerate(check_runs(doc, path)):
         where = f"{path}: runs[{i}]"
-        if not isinstance(run, dict):
-            schema_fail(f"{where}: not an object")
-        for field in REQUIRED_STR:
-            if not isinstance(run.get(field), str) or not run[field]:
-                schema_fail(f"{where}: missing string field {field!r}")
-        for field in REQUIRED_NUM:
-            if not isinstance(run.get(field), (int, float)):
-                schema_fail(f"{where}: missing numeric field {field!r}")
-            if run[field] < 0:
-                schema_fail(f"{where}: negative {field}")
+        check_fields(run, where, SOLVER_STR, SOLVER_NUM)
         if run["pb_mode"] not in ("watched", "counter"):
             schema_fail(f"{where}: pb_mode {run['pb_mode']!r}")
         if run["phase"] not in ("cold", "warm"):
@@ -80,16 +118,51 @@ def validate(doc, path):
         if key in keyed:
             schema_fail(f"{where}: duplicate run key {key}")
         keyed[key] = run
-        # The stated rates must agree with the raw counts.
-        if run["wall_seconds"] > 0:
-            for count, rate in (("conflicts", "conflicts_per_sec"),
-                                ("propagations", "propagations_per_sec")):
-                stated = run[rate]
-                actual = run[count] / run["wall_seconds"]
-                if abs(stated - actual) > max(1.0, 0.01 * actual):
-                    schema_fail(f"{where}: {rate} {stated} != {count}/wall "
-                                f"{actual:.1f}")
+        check_rate(run, where, "conflicts", "conflicts_per_sec")
+        check_rate(run, where, "propagations", "propagations_per_sec")
     return keyed
+
+
+def validate_load(doc, path):
+    keyed = {}
+    for i, run in enumerate(check_runs(doc, path)):
+        where = f"{path}: runs[{i}]"
+        check_fields(run, where, LOAD_STR, LOAD_NUM)
+        if run["mode"] not in ("closed", "open"):
+            schema_fail(f"{where}: mode {run['mode']!r}")
+        for pct in ("dup_pct", "hit_rate_pct"):
+            if not 0 <= run[pct] <= 100:
+                schema_fail(f"{where}: {pct} {run[pct]} outside [0, 100]")
+        if run["p50_ms"] > run["p99_ms"]:
+            schema_fail(f"{where}: p50_ms {run['p50_ms']} > p99_ms "
+                        f"{run['p99_ms']}")
+        if run["errors"] != 0:
+            schema_fail(f"{where}: {run['errors']} request(s) errored")
+        key = (run["backend"], run["dup_pct"], run["mode"])
+        if key in keyed:
+            schema_fail(f"{where}: duplicate run key {key}")
+        keyed[key] = run
+        check_rate(run, where, "requests", "req_per_sec")
+    return keyed
+
+
+def compare(current, baseline, rate_floors):
+    """Flags matched runs whose rate fell below baseline/REGRESSION_FACTOR.
+    rate_floors: (count_field, rate_field, min_count) triples."""
+    regressions = []
+    for key, run in sorted(current.items(), key=lambda kv: str(kv[0])):
+        base = baseline.get(key)
+        if base is None:
+            print(f"check_bench: note: {key} not in baseline (new run)")
+            continue
+        for count, rate, floor in rate_floors:
+            if run[count] < floor or base[count] < floor:
+                continue
+            if run[rate] * REGRESSION_FACTOR < base[rate]:
+                regressions.append(
+                    f"{key}: {rate} {run[rate]:.0f} < baseline "
+                    f"{base[rate]:.0f}/{REGRESSION_FACTOR}")
+    return regressions
 
 
 def main():
@@ -105,27 +178,31 @@ def main():
             sys.exit(2)
         baseline_path = args[2]
 
-    current = validate(load(path), path)
-    print(f"check_bench: {path}: schema OK ({len(current)} runs)")
+    doc = load(path)
+    schema = doc.get("schema")
+    if schema == SOLVER_SCHEMA:
+        validate = validate_solver
+        rate_floors = (("conflicts", "conflicts_per_sec", MIN_CONFLICTS),
+                       ("propagations", "propagations_per_sec",
+                        MIN_PROPAGATIONS))
+    elif schema == LOAD_SCHEMA:
+        validate = validate_load
+        rate_floors = (("requests", "req_per_sec", MIN_REQUESTS),)
+    else:
+        schema_fail(f"{path}: unknown schema {schema!r} "
+                    f"(want {SOLVER_SCHEMA!r} or {LOAD_SCHEMA!r})")
+
+    current = validate(doc, path)
+    print(f"check_bench: {path}: {schema} schema OK ({len(current)} runs)")
     if baseline_path is None:
         return
 
-    baseline = validate(load(baseline_path), baseline_path)
-    regressions = []
-    for key, run in sorted(current.items()):
-        base = baseline.get(key)
-        if base is None:
-            print(f"check_bench: note: {key} not in baseline (new workload)")
-            continue
-        for count, rate, floor in (
-                ("conflicts", "conflicts_per_sec", MIN_CONFLICTS),
-                ("propagations", "propagations_per_sec", MIN_PROPAGATIONS)):
-            if run[count] < floor or base[count] < floor:
-                continue
-            if run[rate] * REGRESSION_FACTOR < base[rate]:
-                regressions.append(
-                    f"{key}: {rate} {run[rate]:.0f} < baseline "
-                    f"{base[rate]:.0f}/{REGRESSION_FACTOR}")
+    baseline_doc = load(baseline_path)
+    if baseline_doc.get("schema") != schema:
+        schema_fail(f"{baseline_path}: baseline schema "
+                    f"{baseline_doc.get('schema')!r} != {schema!r}")
+    baseline = validate(baseline_doc, baseline_path)
+    regressions = compare(current, baseline, rate_floors)
     if regressions:
         for r in regressions:
             print(f"check_bench: REGRESSION: {r}", file=sys.stderr)

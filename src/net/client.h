@@ -1,0 +1,45 @@
+// A small blocking TCP client for cs-req-v1 endpoints.
+//
+// Used by the loopback integration tests and the bench_load generator;
+// deliberately synchronous — one connection per thread, lines in, lines
+// out — so client code reads like the protocol transcript it produces.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace cs::net {
+
+class BlockingClient {
+ public:
+  /// Connects (throws util::Error on failure).
+  BlockingClient(const std::string& host, int port);
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+
+  /// Sends `line` plus the terminating '\n'.
+  void send_line(const std::string& line);
+  /// Sends raw bytes (HTTP requests).
+  void send_raw(const std::string& bytes);
+
+  /// Blocks for the next '\n'-terminated line ('\r' stripped);
+  /// std::nullopt on orderly EOF.
+  std::optional<std::string> recv_line();
+  /// Reads until EOF (HTTP responses with Connection: close).
+  std::string recv_all();
+
+  /// Half-closes the write side (the server sees EOF, finishes
+  /// in-flight work, responds, then closes).
+  void shutdown_write();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace cs::net

@@ -1,0 +1,114 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace cs::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  CS_ENSURE(epoll_fd_ >= 0,
+            std::string("epoll_create1: ") + std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  CS_ENSURE(wake_fd_ >= 0, std::string("eventfd: ") + std::strerror(errno));
+  add_fd(wake_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t ticks = 0;
+    // Drain the counter; posted tasks run from the run() loop body.
+    while (::read(wake_fd_, &ticks, sizeof(ticks)) == sizeof(ticks)) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, IoHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  CS_ENSURE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+            std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  handlers_[fd] = std::make_shared<IoHandler>(std::move(handler));
+}
+
+void EventLoop::set_events(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  CS_ENSURE(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+            std::string("epoll_ctl(MOD): ") + std::strerror(errno));
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the result is unused.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::run() {
+  std::array<epoll_event, 64> events;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::InternalError(std::string("epoll_wait: ") +
+                                std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      // Look the handler up per event: an earlier handler in this batch
+      // may have removed this fd (connection close), in which case the
+      // event is stale and must be dropped.
+      const auto it = handlers_.find(events[static_cast<std::size_t>(i)]
+                                         .data.fd);
+      if (it == handlers_.end()) continue;
+      const std::shared_ptr<IoHandler> handler = it->second;
+      (*handler)(events[static_cast<std::size_t>(i)].events);
+    }
+    drain_posted();
+  }
+  // Run tasks that raced with stop() so completions are never silently
+  // dropped while the owner is still alive.
+  drain_posted();
+}
+
+}  // namespace cs::net

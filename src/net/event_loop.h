@@ -1,0 +1,73 @@
+// A minimal single-threaded epoll reactor.
+//
+// One `EventLoop` owns one epoll instance and runs on exactly one thread
+// (the thread that calls `run()`). Everything registered with the loop —
+// listener sockets, connections, timer/eventfd wakeups — is dispatched
+// on that thread, so connection state never needs a lock. The only two
+// thread-safe entry points are `post()` (queue a task for the loop
+// thread, used by service workers to hand completed solves back) and
+// `stop()`; both wake the loop through an eventfd, which is also
+// async-signal-safe, so signal handlers may call `wake()` directly.
+//
+// Lifetime rules: `add_fd`/`set_events`/`remove_fd` must be called on
+// the loop thread (or before `run()` starts). The loop never closes a
+// registered fd — the handler's owner does, after `remove_fd`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cs::net {
+
+class EventLoop {
+ public:
+  /// Called with the ready epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using IoHandler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events`; `handler` runs on the loop thread.
+  void add_fd(int fd, std::uint32_t events, IoHandler handler);
+  /// Changes the interest mask of a registered fd.
+  void set_events(int fd, std::uint32_t events);
+  /// Deregisters; the handler is dropped (pending events are ignored).
+  void remove_fd(int fd);
+
+  /// Queues `task` to run on the loop thread; wakes the loop.
+  /// Thread-safe. Tasks queued after the loop stopped run never.
+  void post(std::function<void()> task);
+
+  /// Runs until `stop()`; dispatches events and posted tasks.
+  void run();
+
+  /// Requests `run()` to return after the current iteration. Thread-safe.
+  void stop();
+
+  /// Writes one tick to the wake eventfd. Async-signal-safe.
+  void wake();
+
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+ private:
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+  // shared_ptr so a handler that removes itself (or another fd) while
+  // being dispatched never frees the std::function it is running inside.
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+};
+
+}  // namespace cs::net

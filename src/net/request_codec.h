@@ -1,0 +1,155 @@
+// cs-req-v1 — the versioned wire protocol of the synthesis service.
+//
+// One request or response per line, UTF-8, '\n'-terminated ('\r' before
+// the terminator is tolerated and stripped). The same codec parses the
+// server's request *files* and its TCP connections, byte for byte, so
+// the two front-ends can never drift; docs/PROTOCOL.md is the normative
+// grammar. Summary:
+//
+//   line     := blank | comment | hello | command | request
+//   comment  := '#' ...                      (ignored)
+//   hello    := "cs-req-v1"                  (version announcement)
+//   command  := "metrics"                    (request-file snapshot marker)
+//   request  := spec-ref SP objective SP isolation SP usability SP budget
+//               (SP option)*
+//   spec-ref := "inline:" base64 | "file:" path | path
+//   option   := "id=" token | "deadline=" milliseconds
+//
+// Responses echo the request id so keep-alive clients can pipeline:
+//
+//   response := "cs-resp-v1" SP "id=" token SP "status=" status (SP field)*
+//   status   := sat | unsat | unknown | rejected | skipped | ok | error
+//   fields   := reject= | source= | bound= | core= | probes= | ms= | msg=
+//
+// `msg=`, when present, is always the last field and swallows the rest
+// of the line (error text may contain spaces). Unknown protocol versions
+// ("cs-req-v2", ...) parse to a structured error, never to a skipped
+// line — a misdialed client always gets an answer it can read.
+//
+// Parsing throws util::SpecError with context on malformed input; the
+// server layers catch it and answer with a kError response.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/synth_service.h"
+#include "synth/sweep.h"
+
+namespace cs::net {
+
+/// How a request names its ProblemSpec.
+enum class SpecRefKind {
+  kFile,    ///< path resolved against the server's spec root / file dir
+  kInline,  ///< base64 of a Table IV input file, self-contained
+};
+
+/// One parsed request line.
+struct WireRequest {
+  /// Client-chosen request id echoed in the response; empty = none given
+  /// (servers assign a per-connection sequence number).
+  std::string id;
+  synth::SweepPoint point;
+  SpecRefKind spec_kind = SpecRefKind::kFile;
+  /// kFile: the path as written (not yet resolved). kInline: the decoded
+  /// Table IV text.
+  std::string spec;
+  /// Wall-clock budget from admission in ms (0 = none).
+  std::int64_t deadline_ms = 0;
+
+  bool operator==(const WireRequest&) const = default;
+};
+
+/// Everything one line can be.
+enum class LineKind {
+  kBlank,    ///< empty or comment — no response
+  kHello,    ///< "cs-req-v1" version announcement
+  kMetrics,  ///< "metrics" snapshot command (request files only)
+  kRequest,
+};
+
+struct ParsedLine {
+  LineKind kind = LineKind::kBlank;
+  WireRequest request;  // meaningful for kRequest only
+};
+
+/// Response status vocabulary (superset of smt::CheckResult: the service
+/// can also turn a request away or fail to parse it).
+enum class WireStatus {
+  kSat,
+  kUnsat,
+  kUnknown,
+  kRejected,  ///< admission control said no (see reject)
+  kSkipped,   ///< deadline expired / cancelled before solving
+  kOk,        ///< hello acknowledgements
+  kError,     ///< malformed line or internal failure (see msg)
+};
+
+std::string_view wire_status_name(WireStatus status);
+
+/// One parsed or to-be-rendered response line.
+struct WireResponse {
+  std::string id;
+  WireStatus status = WireStatus::kError;
+  service::RejectReason reject = service::RejectReason::kNone;
+  /// "solved", "cache" or "coalesced" for answered requests; empty
+  /// otherwise.
+  std::string source;
+  /// Converged bound / achieved isolation rendering ("-" convention of
+  /// the server table is spelled as absence here).
+  std::string bound;
+  /// UNSAT threshold core, empty unless status=unsat with a core.
+  std::vector<synth::ThresholdKind> core;
+  std::int64_t probes = 0;
+  /// Enqueue → completion, milliseconds (one decimal on the wire).
+  double total_ms = 0;
+  bool has_ms = false;
+  /// Error / diagnostic text; rendered last, may contain spaces.
+  std::string message;
+
+  bool operator==(const WireResponse&) const = default;
+};
+
+/// The cs-req-v1 codec. Stateless; all members are pure functions.
+class RequestCodec {
+ public:
+  /// Protocol version string — the hello line, and the prefix of every
+  /// response line.
+  static constexpr std::string_view kVersion = "cs-req-v1";
+  static constexpr std::string_view kResponseTag = "cs-resp-v1";
+
+  /// Parses one request-side line (file or socket). Throws
+  /// util::SpecError on malformed input — including unsupported
+  /// "cs-req-vN" versions, so callers can answer with a structured
+  /// error instead of dropping the line.
+  static ParsedLine parse_line(std::string_view line);
+
+  /// Renders a request in canonical form (round-trips through
+  /// parse_line: parse(render(r)).request == r).
+  static std::string render_request(const WireRequest& request);
+
+  /// Renders a response line (no trailing newline).
+  static std::string render_response(const WireResponse& response);
+
+  /// Parses a response line (clients, tests). Throws util::SpecError on
+  /// malformed input.
+  static WireResponse parse_response(std::string_view line);
+
+  /// Builds the response for a finished service request.
+  static WireResponse response_from_outcome(
+      std::string id, const synth::SweepPoint& point,
+      const service::ServiceOutcome& outcome);
+
+  /// Builds the error response for a line that failed to parse/execute.
+  static WireResponse error_response(std::string id, std::string message);
+
+  /// Standard base64 (RFC 4648, '=' padding) — how inline specs travel.
+  static std::string base64_encode(std::string_view bytes);
+  /// Throws util::SpecError on non-base64 input.
+  static std::string base64_decode(std::string_view text);
+};
+
+}  // namespace cs::net

@@ -24,6 +24,20 @@ const char* backend_tag(smt::BackendKind kind) {
 
 }  // namespace
 
+std::string_view reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "";
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kDeadlineExpired:
+      return "deadline-expired";
+    case RejectReason::kCancelled:
+      return "cancelled";
+  }
+  return "";
+}
+
 void SynthService::record_solver_effort(const synth::SweepPointResult& r,
                                         smt::BackendKind backend) {
   metrics_.counter("solver_probes_total").add(r.search.probes);
@@ -132,9 +146,20 @@ std::size_t SynthService::warm_pool_size() const {
 }
 
 std::future<ServiceOutcome> SynthService::submit(ServiceRequest request) {
-  metrics_.counter("requests_total").inc();
   auto promise = std::make_shared<std::promise<ServiceOutcome>>();
   std::future<ServiceOutcome> future = promise->get_future();
+  submit(std::move(request),
+         [promise](ServiceOutcome outcome, std::exception_ptr error) {
+           if (error)
+             promise->set_exception(error);
+           else
+             promise->set_value(std::move(outcome));
+         });
+  return future;
+}
+
+void SynthService::submit(ServiceRequest request, Completion done) {
+  metrics_.counter("requests_total").inc();
 
   // Admission control: bounded queue, explicit rejection. Checked and
   // reserved under the mutex so concurrent submitters can never
@@ -143,10 +168,12 @@ std::future<ServiceOutcome> SynthService::submit(ServiceRequest request) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (queued_ >= config_.queue_limit) {
       metrics_.counter("rejected").inc();
+      metrics_.counter("rejected_queue_full").inc();
       ServiceOutcome out;
       out.rejected = true;
-      promise->set_value(std::move(out));
-      return future;
+      out.reject_reason = RejectReason::kQueueFull;
+      done(std::move(out), nullptr);
+      return;
     }
     ++queued_;
   }
@@ -154,8 +181,8 @@ std::future<ServiceOutcome> SynthService::submit(ServiceRequest request) {
   const std::uint64_t request_id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
   util::Stopwatch watch;  // request clock: starts at enqueue
-  auto task = [this, promise, request = std::move(request), request_id,
-               watch]() {
+  auto task = [this, done = std::move(done), request = std::move(request),
+               request_id, watch]() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --queued_;
@@ -175,13 +202,12 @@ std::future<ServiceOutcome> SynthService::submit(ServiceRequest request) {
     }
     if (config_.on_start) config_.on_start(request);
     try {
-      promise->set_value(execute(request, request_id, queue_ms, watch));
+      done(execute(request, request_id, queue_ms, watch), nullptr);
     } catch (...) {
-      promise->set_exception(std::current_exception());
+      done(ServiceOutcome{}, std::current_exception());
     }
   };
   pool_->submit(std::move(task));
-  return future;
 }
 
 ServiceOutcome SynthService::execute(const ServiceRequest& request,
@@ -207,15 +233,22 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
            (request.cancel != nullptr &&
             request.cancel->load(std::memory_order_relaxed));
   };
-  const auto skip = [&]() -> ServiceOutcome& {
+  const auto skip = [&](RejectReason reason) -> ServiceOutcome& {
     metrics_.counter("skipped").inc();
+    metrics_
+        .counter(reason == RejectReason::kCancelled ? "skipped_cancelled"
+                                                    : "skipped_deadline")
+        .inc();
+    out.reject_reason = reason;
     out.result.point = request.point;
     out.result.skipped = true;
     out.result.search.exact = false;
     return finish();
   };
 
-  if (expired() || cancelled()) return skip();
+  if (expired())
+    return skip(RejectReason::kDeadlineExpired);
+  if (cancelled()) return skip(RejectReason::kCancelled);
 
   // Single-flight loop: serve from cache, else wait for an identical
   // in-flight request, else solve and publish. A waiter re-checks the
@@ -285,7 +318,8 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
     return left > 0 ? left : -1;
   };
   std::int64_t left = remaining();
-  if (request.deadline_ms != 0 && left < 0) return skip();
+  if (request.deadline_ms != 0 && left < 0)
+    return skip(RejectReason::kDeadlineExpired);
 
   const bool warm_eligible =
       config_.warm_pool_limit > 0 &&

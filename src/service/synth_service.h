@@ -49,6 +49,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -79,6 +80,21 @@ struct ServiceRequest {
   const std::atomic<bool>* cancel = nullptr;
 };
 
+/// Machine-readable reason a request was turned away without a solve.
+/// kQueueFull accompanies `rejected`; kDeadlineExpired / kCancelled
+/// accompany `result.skipped`. Wire responses (net/request_codec.h) and
+/// the per-reason metrics counters carry these names verbatim.
+enum class RejectReason {
+  kNone,
+  kQueueFull,
+  kDeadlineExpired,
+  kCancelled,
+};
+
+/// Stable wire spelling ("queue-full", "deadline-expired", "cancelled";
+/// empty for kNone).
+std::string_view reject_reason_name(RejectReason reason);
+
 /// Outcome of one request. `result` is a full sweep-point result (bound
 /// search or feasibility verdict, metrics, design, UNSAT core); the
 /// flags tell how it was obtained.
@@ -86,6 +102,10 @@ struct ServiceOutcome {
   /// True when admission control rejected the request (queue full). No
   /// solving happened; `result` is empty with kUnknown status.
   bool rejected = false;
+  /// Why the request produced no solve: kQueueFull when `rejected`,
+  /// kDeadlineExpired / kCancelled when `result.skipped`, kNone for
+  /// answered requests.
+  RejectReason reject_reason = RejectReason::kNone;
   /// True when the result came from the cache (zero solver probes).
   bool cache_hit = false;
   /// True when an identical request was already in flight and this one
@@ -141,6 +161,18 @@ class SynthService {
   /// util::Error for malformed requests (bad options), mirroring
   /// SweepEngine::run.
   std::future<ServiceOutcome> submit(ServiceRequest request);
+
+  /// A request completion: the outcome, or the exception the solve threw
+  /// (exactly one is meaningful — `error` is null on success).
+  using Completion =
+      std::function<void(ServiceOutcome outcome, std::exception_ptr error)>;
+
+  /// Callback flavor of submit for event-driven callers (the TCP
+  /// front-end): `done` is invoked exactly once — on the worker thread
+  /// that executed the request, or on the submitting thread when
+  /// admission control rejects it immediately. The callback must not
+  /// block the worker; post to your own loop and return.
+  void submit(ServiceRequest request, Completion done);
 
   /// Convenience: submit and wait.
   ServiceOutcome solve(ServiceRequest request) {

@@ -86,6 +86,8 @@ struct SweepPoint {
   util::Fixed isolation;
   util::Fixed usability;
   util::Fixed budget;
+
+  bool operator==(const SweepPoint&) const = default;
 };
 
 /// A grid of independent probes against one shared ProblemSpec.

@@ -438,11 +438,16 @@ TEST(SynthServiceMiniPb, QueueOverflowRejectsDeterministically) {
   // so it provably never blocked on solving.
   const ServiceOutcome over = rejected.get();
   EXPECT_TRUE(over.rejected);
+  EXPECT_EQ(over.reject_reason, RejectReason::kQueueFull);
+  EXPECT_EQ(reject_reason_name(over.reject_reason), "queue-full");
   EXPECT_EQ(over.result.status, CheckResult::kUnknown);
   EXPECT_EQ(service.metrics().counter_value("rejected"), 1);
+  EXPECT_EQ(service.metrics().counter_value("rejected_queue_full"), 1);
 
   gate.release();
-  EXPECT_FALSE(running.get().rejected);
+  const ServiceOutcome ran = running.get();
+  EXPECT_FALSE(ran.rejected);
+  EXPECT_EQ(ran.reject_reason, RejectReason::kNone);
   EXPECT_FALSE(queued_a.get().rejected);
   EXPECT_FALSE(queued_b.get().rejected);
   EXPECT_EQ(service.metrics().counter_value("requests_total"), 4);
@@ -458,8 +463,10 @@ TEST(SynthServiceMiniPb, ExpiredDeadlineSkipsWithoutSolving) {
   const ServiceOutcome out = service.solve(req);
   EXPECT_FALSE(out.rejected);
   EXPECT_TRUE(out.result.skipped);
+  EXPECT_EQ(out.reject_reason, RejectReason::kDeadlineExpired);
   EXPECT_EQ(out.result.status, CheckResult::kUnknown);
   EXPECT_EQ(service.metrics().counter_value("solver_probes_total"), 0);
+  EXPECT_EQ(service.metrics().counter_value("skipped_deadline"), 1);
   // Skipped results must not poison the cache.
   req.deadline_ms = 0;
   const ServiceOutcome solved = service.solve(req);
@@ -477,7 +484,9 @@ TEST(SynthServiceMiniPb, CancellationTokenSkipsPendingRequests) {
   req.cancel = &cancel;
   const ServiceOutcome out = service.solve(req);
   EXPECT_TRUE(out.result.skipped);
+  EXPECT_EQ(out.reject_reason, RejectReason::kCancelled);
   EXPECT_EQ(service.metrics().counter_value("solver_probes_total"), 0);
+  EXPECT_EQ(service.metrics().counter_value("skipped_cancelled"), 1);
 }
 
 TEST(SynthServiceMiniPb, RetryRaisesConflictCapOnce) {
