@@ -3,10 +3,31 @@
 //
 // Expected shape (paper §V-B): super-quadratic growth in the host count
 // (the flow count is O(N²)), with the 20% CR curve above the 10% curve.
+//
+// --topology mesh|fat-tree|campus|isp (default mesh) swaps the paper's
+// random mesh for a structured fabric (topology/structured.h) with the
+// same random workload, so the curve can be read per network family.
 #include "common/workloads.h"
+#include "util/error.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cs;
+  topology::TopologyKind kind = topology::TopologyKind::kMesh;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--topology") {
+        CS_REQUIRE(i + 1 < argc, "--topology needs a value");
+        kind = topology::topology_kind_from_name(argv[++i]);
+      } else {
+        throw util::SpecError("unknown flag '" + flag + "'");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const std::string topo(topology::topology_kind_name(kind));
   const std::vector<int> host_counts =
       bench::full_mode() ? std::vector<int>{10, 20, 30, 40, 50}
                          : std::vector<int>{6, 10, 14, 18};
@@ -18,7 +39,7 @@ int main() {
     std::vector<std::string> row{std::to_string(hosts)};
     for (const double cr : cr_volumes) {
       const model::ProblemSpec spec = bench::make_eval_spec(
-          hosts, routers, cr, 1000 + static_cast<std::uint64_t>(hosts));
+          kind, hosts, routers, cr, 1000 + static_cast<std::uint64_t>(hosts));
       const model::Sliders sliders{
           util::Fixed::from_int(3), util::Fixed::from_int(3),
           util::Fixed::from_int(10 * hosts)};  // budget scales with size
@@ -29,7 +50,7 @@ int main() {
     rows.push_back(std::move(row));
   }
   bench::emit("fig4a_time_vs_hosts",
-              "Fig 4(a): synthesis time vs number of hosts",
+              "Fig 4(a): synthesis time vs number of hosts (" + topo + ")",
               {"hosts", "time(s)@10%CR", "time(s)@20%CR"}, rows);
   return 0;
 }

@@ -1,0 +1,267 @@
+// Fig. 6 (scale extension) — synthesis time vs. the number of hosts,
+// monolithic vs. sharded, on structured topologies (topology/structured.h).
+//
+// The paper's evaluation (§V-B) stops near 50 hosts because monolithic
+// synthesis grows super-quadratically in the host count. This bench
+// extends the curve to 100-2000 hosts with a locality-weighted workload
+// (most flows stay near their source, the shape sharding exploits) and
+// runs each point twice: a plain synth::Synthesizer solve and a
+// shard::ShardedSynthesizer solve (partition → per-region solves →
+// stitch). A monolithic point whose check hits the bench effort cap is
+// reported as "capped" — at the largest sizes that is the expected
+// outcome, and it is exactly the regime the sharded column is for.
+//
+// Flags:
+//   --topology <name>        mesh|fat-tree|campus|isp (default fat-tree)
+//   --hosts <n1,n2,...>      host counts (default 100,300,1000;
+//                            CS_BENCH_FULL=1 appends 2000)
+//   --mode both|mono|sharded which columns to run (default both)
+//   --jobs <N>               sharded region-solve workers (default 1;
+//                            0 = one per hardware thread — results are
+//                            byte-identical at any value)
+//   --out <file>             JSON artifact path (BENCH_scale.json)
+//   --trace-out <file>       Chrome-trace-event timeline
+//
+// The artifact (schema cs-bench-scale-v1) is validated, and compared
+// against bench/baselines/BENCH_scale.json, by scripts/check_bench.py.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/workloads.h"
+#include "shard/sharded.h"
+#include "topology/structured.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cs;
+
+struct ScaleRun {
+  std::string topology;
+  std::string mode;    // "mono" | "sharded"
+  std::string status;  // "sat" | "unsat" | "capped"
+  int hosts = 0;
+  int routers = 0;
+  int flows = 0;
+  int regions = 0;    // 0 on the monolithic side
+  int cut_links = 0;  // 0 on the monolithic side
+  int fallback = 0;   // 1 when the sharded solve fell back to monolithic
+  double wall_seconds = 0;
+  double hosts_per_sec = 0;
+};
+
+/// Locality-weighted scale workload. Hosts are attached to the
+/// structured fabric in contiguous index blocks, so adjacent host
+/// indices are topologically close; each host talks WEB/DB to its two
+/// index neighbors and every fourth host reaches one far host (SSH to
+/// i + n/2) — roughly 2.25 flows per host, most of them intra-region
+/// under any reasonable cut. Every 10th flow is a connectivity
+/// requirement; the budget scales with the host count.
+model::ProblemSpec make_scale_spec(topology::TopologyKind kind, int hosts,
+                                   std::uint64_t seed) {
+  model::ProblemSpec spec;
+  spec.network = topology::make_structured(kind, hosts, seed);
+  model::add_standard_services(spec.services);
+  const model::ServiceId web = *spec.services.find("WEB");
+  const model::ServiceId db = *spec.services.find("DB");
+  const model::ServiceId ssh = *spec.services.find("SSH");
+
+  std::vector<topology::NodeId> hs;
+  for (const topology::NodeId h : spec.network.hosts())
+    if (!spec.network.node(h).is_internet) hs.push_back(h);
+  const int n = static_cast<int>(hs.size());
+  const auto at = [&](int i) {
+    return hs[static_cast<std::size_t>(((i % n) + n) % n)];
+  };
+  for (int i = 0; i < n; ++i) {
+    spec.flows.add(model::Flow{at(i), at(i + 1), web});
+    spec.flows.add(model::Flow{at(i), at(i + 2), db});
+    if (i % 4 == 0) spec.flows.add(model::Flow{at(i), at(i + n / 2), ssh});
+  }
+  for (std::size_t f = 0; f < spec.flows.size(); f += 10)
+    spec.connectivity.add(static_cast<model::FlowId>(f));
+
+  spec.sliders = model::Sliders{util::Fixed::from_int(7),
+                                util::Fixed::from_double(4.5),
+                                util::Fixed::from_int(18 * hosts)};
+  spec.finalize();
+  return spec;
+}
+
+const char* status_name(smt::CheckResult status) {
+  switch (status) {
+    case smt::CheckResult::kSat:
+      return "sat";
+    case smt::CheckResult::kUnsat:
+      return "unsat";
+    case smt::CheckResult::kUnknown:
+      return "capped";
+  }
+  return "capped";
+}
+
+void write_json(const std::string& path, const std::vector<ScaleRun>& runs) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"cs-bench-scale-v1\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ScaleRun& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"topology\": \"%s\", \"hosts\": %d, \"mode\": \"%s\", "
+        "\"status\": \"%s\",\n"
+        "     \"routers\": %d, \"flows\": %d, \"regions\": %d, "
+        "\"cut_links\": %d, \"fallback\": %d,\n"
+        "     \"wall_seconds\": %.6f, \"hosts_per_sec\": %.3f}%s\n",
+        r.topology.c_str(), r.hosts, r.mode.c_str(), r.status.c_str(),
+        r.routers, r.flows, r.regions, r.cut_links, r.fallback,
+        r.wall_seconds, r.hosts_per_sec, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cs;
+  bench::TraceGuard trace(argc, argv);
+  topology::TopologyKind kind = topology::TopologyKind::kFatTree;
+  std::vector<int> host_counts{100, 300, 1000};
+  if (bench::full_mode()) host_counts.push_back(2000);
+  bool run_mono = true;
+  bool run_sharded = true;
+  std::string out_path = "BENCH_scale.json";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto next = [&]() -> std::string {
+        CS_REQUIRE(i + 1 < argc, "flag " + flag + " needs a value");
+        return argv[++i];
+      };
+      if (flag == "--topology") {
+        kind = topology::topology_kind_from_name(next());
+      } else if (flag == "--hosts") {
+        host_counts.clear();
+        for (const std::string& part : util::split(next(), ','))
+          host_counts.push_back(
+              static_cast<int>(util::parse_int(part, "hosts")));
+        CS_REQUIRE(!host_counts.empty(), "--hosts wants n1,n2,...");
+      } else if (flag == "--mode") {
+        const std::string mode = next();
+        CS_REQUIRE(mode == "both" || mode == "mono" || mode == "sharded",
+                   "--mode wants both|mono|sharded");
+        run_mono = mode != "sharded";
+        run_sharded = mode != "mono";
+      } else if (flag == "--out") {
+        out_path = next();
+      } else if (flag == "--jobs" || flag == "--trace-out") {
+        next();  // consumed by bench::jobs / TraceGuard
+      } else {
+        throw util::SpecError("unknown flag '" + flag + "'");
+      }
+    }
+
+    const synth::SynthesisOptions options = bench::sweep_options();
+    const int jobs = bench::jobs(argc, argv);
+    const std::string topo(topology::topology_kind_name(kind));
+    std::vector<ScaleRun> runs;
+    std::vector<std::vector<std::string>> rows;
+    for (const int hosts : host_counts) {
+      const model::ProblemSpec spec = make_scale_spec(
+          kind, hosts, 6000 + static_cast<std::uint64_t>(hosts));
+      ScaleRun base;
+      base.topology = topo;
+      base.hosts = static_cast<int>(spec.network.host_count());
+      base.routers = static_cast<int>(spec.network.router_count());
+      base.flows = static_cast<int>(spec.flows.size());
+      std::vector<std::string> row{std::to_string(base.hosts)};
+
+      if (run_mono) {
+        ScaleRun mono = base;
+        mono.mode = "mono";
+        util::Stopwatch watch;
+        synth::Synthesizer synthesizer(spec, options);
+        const synth::SynthesisResult result = synthesizer.synthesize();
+        mono.wall_seconds = watch.elapsed_seconds();
+        mono.status = status_name(result.status);
+        if (result.design.has_value()) {
+          const synth::DesignMetrics m =
+              synth::compute_metrics(spec, *result.design);
+          std::fprintf(stderr, "mono %d hosts: cost %s iso %s usab %s\n",
+                       base.hosts, m.cost.to_string().c_str(),
+                       m.isolation.to_string().c_str(),
+                       m.usability.to_string().c_str());
+        }
+        mono.hosts_per_sec =
+            mono.wall_seconds > 0 ? base.hosts / mono.wall_seconds : 0;
+        row.push_back(bench::fmt_seconds(mono.wall_seconds) +
+                      (mono.status == "sat" ? "" : " (" + mono.status + ")"));
+        runs.push_back(std::move(mono));
+      } else {
+        row.push_back("-");
+      }
+
+      if (run_sharded) {
+        ScaleRun sharded = base;
+        sharded.mode = "sharded";
+        shard::ShardOptions shard_options;
+        shard_options.synthesis = options;
+        shard_options.jobs = jobs;
+        const shard::ShardedOutcome outcome =
+            shard::ShardedSynthesizer(spec, shard_options).synthesize();
+        sharded.wall_seconds = outcome.wall_seconds;
+        sharded.status = status_name(outcome.status);
+        sharded.regions = outcome.regions;
+        sharded.cut_links = outcome.cut_links;
+        sharded.fallback = outcome.used_fallback ? 1 : 0;
+        sharded.hosts_per_sec =
+            sharded.wall_seconds > 0 ? base.hosts / sharded.wall_seconds : 0;
+        row.push_back(
+            bench::fmt_seconds(sharded.wall_seconds) +
+            (sharded.status == "sat" ? "" : " (" + sharded.status + ")") +
+            (outcome.used_fallback ? " (fallback: " + outcome.fallback_reason + ")"
+                                   : ""));
+        std::fprintf(stderr,
+                     "sharded %d hosts: plan %.3fs regions %.3fs stitch "
+                     "%.3fs fallback %.3fs escalated %d repairs %d\n",
+                     base.hosts, outcome.plan_seconds,
+                     outcome.region_wall_seconds, outcome.stitch_seconds,
+                     outcome.fallback_seconds, outcome.escalated_flows,
+                     outcome.repair_placements);
+        if (!outcome.stitch_failure.empty())
+          std::fprintf(stderr, "  stitch failure: %s\n",
+                       outcome.stitch_failure.c_str());
+        for (const shard::RegionOutcome& r : outcome.region_outcomes)
+          std::fprintf(stderr, "  region %d: %zu hosts %zu flows %s %.3fs\n",
+                       r.index, r.hosts, r.flows, status_name(r.status),
+                       r.wall_seconds);
+        row.push_back(std::to_string(sharded.regions));
+        row.push_back(std::to_string(sharded.cut_links));
+        runs.push_back(std::move(sharded));
+      } else {
+        row.push_back("-");
+        row.push_back("-");
+        row.push_back("-");
+      }
+      rows.push_back(std::move(row));
+    }
+
+    bench::emit("fig6_scale",
+                std::string("Fig 6: synthesis time vs hosts at scale (") +
+                    topo + ", mono vs sharded)",
+                {"hosts", "mono(s)", "sharded(s)", "regions", "cut links"},
+                rows);
+    write_json(out_path, runs);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

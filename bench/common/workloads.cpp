@@ -67,6 +67,22 @@ model::ProblemSpec make_eval_spec(int hosts, int routers,
   return spec;
 }
 
+model::ProblemSpec make_eval_spec(topology::TopologyKind kind, int hosts,
+                                  int routers, double cr_fraction,
+                                  std::uint64_t seed, int services) {
+  if (kind == topology::TopologyKind::kMesh)
+    return make_eval_spec(hosts, routers, cr_fraction, seed, services);
+  util::Rng rng(seed);
+  model::ProblemSpec spec;
+  spec.network = topology::make_structured(kind, hosts, seed);
+  model::WorkloadConfig wl;
+  wl.service_count = services;
+  wl.max_services_per_pair = std::min(3, services);
+  wl.cr_fraction = cr_fraction;
+  model::populate_random_workload(spec, wl, rng);
+  return spec;
+}
+
 TimedRun run_synthesis(const model::ProblemSpec& spec,
                        const model::Sliders& sliders) {
   // One span per cold synthesis; the encoder/solver layers below nest

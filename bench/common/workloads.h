@@ -19,6 +19,7 @@
 #include "smt/ir.h"
 #include "synth/sweep.h"
 #include "synth/synthesizer.h"
+#include "topology/structured.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -60,6 +61,14 @@ int jobs(int argc, char** argv);
 model::ProblemSpec make_eval_spec(int hosts, int routers,
                                   double cr_fraction, std::uint64_t seed,
                                   int services = 3);
+
+/// Same workload over a chosen topology family (topology/structured.h).
+/// kMesh reproduces the paper's random mesh with the given router count;
+/// the structured families derive their own switch counts from `hosts`
+/// and ignore `routers`.
+model::ProblemSpec make_eval_spec(topology::TopologyKind kind, int hosts,
+                                  int routers, double cr_fraction,
+                                  std::uint64_t seed, int services = 3);
 
 struct TimedRun {
   smt::CheckResult status = smt::CheckResult::kUnknown;

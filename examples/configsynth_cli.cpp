@@ -16,7 +16,10 @@
 // (sweep workers for `frontier`; 0 = one per hardware thread), and
 // --trace-out; the service-only flags (--queue-limit, --cache-capacity,
 // --metrics-*) are accepted for uniformity but only apply to the
-// service-backed binaries. Plus:
+// service-backed binaries. `synth` honors --shard/--shard-regions by
+// solving through shard::ShardedSynthesizer (region solves run on
+// --jobs workers) and prints the partition/stitch summary before the
+// usual report. Plus:
 //   --out <file>          where `synth` writes the design (default
 //                         design.txt)
 #include <fstream>
@@ -30,6 +33,7 @@
 #include "model/input_file.h"
 #include "net/options.h"
 #include "obs/trace.h"
+#include "shard/sharded.h"
 #include "synth/assistance.h"
 #include "synth/frontier.h"
 #include "synth/optimizer.h"
@@ -68,7 +72,67 @@ CliOptions parse_flags(int argc, char** argv, int first_flag) {
   return opts;
 }
 
+/// `synth` with --shard/--shard-regions: solve through the shard
+/// pipeline (partition → per-region solves → stitch, monolithic
+/// fallback on a failed stitch) and render the same report from the
+/// merged design. Verdicts match the monolithic path by construction.
+int cmd_synth_sharded(const model::ProblemSpec& spec,
+                      const CliOptions& opts) {
+  shard::ShardOptions shard_options;
+  shard_options.synthesis = opts.common.synthesis;
+  shard_options.regions = opts.common.service.shard_regions < 0
+                              ? 0
+                              : opts.common.service.shard_regions;
+  shard_options.jobs = opts.common.service.workers;
+  shard::ShardedOutcome outcome =
+      shard::ShardedSynthesizer(spec, shard_options).synthesize();
+
+  std::cout << "=== Sharded synthesis ===\n"
+            << "regions " << outcome.regions << ", cut links "
+            << outcome.cut_links << ", cross-region flows "
+            << outcome.cross_flows << "\n";
+  if (outcome.used_fallback) {
+    std::cout << "fallback to monolithic solve (" << outcome.fallback_reason
+              << ")\n";
+  } else {
+    std::cout << "stitched: " << outcome.escalated_flows
+              << " cross flows escalated, " << outcome.repair_placements
+              << " repair placements\n";
+  }
+  std::cout << "plan " << outcome.plan_seconds << "s, regions "
+            << outcome.region_wall_seconds << "s, stitch "
+            << outcome.stitch_seconds << "s, total " << outcome.wall_seconds
+            << "s\n\n";
+
+  synth::SynthesisResult result;
+  result.status = outcome.status;
+  result.design = std::move(outcome.design);
+  result.conflicting = std::move(outcome.conflicting);
+  result.solve_seconds = outcome.wall_seconds;
+  std::cout << analysis::render_report(spec, result);
+  if (result.status != smt::CheckResult::kSat) {
+    if (result.status == smt::CheckResult::kUnsat) {
+      synth::Synthesizer explainer(spec, opts.common.synthesis);
+      std::cout << "\n" << synth::analyze_unsat(explainer, spec).to_string();
+    }
+    return 1;
+  }
+  synth::SecurityDesign design = *result.design;
+  analysis::minimize_placements(spec, design);
+  std::cout << "\n" << design.isolation_table(spec);
+  std::cout << "\n" << design.to_string(spec);
+  std::cout << "\n=== Exposure ===\n"
+            << analysis::render_exposure(
+                   analysis::compute_exposure(spec, design));
+  std::ofstream out(opts.out_path);
+  analysis::save_design(out, design);
+  std::cout << "\ndesign saved to " << opts.out_path << "\n";
+  return 0;
+}
+
 int cmd_synth(const model::ProblemSpec& spec, const CliOptions& opts) {
+  if (opts.common.service.shard_regions != 0)
+    return cmd_synth_sharded(spec, opts);
   synth::Synthesizer synthesizer(spec, opts.common.synthesis);
   const synth::SynthesisResult result = synthesizer.synthesize();
   std::cout << analysis::render_report(spec, result);

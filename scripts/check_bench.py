@@ -5,6 +5,7 @@ validator:
 
   cs-bench-solver-v1  (BENCH_solver.json, bench_solver_core)
   cs-bench-load-v1    (BENCH_load.json, bench_load)
+  cs-bench-scale-v1   (BENCH_scale.json, bench_fig6_scale)
 
 Usage: check_bench.py <bench.json> [--baseline <baseline.json>]
 
@@ -28,6 +29,14 @@ cs-bench-load-v1:
     (backend, dup_pct, mode) keys are unique;
   * req_per_sec agrees with requests/wall_seconds.
 
+cs-bench-scale-v1:
+  * "runs" is a non-empty array; every run carries topology/mode/status
+    strings plus numeric hosts, routers, flows, regions, cut_links,
+    fallback, wall_seconds, hosts_per_sec;
+  * mode is mono|sharded, status is sat|unsat|capped, fallback is 0|1,
+    (topology, hosts, mode) keys are unique;
+  * hosts_per_sec agrees with hosts/wall_seconds.
+
 Baseline comparison (exit 1 on regression — machine-speed dependent, so
 callers treat it as a warning, not a gate):
   * runs are matched to baseline runs by their key;
@@ -36,6 +45,10 @@ callers treat it as a warning, not a gate):
     (100000 propagations) are skipped — near-idle rates are noise;
   * load: a matched run whose req_per_sec falls below baseline/1.5 is
     flagged; runs under 50 requests are skipped;
+  * scale: a matched run whose hosts_per_sec falls below baseline/1.5 is
+    flagged; runs under 50 hosts are skipped, and so are capped runs on
+    either side (a capped wall clock measures the effort cap, not the
+    machine);
   * runs missing from the baseline are reported but not flagged.
 
 Exit code 0 when the schema is valid and no regression was flagged.
@@ -47,9 +60,11 @@ REGRESSION_FACTOR = 1.5
 MIN_CONFLICTS = 1000
 MIN_PROPAGATIONS = 100_000
 MIN_REQUESTS = 50
+MIN_HOSTS = 50
 
 SOLVER_SCHEMA = "cs-bench-solver-v1"
 LOAD_SCHEMA = "cs-bench-load-v1"
+SCALE_SCHEMA = "cs-bench-scale-v1"
 
 SOLVER_STR = ("workload", "pb_mode", "phase")
 SOLVER_NUM = ("points", "wall_seconds", "conflicts", "propagations",
@@ -59,6 +74,9 @@ LOAD_STR = ("backend", "mode")
 LOAD_NUM = ("dup_pct", "connections", "requests", "rejected", "errors",
             "wall_seconds", "req_per_sec", "p50_ms", "p99_ms",
             "hit_rate_pct")
+SCALE_STR = ("topology", "mode", "status")
+SCALE_NUM = ("hosts", "routers", "flows", "regions", "cut_links",
+             "fallback", "wall_seconds", "hosts_per_sec")
 
 
 def schema_fail(msg):
@@ -146,14 +164,63 @@ def validate_load(doc, path):
     return keyed
 
 
-def compare(current, baseline, rate_floors):
+def validate_scale(doc, path):
+    keyed = {}
+    for i, run in enumerate(check_runs(doc, path)):
+        where = f"{path}: runs[{i}]"
+        check_fields(run, where, SCALE_STR, SCALE_NUM)
+        if run["mode"] not in ("mono", "sharded"):
+            schema_fail(f"{where}: mode {run['mode']!r}")
+        if run["status"] not in ("sat", "unsat", "capped"):
+            schema_fail(f"{where}: status {run['status']!r}")
+        if run["fallback"] not in (0, 1):
+            schema_fail(f"{where}: fallback {run['fallback']!r}")
+        key = (run["topology"], run["hosts"], run["mode"])
+        if key in keyed:
+            schema_fail(f"{where}: duplicate run key {key}")
+        keyed[key] = run
+        check_rate(run, where, "hosts", "hosts_per_sec")
+    return keyed
+
+
+def skip_capped(run, base):
+    """A capped wall clock measures the effort cap, not the machine."""
+    return run.get("status") == "capped" or base.get("status") == "capped"
+
+
+# schema name -> (validator, regression rate floors, optional pair skip).
+# Validators return {key: run}; rate_floors are (count_field, rate_field,
+# min_count) triples fed to compare().
+SCHEMAS = {
+    SOLVER_SCHEMA: {
+        "validate": validate_solver,
+        "rate_floors": (("conflicts", "conflicts_per_sec", MIN_CONFLICTS),
+                        ("propagations", "propagations_per_sec",
+                         MIN_PROPAGATIONS)),
+    },
+    LOAD_SCHEMA: {
+        "validate": validate_load,
+        "rate_floors": (("requests", "req_per_sec", MIN_REQUESTS),),
+    },
+    SCALE_SCHEMA: {
+        "validate": validate_scale,
+        "rate_floors": (("hosts", "hosts_per_sec", MIN_HOSTS),),
+        "skip": skip_capped,
+    },
+}
+
+
+def compare(current, baseline, rate_floors, skip=None):
     """Flags matched runs whose rate fell below baseline/REGRESSION_FACTOR.
-    rate_floors: (count_field, rate_field, min_count) triples."""
+    rate_floors: (count_field, rate_field, min_count) triples; skip, when
+    given, drops (run, base) pairs the rates are meaningless for."""
     regressions = []
     for key, run in sorted(current.items(), key=lambda kv: str(kv[0])):
         base = baseline.get(key)
         if base is None:
             print(f"check_bench: note: {key} not in baseline (new run)")
+            continue
+        if skip is not None and skip(run, base):
             continue
         for count, rate, floor in rate_floors:
             if run[count] < floor or base[count] < floor:
@@ -180,19 +247,12 @@ def main():
 
     doc = load(path)
     schema = doc.get("schema")
-    if schema == SOLVER_SCHEMA:
-        validate = validate_solver
-        rate_floors = (("conflicts", "conflicts_per_sec", MIN_CONFLICTS),
-                       ("propagations", "propagations_per_sec",
-                        MIN_PROPAGATIONS))
-    elif schema == LOAD_SCHEMA:
-        validate = validate_load
-        rate_floors = (("requests", "req_per_sec", MIN_REQUESTS),)
-    else:
+    entry = SCHEMAS.get(schema)
+    if entry is None:
         schema_fail(f"{path}: unknown schema {schema!r} "
-                    f"(want {SOLVER_SCHEMA!r} or {LOAD_SCHEMA!r})")
+                    f"(want one of {sorted(SCHEMAS)})")
 
-    current = validate(doc, path)
+    current = entry["validate"](doc, path)
     print(f"check_bench: {path}: {schema} schema OK ({len(current)} runs)")
     if baseline_path is None:
         return
@@ -201,8 +261,9 @@ def main():
     if baseline_doc.get("schema") != schema:
         schema_fail(f"{baseline_path}: baseline schema "
                     f"{baseline_doc.get('schema')!r} != {schema!r}")
-    baseline = validate(baseline_doc, baseline_path)
-    regressions = compare(current, baseline, rate_floors)
+    baseline = entry["validate"](baseline_doc, baseline_path)
+    regressions = compare(current, baseline, entry["rate_floors"],
+                          entry.get("skip"))
     if regressions:
         for r in regressions:
             print(f"check_bench: REGRESSION: {r}", file=sys.stderr)

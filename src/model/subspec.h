@@ -1,0 +1,58 @@
+// Sub-spec projection: restricting a ProblemSpec to a node subset.
+//
+// The shard planner (src/shard) cuts the topology into regions and solves
+// each region as an independent synthesis problem. `project_spec` builds
+// that per-region problem: the induced subgraph on the kept nodes, the
+// flows whose endpoints both survive, and every piece of policy state
+// that still refers to surviving entities — connectivity requirements,
+// flow ranks, user constraints, per-host risk requirements. Node, link
+// and flow ids are re-densified; the projection keeps the local→global
+// maps so the stitcher can lift region designs back into the global id
+// space.
+//
+// Each projection also carries its own cs-spec-v1 fingerprint
+// (`sub_digest`): the region sub-spec is a finalized ProblemSpec, so the
+// canonical digest machinery applies unchanged, giving the shard layer
+// per-region cache keys and cheap "did this region change" comparisons.
+#pragma once
+
+#include <vector>
+
+#include "model/fingerprint.h"
+#include "model/spec.h"
+
+namespace cs::model {
+
+/// A region sub-spec plus the id maps back into the parent spec.
+struct SpecProjection {
+  /// The projected problem. Finalized (ranks installed); NOT validated —
+  /// a region can legitimately end up with zero flows, which validate()
+  /// rejects. Callers must skip the solver for such trivial regions.
+  ProblemSpec spec;
+  /// Local node id -> global node id, in ascending global order.
+  std::vector<topology::NodeId> nodes;
+  /// Local link id -> global link id.
+  std::vector<topology::LinkId> links;
+  /// Local flow id -> global flow id.
+  std::vector<FlowId> flows;
+  /// Canonical cs-spec-v1 digest of `spec`.
+  Fingerprint sub_digest;
+};
+
+/// Projects `spec` onto `keep_nodes` (global node ids; deduplicated and
+/// sorted internally). The input spec must be finalized. Projection
+/// rules:
+///   * nodes/links: the induced subgraph, ids re-densified in ascending
+///     global-id order;
+///   * services, isolation/host/app pattern configs, device costs,
+///     sliders, alpha, route options: copied verbatim (service ids are
+///     global);
+///   * flows: kept iff both endpoints survive, with their global ranks
+///     and connectivity-requirement markings;
+///   * user constraints: ForbidPatternForService always survives;
+///     flow-scoped constraints survive iff their flow(s) survive;
+///   * host isolation requirements: kept iff the host survives.
+SpecProjection project_spec(const ProblemSpec& spec,
+                            std::vector<topology::NodeId> keep_nodes);
+
+}  // namespace cs::model

@@ -10,6 +10,8 @@
 //   --cache-capacity <N>     LRU result-cache entries
 //   --time-limit <ms>        per-check wall-clock cap
 //   --conflict-limit <n>     per-check deterministic effort cap
+//   --shard                  sharded synthesis, automatic region count
+//   --shard-regions <N>      sharded synthesis with N regions (N >= 2)
 //   --metrics-csv <file>     dump the metrics registry as CSV
 //   --metrics-prom <file>    dump the metrics in Prometheus text format
 //   --trace-out <file>       record a Chrome-trace-event JSON timeline

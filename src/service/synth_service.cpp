@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "shard/sharded.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -320,6 +321,62 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
   std::int64_t left = remaining();
   if (request.deadline_ms != 0 && left < 0)
     return skip(RejectReason::kDeadlineExpired);
+
+  // Sharded path: feasibility points solve through shard::ShardedSynthesizer
+  // when the service was configured for it. The sharded pipeline owns its
+  // own solvers (fresh per region) and re-validates against the point's
+  // thresholds, so it bypasses the warm pool entirely.
+  const bool shard_requested =
+      config_.shard_regions != 0 &&
+      request.point.objective == synth::SweepObjective::kFeasibility;
+  if (shard_requested) {
+    obs::Span span("service", "service/shard_solve");
+    span.arg("req", rid);
+    span.arg("backend", backend_tag(request.synthesis.backend));
+    util::Stopwatch shard_watch;
+    // The sharded synthesizer reads the spec's own sliders; materialize
+    // the point's thresholds into a spec copy when they differ.
+    std::shared_ptr<const model::ProblemSpec> spec = request.spec;
+    const model::Sliders want{request.point.isolation,
+                              request.point.usability, request.point.budget};
+    if (spec->sliders.isolation != want.isolation ||
+        spec->sliders.usability != want.usability ||
+        spec->sliders.budget != want.budget) {
+      auto copy = std::make_shared<model::ProblemSpec>(*spec);
+      copy->sliders = want;
+      spec = copy;
+    }
+    shard::ShardOptions shard_options;
+    shard_options.synthesis = request.synthesis;
+    shard_options.regions = config_.shard_regions < 0 ? 0
+                                                      : config_.shard_regions;
+    shard_options.jobs = 1;
+    shard::ShardedOutcome sharded =
+        shard::ShardedSynthesizer(*spec, shard_options).synthesize();
+    metrics_.counter("shard_solves").inc();
+    if (sharded.used_fallback) {
+      metrics_.counter("shard_fallbacks").inc();
+      span.arg("fallback", sharded.fallback_reason);
+    }
+    span.arg("regions", std::to_string(sharded.regions));
+    out.result.point = request.point;
+    out.result.status = sharded.status;
+    out.result.conflicting = std::move(sharded.conflicting);
+    out.result.search.feasible = sharded.status == smt::CheckResult::kSat;
+    out.result.search.exact = sharded.status != smt::CheckResult::kUnknown;
+    out.result.search.probes = sharded.regions + (sharded.used_fallback ? 1 : 0);
+    if (sharded.design.has_value()) {
+      out.result.search.metrics = synth::compute_metrics(*spec,
+                                                         *sharded.design);
+      out.result.search.design = std::move(sharded.design);
+    }
+    out.result.wall_seconds = shard_watch.elapsed_seconds();
+    metrics_.counter(probe_counter_name(request.synthesis.backend))
+        .add(out.result.search.probes);
+    metrics_.histogram("solve_ms").observe(out.result.wall_seconds * 1000.0);
+    cache_.insert(out.fingerprint, out.result);
+    return finish();
+  }
 
   const bool warm_eligible =
       config_.warm_pool_limit > 0 &&

@@ -137,6 +137,15 @@ struct ServiceConfig {
   /// (FIFO eviction across all keys); 0 disables the warm pool and every
   /// request solves cold.
   std::size_t warm_pool_limit = 8;
+  /// Sharded synthesis (src/shard) for kFeasibility points: 0 = off
+  /// (monolithic solves), -1 = on with the automatic region count,
+  /// >= 2 = on with that many regions. Verdicts are identical to the
+  /// monolithic path by construction (shard/sharded.h); each request's
+  /// region solves run serially on its own worker, so service-level
+  /// parallelism stays with the worker pool. Sharded solves bypass the
+  /// warm pool and are recorded in the `shard_solves` /
+  /// `shard_fallbacks` counters.
+  int shard_regions = 0;
   /// Observability hook: called on the worker thread when a request
   /// starts executing (after dequeue, before the cache lookup). Used by
   /// tests to control scheduling and by servers for request logging.

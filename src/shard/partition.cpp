@@ -1,0 +1,239 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.h"
+
+namespace cs::shard {
+namespace {
+
+constexpr int kUnassigned = -1;
+constexpr int kInfinity = std::numeric_limits<int>::max();
+
+// BFS hop distances from `start` over the router-induced subgraph (hosts
+// never carry transit traffic, so the cut we care about is over the core).
+std::vector<int> router_bfs(const topology::Network& net,
+                            topology::NodeId start) {
+  std::vector<int> dist(net.node_count(), kInfinity);
+  std::queue<topology::NodeId> frontier;
+  dist[static_cast<std::size_t>(start)] = 0;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const topology::NodeId at = frontier.front();
+    frontier.pop();
+    for (const topology::Adjacency& adj : net.neighbors(at)) {
+      if (!net.is_router(adj.peer)) continue;
+      auto& d = dist[static_cast<std::size_t>(adj.peer)];
+      if (d != kInfinity) continue;
+      d = dist[static_cast<std::size_t>(at)] + 1;
+      frontier.push(adj.peer);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+int default_region_count(const topology::Network& net) {
+  const auto routers = static_cast<int>(net.router_count());
+  return std::max(2, routers / 16);
+}
+
+Partition partition_topology(const topology::Network& net, int regions) {
+  CS_REQUIRE(net.router_count() > 0,
+             "partition_topology needs at least one router");
+  if (regions <= 0) regions = default_region_count(net);
+  regions = std::min(regions, static_cast<int>(net.router_count()));
+
+  Partition out;
+  out.regions = regions;
+  out.region_of.assign(net.node_count(), kUnassigned);
+
+  // k-center seeds: start from the lowest-id router, then repeatedly take
+  // the router farthest (BFS hops over the core) from every seed so far.
+  // Ties break toward the lower id; routers a seed cannot reach count as
+  // infinitely far, so disconnected core components get their own seed
+  // before any connected refinement happens.
+  std::vector<topology::NodeId> seeds;
+  std::vector<std::vector<int>> seed_dist;
+  seeds.push_back(*std::min_element(net.routers().begin(),
+                                    net.routers().end()));
+  seed_dist.push_back(router_bfs(net, seeds.back()));
+  while (static_cast<int>(seeds.size()) < regions) {
+    topology::NodeId best = topology::kInvalidNode;
+    long long best_score = -1;
+    for (const topology::NodeId r : net.routers()) {
+      long long nearest = std::numeric_limits<long long>::max();
+      for (const auto& dist : seed_dist)
+        nearest = std::min(
+            nearest,
+            static_cast<long long>(dist[static_cast<std::size_t>(r)]));
+      if (nearest == 0) continue;  // already a seed
+      if (nearest > best_score ||
+          (nearest == best_score && r < best)) {
+        best_score = nearest;
+        best = r;
+      }
+    }
+    CS_ENSURE(best != topology::kInvalidNode,
+              "partition: fewer distinct routers than regions");
+    seeds.push_back(best);
+    seed_dist.push_back(router_bfs(net, best));
+  }
+
+  // Region growth: host-weighted multi-source BFS from the seeds. On
+  // every step the lightest region (1 per router + 1 per attached host,
+  // ties toward the lower index) claims one unassigned router adjacent
+  // to its frontier, so the regions converge to equal host counts — the
+  // quantity that actually drives per-region solver work — and stay
+  // connected. A plain nearest-seed rule is useless on symmetric
+  // fabrics: in a fat-tree every edge switch is equidistant from every
+  // core, so with ties broken by region index the whole fabric collapses
+  // into region 0. Routers no seed can reach (a core component smaller
+  // than the seed surplus) land in region 0.
+  const auto node_weight = [&](topology::NodeId r) {
+    long long w = 1;
+    for (const topology::Adjacency& adj : net.neighbors(r))
+      if (!net.is_router(adj.peer)) ++w;
+    return w;
+  };
+  std::vector<std::queue<topology::NodeId>> frontiers(
+      static_cast<std::size_t>(regions));
+  std::vector<long long> weight(static_cast<std::size_t>(regions), 0);
+  std::vector<char> live(static_cast<std::size_t>(regions), 1);
+  for (int s = 0; s < regions; ++s) {
+    const topology::NodeId seed = seeds[static_cast<std::size_t>(s)];
+    out.region_of[static_cast<std::size_t>(seed)] = s;
+    frontiers[static_cast<std::size_t>(s)].push(seed);
+    weight[static_cast<std::size_t>(s)] = node_weight(seed);
+  }
+  int live_count = regions;
+  while (live_count > 0) {
+    int s = -1;
+    for (int i = 0; i < regions; ++i)
+      if (live[static_cast<std::size_t>(i)] &&
+          (s < 0 ||
+           weight[static_cast<std::size_t>(i)] <
+               weight[static_cast<std::size_t>(s)]))
+        s = i;
+    auto& frontier = frontiers[static_cast<std::size_t>(s)];
+    topology::NodeId claimed = topology::kInvalidNode;
+    while (!frontier.empty()) {
+      const topology::NodeId at = frontier.front();
+      for (const topology::Adjacency& adj : net.neighbors(at)) {
+        if (!net.is_router(adj.peer)) continue;
+        if (out.region_of[static_cast<std::size_t>(adj.peer)] ==
+            kUnassigned) {
+          claimed = adj.peer;
+          break;
+        }
+      }
+      if (claimed != topology::kInvalidNode) break;
+      frontier.pop();  // every neighbor is taken; retire the node
+    }
+    if (claimed == topology::kInvalidNode) {
+      live[static_cast<std::size_t>(s)] = 0;  // frontier exhausted
+      --live_count;
+      continue;
+    }
+    out.region_of[static_cast<std::size_t>(claimed)] = s;
+    frontier.push(claimed);
+    weight[static_cast<std::size_t>(s)] += node_weight(claimed);
+  }
+  for (const topology::NodeId r : net.routers())
+    if (out.region_of[static_cast<std::size_t>(r)] == kUnassigned)
+      out.region_of[static_cast<std::size_t>(r)] = 0;
+
+  // Boundary refinement: move a router to the neighboring region holding
+  // the strict majority of its core links (smaller edge cut), unless it
+  // is its region's last router or one of the seeds (keeping every seed
+  // pins region count and keeps the pass deterministic and terminating).
+  // A move is also vetoed when it would drop the source region below
+  // half the average weight — without the guard, majority pulls hollow
+  // out small regions on dense fabrics until only the pinned seed is
+  // left.
+  std::vector<int> region_size(static_cast<std::size_t>(regions), 0);
+  for (const topology::NodeId r : net.routers())
+    ++region_size[static_cast<std::size_t>(
+        out.region_of[static_cast<std::size_t>(r)])];
+  long long total_weight = 0;
+  for (int s = 0; s < regions; ++s)
+    total_weight += weight[static_cast<std::size_t>(s)];
+  const long long min_weight = total_weight / (2 * regions);
+  std::vector<bool> is_seed(net.node_count(), false);
+  for (const topology::NodeId s : seeds)
+    is_seed[static_cast<std::size_t>(s)] = true;
+  for (int round = 0; round < 2; ++round) {
+    bool moved = false;
+    for (const topology::NodeId r : net.routers()) {
+      if (is_seed[static_cast<std::size_t>(r)]) continue;
+      const int current = out.region_of[static_cast<std::size_t>(r)];
+      if (region_size[static_cast<std::size_t>(current)] <= 1) continue;
+      const long long w = node_weight(r);
+      if (weight[static_cast<std::size_t>(current)] - w < min_weight)
+        continue;
+      std::vector<int> pull(static_cast<std::size_t>(regions), 0);
+      for (const topology::Adjacency& adj : net.neighbors(r)) {
+        if (!net.is_router(adj.peer)) continue;
+        ++pull[static_cast<std::size_t>(
+            out.region_of[static_cast<std::size_t>(adj.peer)])];
+      }
+      int target = current;
+      for (int s = 0; s < regions; ++s)
+        if (pull[static_cast<std::size_t>(s)] >
+            pull[static_cast<std::size_t>(target)])
+          target = s;
+      if (target != current) {
+        out.region_of[static_cast<std::size_t>(r)] = target;
+        --region_size[static_cast<std::size_t>(current)];
+        ++region_size[static_cast<std::size_t>(target)];
+        weight[static_cast<std::size_t>(current)] -= w;
+        weight[static_cast<std::size_t>(target)] += w;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // Hosts follow their first-listed uplink router (adjacency insertion
+  // order is deterministic). A host with no router neighbor can only be
+  // linked to other hosts; validate() guarantees it has some link, and
+  // such degenerate chains follow the first neighbor's eventual region
+  // (resolved iteratively; region 0 as a last resort).
+  for (const topology::NodeId h : net.hosts()) {
+    int region = kUnassigned;
+    for (const topology::Adjacency& adj : net.neighbors(h)) {
+      if (!net.is_router(adj.peer)) continue;
+      region = out.region_of[static_cast<std::size_t>(adj.peer)];
+      break;
+    }
+    out.region_of[static_cast<std::size_t>(h)] = region;
+  }
+  for (const topology::NodeId h : net.hosts()) {
+    if (out.region_of[static_cast<std::size_t>(h)] != kUnassigned) continue;
+    int region = 0;
+    for (const topology::Adjacency& adj : net.neighbors(h)) {
+      const int peer = out.region_of[static_cast<std::size_t>(adj.peer)];
+      if (peer != kUnassigned) {
+        region = peer;
+        break;
+      }
+    }
+    out.region_of[static_cast<std::size_t>(h)] = region;
+  }
+
+  out.members.assign(static_cast<std::size_t>(regions), {});
+  for (std::size_t n = 0; n < net.node_count(); ++n)
+    out.members[static_cast<std::size_t>(out.region_of[n])].push_back(
+        static_cast<topology::NodeId>(n));
+  for (const topology::Link& l : net.links()) {
+    if (out.region_of[static_cast<std::size_t>(l.a)] !=
+        out.region_of[static_cast<std::size_t>(l.b)])
+      out.cut_links.push_back(l.id);
+  }
+  return out;
+}
+
+}  // namespace cs::shard

@@ -1,0 +1,46 @@
+// Deterministic topology partitioner (the first stage of sharded
+// synthesis — see sharded.h for the pipeline).
+//
+// Cuts the router core into `regions` connected regions by k-center
+// seeding plus host-weighted multi-source BFS growth (the lightest
+// region claims the next router, so regions converge to equal host
+// counts — the quantity that drives per-region solver work), then runs a
+// boundary-refinement pass that greedily moves routers to the neighboring
+// region holding most of their links — a small-edge-cut heuristic, so as
+// few links (and therefore as few flows) as possible cross regions.
+// Hosts join the region of their first-listed uplink router.
+//
+// The whole computation is RNG-free and a pure function of the network's
+// node/link insertion order: the same topology always partitions the same
+// way, which the sharded synthesizer's byte-identical-at-any---jobs
+// guarantee builds on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/network.h"
+
+namespace cs::shard {
+
+struct Partition {
+  /// Number of regions actually produced (>= 1; capped by router count).
+  int regions = 0;
+  /// Node id -> region index.
+  std::vector<int> region_of;
+  /// Region index -> member node ids, ascending.
+  std::vector<std::vector<topology::NodeId>> members;
+  /// Links whose endpoints lie in different regions, ascending by id.
+  std::vector<topology::LinkId> cut_links;
+};
+
+/// The auto rule used when no explicit region count is given: one region
+/// per ~16 core routers, at least 2 (a single region would just be the
+/// monolithic solve with extra steps).
+int default_region_count(const topology::Network& net);
+
+/// Partitions `net` into at most `regions` regions (0 = auto rule). The
+/// network must have at least one router.
+Partition partition_topology(const topology::Network& net, int regions);
+
+}  // namespace cs::shard

@@ -1,0 +1,113 @@
+// ShardedSynthesizer: divide-and-conquer synthesis for large topologies.
+//
+// The monolithic encoding grows super-linearly with topology size (the
+// paper's evaluation tops out near 100 hosts); sharding changes the
+// asymptotics for workloads with locality. Pipeline:
+//
+//   partition (partition.h)  — RNG-free edge-cut regions over the router
+//                              core;
+//   plan      (planner.h)    — per-region sub-specs + the cross-flow
+//                              interface set;
+//   solve                    — one fresh Synthesizer per region, run on
+//                              util::ThreadPool;
+//   stitch    (stitch.h)     — lift region designs, resolve cross flows,
+//                              repair global route coverage, re-check
+//                              against the full spec.
+//
+// Verdict contract: the sharded path returns kSat ONLY when the stitched
+// design passes the authoritative analysis::check_design on the global
+// spec. On any other outcome — a region UNSAT or unknown, a failed
+// stitch — it falls back to the monolithic solve and returns *its*
+// verdict. Sharded and monolithic verdicts are therefore identical by
+// construction; sharding can only change how fast a design is found and
+// which satisfying design it is. The fallback decision is recorded in
+// the outcome, in cs_obs trace spans ("shard" category) and in the
+// service metrics when driven through SynthService.
+//
+// Determinism: the same rules as synth/sweep.h. The partitioner is
+// RNG-free, each region gets a fresh single-owner Synthesizer (caps are
+// deterministic functions of the formula), and results are collected by
+// region index — so the outcome, design included, is byte-identical at
+// any `jobs` value.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/fingerprint.h"
+#include "model/spec.h"
+#include "shard/planner.h"
+#include "shard/stitch.h"
+#include "smt/ir.h"
+#include "synth/synthesizer.h"
+
+namespace cs::shard {
+
+struct ShardOptions {
+  /// Backend and per-check caps for the region solves (and the fallback).
+  synth::SynthesisOptions synthesis;
+  /// Region count; 0 = auto (~16 routers per region, min 2).
+  int regions = 0;
+  /// Worker threads for region solves; 0 = one per hardware thread.
+  /// The result is byte-identical for every value.
+  int jobs = 1;
+};
+
+/// Per-region solve telemetry.
+struct RegionOutcome {
+  int index = 0;
+  smt::CheckResult status = smt::CheckResult::kUnknown;
+  bool trivial = false;
+  std::size_t hosts = 0;
+  std::size_t flows = 0;
+  double wall_seconds = 0;
+  /// cs-spec-v1 digest of the region sub-spec (cache key material).
+  model::Fingerprint sub_digest;
+};
+
+struct ShardedOutcome {
+  smt::CheckResult status = smt::CheckResult::kUnknown;
+  std::optional<synth::SecurityDesign> design;
+  /// True when the returned design came from the stitched region solves.
+  bool sharded = false;
+  /// True when the pipeline fell back to the monolithic solve.
+  bool used_fallback = false;
+  /// Why: "", "single-region", "region-unsat", "region-unknown",
+  /// "stitch-failed".
+  std::string fallback_reason;
+  /// First check_design issue when the stitch failed (empty otherwise).
+  std::string stitch_failure;
+  /// UNSAT threshold core from the fallback solve (empty otherwise).
+  std::vector<synth::ThresholdKind> conflicting;
+
+  int regions = 0;
+  std::size_t cut_links = 0;
+  std::size_t cross_flows = 0;
+  int escalated_flows = 0;
+  int repair_placements = 0;
+  std::vector<RegionOutcome> region_outcomes;
+
+  double plan_seconds = 0;
+  /// Sum of per-region solver walls (CPU view; wall view is wall_seconds).
+  double region_wall_seconds = 0;
+  double stitch_seconds = 0;
+  double fallback_seconds = 0;
+  double wall_seconds = 0;
+};
+
+class ShardedSynthesizer {
+ public:
+  /// `spec` must be finalized and valid, and outlive the synthesizer.
+  explicit ShardedSynthesizer(const model::ProblemSpec& spec,
+                              ShardOptions options = {});
+
+  /// Runs the full pipeline with the spec's own sliders.
+  ShardedOutcome synthesize();
+
+ private:
+  const model::ProblemSpec& spec_;
+  ShardOptions options_;
+};
+
+}  // namespace cs::shard

@@ -1,0 +1,57 @@
+// Stitcher: merging per-region designs into one global SecurityDesign.
+//
+// Region solves decide intra-region flows and intra-region device
+// placements; the stitcher lifts them into the global id space and then
+// resolves everything only the global view can see:
+//
+//   1. cross-region flows pinned by RequirePatternForFlow constraints;
+//   2. DenyOneOf constraints spanning regions (prefer denying the guard
+//      flow, then the open flow, whichever is deniable);
+//   3. the global isolation threshold — cross flows default to open,
+//      which drags the pair average, so the stitcher escalates them in
+//      deterministic batches: first usability-neutral non-deny patterns
+//      (IPSec-family patterns are avoided — tunnel-margin rules rarely
+//      hold on arbitrary cross-cut routes), then denies on non-CR flows
+//      while the usability threshold still holds;
+//   4. device coverage (eq. 1/7) over the *global* route set: any route
+//      a region solver never saw — cross-cut routes, and intra-pair
+//      detours through other regions — gets its missing devices placed,
+//      preferring cut links so one device covers many cross routes.
+//
+// The stitched design is then re-validated by the authoritative
+// analysis::check_design against the full spec, thresholds included.
+// `ok == false` means the sharded pipeline must fall back to the
+// monolithic solve — the stitcher never guesses SAT.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "shard/planner.h"
+#include "synth/design.h"
+
+namespace cs::shard {
+
+struct StitchResult {
+  /// True when the stitched design passes the global checker.
+  bool ok = false;
+  synth::SecurityDesign design;
+  /// The authoritative global check (thresholds included).
+  analysis::CheckReport report;
+  /// Cross flows the isolation-threshold escalation assigned a pattern.
+  int escalated_flows = 0;
+  /// Device placements added by global route-coverage repair.
+  int repair_placements = 0;
+  /// First checker issue when !ok (empty otherwise).
+  std::string failure;
+};
+
+/// `region_designs[r]` is region r's solved design (nullopt for trivial
+/// regions, which contribute nothing). Indices must match plan.regions.
+StitchResult stitch_designs(
+    const model::ProblemSpec& spec, const ShardPlan& plan,
+    const std::vector<std::optional<synth::SecurityDesign>>& region_designs);
+
+}  // namespace cs::shard

@@ -1,0 +1,90 @@
+// Structured topology generators (fat-tree, campus, ISP-like).
+//
+// The random mesh in generator.h reproduces the paper's evaluation
+// methodology; these generators build the network shapes real deployments
+// actually have, so the scale experiments (bench_fig6_scale) and the
+// sharded synthesizer (src/shard) run against topologies with exploitable
+// locality. NetGAP's graph-grammar construction (PAPERS.md) grounds the
+// approach: each family is a small deterministic production rule set
+// parameterized by size.
+//
+// All three builders are fully deterministic functions of their config —
+// no RNG — so generated specs fingerprint identically across runs and the
+// shard partitioner sees the same cut for the same parameters. Hosts are
+// attached in contiguous blocks (host h1..hN fills the first access
+// switch, then the next), so nearby host indices are topologically close;
+// the scale workloads rely on that to build locality-weighted flow sets.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "topology/generator.h"
+#include "topology/network.h"
+
+namespace cs::topology {
+
+/// The generator families surfaced on bench/CLI `--topology` flags.
+enum class TopologyKind {
+  kMesh,     // generator.h random mesh (the paper's methodology)
+  kFatTree,  // k-ary Clos fat-tree: core / aggregation / edge
+  kCampus,   // two-tier campus: core ring, per-building distribution+access
+  kIsp,      // ISP-like: full-mesh backbone, aggregation, customer edge
+};
+
+/// Stable lowercase spelling ("mesh", "fat-tree", "campus", "isp").
+std::string_view topology_kind_name(TopologyKind kind);
+
+/// Parses a `topology_kind_name` spelling; throws SpecError on anything
+/// else.
+TopologyKind topology_kind_from_name(std::string_view name);
+
+/// k-ary fat-tree: k pods of k/2 edge + k/2 aggregation switches, each
+/// pod's aggregation layer fully meshed to its edge layer, (k/2)² core
+/// switches with aggregation switch a of every pod uplinked to core group
+/// a. Hosts are spread over the edge switches in contiguous blocks.
+struct FatTreeConfig {
+  /// Pod arity; must be even and >= 2. Routers = (k/2)² + k².
+  int k = 4;
+  /// Logical hosts, attached under the edge switches.
+  int hosts = 16;
+};
+
+Network make_fat_tree(const FatTreeConfig& config);
+
+/// Two-tier campus: a ring of core routers; each building has one
+/// distribution router dual-homed to two cores and `access_per_building`
+/// access routers under it; hosts fill the access layer in blocks.
+struct CampusConfig {
+  int cores = 2;                // >= 1; >= 2 gives redundant core paths
+  int buildings = 4;            // >= 1
+  int access_per_building = 2;  // >= 1
+  int hosts = 24;
+  /// Adds the logical Internet endpoint on the first core router.
+  bool include_internet = false;
+};
+
+Network make_campus(const CampusConfig& config);
+
+/// ISP-like core/aggregation: a fully meshed backbone, aggregation
+/// routers dual-homed to adjacent backbone routers, customer-edge routers
+/// dual-homed to adjacent aggregation routers, hosts in blocks under the
+/// edge.
+struct IspConfig {
+  int core = 4;          // backbone routers (full mesh), >= 1
+  int aggregation = 8;   // >= 1
+  int edge = 16;         // >= 1
+  int hosts = 48;
+  /// Adds the logical Internet endpoint on the first backbone router.
+  bool include_internet = false;
+};
+
+Network make_isp(const IspConfig& config);
+
+/// Size-parameterized convenience entry: derives a family config from a
+/// host budget (exact host count, family-appropriate switch counts) and
+/// builds it. `seed` only matters for kMesh — the structured families are
+/// deterministic — so one seed reproduces any kind.
+Network make_structured(TopologyKind kind, int hosts, std::uint64_t seed);
+
+}  // namespace cs::topology

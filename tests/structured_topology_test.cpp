@@ -1,0 +1,153 @@
+// Tests for the structured topology generators (topology/structured.h):
+// shape invariants per family (router counts, exact host counts,
+// connectivity), seeded determinism (same config -> byte-identical
+// network and spec fingerprint), contiguous host attachment, name
+// round-trips, and graphviz export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "model/fingerprint.h"
+#include "model/spec.h"
+#include "topology/graphviz.h"
+#include "topology/structured.h"
+#include "util/error.h"
+
+namespace cs::topology {
+namespace {
+
+TEST(TopologyKindTest, NameRoundTrip) {
+  for (const TopologyKind kind :
+       {TopologyKind::kMesh, TopologyKind::kFatTree, TopologyKind::kCampus,
+        TopologyKind::kIsp}) {
+    EXPECT_EQ(topology_kind_from_name(topology_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(topology_kind_from_name("torus"), util::SpecError);
+}
+
+TEST(FatTreeTest, ShapeInvariants) {
+  // k = 4: 4 pods x (2 edge + 2 agg) = 16 pod switches + (k/2)^2 = 4
+  // cores.
+  const Network net = make_fat_tree(FatTreeConfig{4, 16});
+  EXPECT_EQ(net.router_count(), 20u);
+  EXPECT_EQ(net.host_count(), 16u);
+  EXPECT_TRUE(net.connected());
+  net.validate();
+  // Aggregation switches link k/2 edges + k/2 cores and every core takes
+  // one uplink per pod — router-degree k for both (12 switches); edge
+  // switches link only their pod's k/2 aggregations (8 switches).
+  int degree_k = 0;
+  int degree_half_k = 0;
+  for (const NodeId r : net.routers()) {
+    int router_degree = 0;
+    for (const Adjacency& adj : net.neighbors(r))
+      if (net.is_router(adj.peer)) ++router_degree;
+    if (router_degree == 4) ++degree_k;
+    if (router_degree == 2) ++degree_half_k;
+  }
+  EXPECT_EQ(degree_k, 12);
+  EXPECT_EQ(degree_half_k, 8);
+}
+
+TEST(FatTreeTest, DerivesArityFromHostBudget) {
+  // Smallest even k with k^3/4 >= 100 is 8 -> 5k^2/4 = 80 routers.
+  const Network net = make_structured(TopologyKind::kFatTree, 100, 1);
+  EXPECT_EQ(net.host_count(), 100u);
+  EXPECT_EQ(net.router_count(), 80u);
+  EXPECT_TRUE(net.connected());
+}
+
+TEST(CampusTest, ShapeInvariants) {
+  CampusConfig cfg;
+  cfg.cores = 2;
+  cfg.buildings = 5;
+  cfg.access_per_building = 1;
+  cfg.hosts = 20;
+  cfg.include_internet = true;
+  const Network net = make_campus(cfg);
+  EXPECT_EQ(net.router_count(), 12u);  // 2 cores + 5 x (dist + access)
+  EXPECT_EQ(net.host_count(), 21u);    // 20 hosts + the Internet endpoint
+  EXPECT_TRUE(net.connected());
+  int internet_nodes = 0;
+  for (const NodeId h : net.hosts())
+    if (net.node(h).is_internet) ++internet_nodes;
+  EXPECT_EQ(internet_nodes, 1);
+}
+
+TEST(IspTest, ShapeInvariants) {
+  const Network net = make_isp(IspConfig{});  // 4 + 8 + 16 routers
+  EXPECT_EQ(net.router_count(), 28u);
+  EXPECT_EQ(net.host_count(), 48u);
+  EXPECT_TRUE(net.connected());
+  net.validate();
+}
+
+TEST(StructuredTest, ExactHostCounts) {
+  for (const TopologyKind kind :
+       {TopologyKind::kFatTree, TopologyKind::kCampus, TopologyKind::kIsp}) {
+    for (const int hosts : {7, 30, 120}) {
+      const Network net = make_structured(kind, hosts, 99);
+      EXPECT_EQ(net.host_count(), static_cast<std::size_t>(hosts))
+          << topology_kind_name(kind) << " @ " << hosts;
+      EXPECT_TRUE(net.connected());
+    }
+  }
+}
+
+TEST(StructuredTest, DeterministicAcrossCalls) {
+  for (const TopologyKind kind :
+       {TopologyKind::kMesh, TopologyKind::kFatTree, TopologyKind::kCampus,
+        TopologyKind::kIsp}) {
+    const Network a = make_structured(kind, 24, 42);
+    const Network b = make_structured(kind, 24, 42);
+    // Byte-identical construction implies identical DOT renderings.
+    EXPECT_EQ(to_dot(a), to_dot(b)) << topology_kind_name(kind);
+  }
+}
+
+TEST(StructuredTest, SpecFingerprintIsStable) {
+  const auto build = [] {
+    model::ProblemSpec spec;
+    spec.network = make_structured(TopologyKind::kCampus, 12, 7);
+    const model::ServiceId svc = spec.services.add("svc");
+    const auto& hosts = spec.network.hosts();
+    for (std::size_t i = 0; i + 1 < hosts.size(); ++i)
+      spec.flows.add(model::Flow{hosts[i], hosts[i + 1], svc});
+    spec.sliders = model::Sliders{util::Fixed::from_int(3),
+                                  util::Fixed::from_int(3),
+                                  util::Fixed::from_int(50)};
+    spec.finalize();
+    return spec;
+  };
+  EXPECT_EQ(model::fingerprint_spec(build()), model::fingerprint_spec(build()));
+}
+
+TEST(StructuredTest, HostsAttachInContiguousBlocks) {
+  // Host i's uplink switch id never decreases with i: blocks fill one
+  // access switch before moving to the next (the locality the scale
+  // workloads and the shard partitioner rely on).
+  for (const TopologyKind kind :
+       {TopologyKind::kFatTree, TopologyKind::kCampus, TopologyKind::kIsp}) {
+    const Network net = make_structured(kind, 40, 3);
+    NodeId last_switch = kInvalidNode;
+    for (const NodeId h : net.hosts()) {
+      ASSERT_FALSE(net.neighbors(h).empty());
+      const NodeId up = net.neighbors(h).front().peer;
+      EXPECT_TRUE(net.is_router(up));
+      EXPECT_GE(up, last_switch) << topology_kind_name(kind);
+      last_switch = up;
+    }
+  }
+}
+
+TEST(StructuredTest, GraphvizExportRendersAllNodes) {
+  const Network net = make_structured(TopologyKind::kFatTree, 16, 1);
+  const std::string dot = to_dot(net);
+  EXPECT_NE(dot.find("graph"), std::string::npos);
+  for (const Node& n : net.nodes())
+    EXPECT_NE(dot.find(n.name), std::string::npos) << n.name;
+}
+
+}  // namespace
+}  // namespace cs::topology
