@@ -52,44 +52,6 @@ struct ScaleRun {
   double hosts_per_sec = 0;
 };
 
-/// Locality-weighted scale workload. Hosts are attached to the
-/// structured fabric in contiguous index blocks, so adjacent host
-/// indices are topologically close; each host talks WEB/DB to its two
-/// index neighbors and every fourth host reaches one far host (SSH to
-/// i + n/2) — roughly 2.25 flows per host, most of them intra-region
-/// under any reasonable cut. Every 10th flow is a connectivity
-/// requirement; the budget scales with the host count.
-model::ProblemSpec make_scale_spec(topology::TopologyKind kind, int hosts,
-                                   std::uint64_t seed) {
-  model::ProblemSpec spec;
-  spec.network = topology::make_structured(kind, hosts, seed);
-  model::add_standard_services(spec.services);
-  const model::ServiceId web = *spec.services.find("WEB");
-  const model::ServiceId db = *spec.services.find("DB");
-  const model::ServiceId ssh = *spec.services.find("SSH");
-
-  std::vector<topology::NodeId> hs;
-  for (const topology::NodeId h : spec.network.hosts())
-    if (!spec.network.node(h).is_internet) hs.push_back(h);
-  const int n = static_cast<int>(hs.size());
-  const auto at = [&](int i) {
-    return hs[static_cast<std::size_t>(((i % n) + n) % n)];
-  };
-  for (int i = 0; i < n; ++i) {
-    spec.flows.add(model::Flow{at(i), at(i + 1), web});
-    spec.flows.add(model::Flow{at(i), at(i + 2), db});
-    if (i % 4 == 0) spec.flows.add(model::Flow{at(i), at(i + n / 2), ssh});
-  }
-  for (std::size_t f = 0; f < spec.flows.size(); f += 10)
-    spec.connectivity.add(static_cast<model::FlowId>(f));
-
-  spec.sliders = model::Sliders{util::Fixed::from_int(7),
-                                util::Fixed::from_double(4.5),
-                                util::Fixed::from_int(18 * hosts)};
-  spec.finalize();
-  return spec;
-}
-
 const char* status_name(smt::CheckResult status) {
   switch (status) {
     case smt::CheckResult::kSat:
@@ -174,7 +136,7 @@ int main(int argc, char** argv) {
     std::vector<ScaleRun> runs;
     std::vector<std::vector<std::string>> rows;
     for (const int hosts : host_counts) {
-      const model::ProblemSpec spec = make_scale_spec(
+      const model::ProblemSpec spec = bench::make_locality_spec(
           kind, hosts, 6000 + static_cast<std::uint64_t>(hosts));
       ScaleRun base;
       base.topology = topo;

@@ -83,6 +83,37 @@ model::ProblemSpec make_eval_spec(topology::TopologyKind kind, int hosts,
   return spec;
 }
 
+model::ProblemSpec make_locality_spec(topology::TopologyKind kind, int hosts,
+                                      std::uint64_t seed) {
+  model::ProblemSpec spec;
+  spec.network = topology::make_structured(kind, hosts, seed);
+  model::add_standard_services(spec.services);
+  const model::ServiceId web = *spec.services.find("WEB");
+  const model::ServiceId db = *spec.services.find("DB");
+  const model::ServiceId ssh = *spec.services.find("SSH");
+
+  std::vector<topology::NodeId> hs;
+  for (const topology::NodeId h : spec.network.hosts())
+    if (!spec.network.node(h).is_internet) hs.push_back(h);
+  const int n = static_cast<int>(hs.size());
+  const auto at = [&](int i) {
+    return hs[static_cast<std::size_t>(((i % n) + n) % n)];
+  };
+  for (int i = 0; i < n; ++i) {
+    spec.flows.add(model::Flow{at(i), at(i + 1), web});
+    spec.flows.add(model::Flow{at(i), at(i + 2), db});
+    if (i % 4 == 0) spec.flows.add(model::Flow{at(i), at(i + n / 2), ssh});
+  }
+  for (std::size_t f = 0; f < spec.flows.size(); f += 10)
+    spec.connectivity.add(static_cast<model::FlowId>(f));
+
+  spec.sliders = model::Sliders{util::Fixed::from_int(7),
+                                util::Fixed::from_double(4.5),
+                                util::Fixed::from_int(18 * hosts)};
+  spec.finalize();
+  return spec;
+}
+
 TimedRun run_synthesis(const model::ProblemSpec& spec,
                        const model::Sliders& sliders) {
   // One span per cold synthesis; the encoder/solver layers below nest

@@ -70,6 +70,16 @@ model::ProblemSpec make_eval_spec(topology::TopologyKind kind, int hosts,
                                   int routers, double cr_fraction,
                                   std::uint64_t seed, int services = 3);
 
+/// Locality-weighted scale workload on a structured fabric (the Fig. 6
+/// and churn-bench spec). Hosts attach in contiguous index blocks, so
+/// adjacent indices are topologically close; each host talks WEB/DB to
+/// its two index neighbors and every fourth host reaches one far host
+/// (SSH to i + n/2) — roughly 2.25 flows per host. Every 10th flow is a
+/// connectivity requirement; sliders are 7 / 4.5 / 18·hosts (feasible
+/// across the size range), and the budget scales with the host count.
+model::ProblemSpec make_locality_spec(topology::TopologyKind kind, int hosts,
+                                      std::uint64_t seed);
+
 struct TimedRun {
   smt::CheckResult status = smt::CheckResult::kUnknown;
   /// Synthesis time = model generation + constraint verification (the

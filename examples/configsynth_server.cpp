@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "model/delta.h"
 #include "model/input_file.h"
 #include "net/options.h"
 #include "net/request_codec.h"
@@ -128,6 +129,9 @@ int run_file_mode(const std::string& requests_path,
 
   service::SynthService service(opts.service);
   std::map<std::string, std::shared_ptr<const model::ProblemSpec>> specs;
+  /// Base for `delta:` spec-refs: the spec of the most recent request
+  /// line whose spec-ref resolved, in file order (docs/DELTAS.md).
+  std::shared_ptr<const model::ProblemSpec> last_spec;
   std::vector<Slot> slots;
   std::vector<std::future<service::ServiceOutcome>> pending;
   /// Slot counts after which a `metrics` command line asks for a
@@ -175,7 +179,13 @@ int run_file_mode(const std::string& requests_path,
     slot.point = request.point;
     try {
       std::shared_ptr<const model::ProblemSpec> spec;
-      if (request.spec_kind == net::SpecRefKind::kInline) {
+      if (request.spec_kind == net::SpecRefKind::kDelta) {
+        CS_REQUIRE(last_spec != nullptr,
+                   "delta: spec-ref needs a previous spec in this request "
+                   "file (put a file:/inline: request first)");
+        spec = std::make_shared<const model::ProblemSpec>(model::apply_delta(
+            *last_spec, model::parse_delta(request.spec)));
+      } else if (request.spec_kind == net::SpecRefKind::kInline) {
         auto& cached = specs["inline\n" + request.spec];
         if (!cached) {
           std::istringstream spec_in(request.spec);
@@ -193,6 +203,7 @@ int run_file_mode(const std::string& requests_path,
               model::parse_input_file(path));
         spec = cached;
       }
+      last_spec = spec;
       service::ServiceRequest sreq;
       sreq.spec = std::move(spec);
       sreq.point = request.point;

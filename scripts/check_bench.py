@@ -6,6 +6,7 @@ validator:
   cs-bench-solver-v1  (BENCH_solver.json, bench_solver_core)
   cs-bench-load-v1    (BENCH_load.json, bench_load)
   cs-bench-scale-v1   (BENCH_scale.json, bench_fig6_scale)
+  cs-bench-churn-v1   (BENCH_churn.json, bench_fig7_churn)
 
 Usage: check_bench.py <bench.json> [--baseline <baseline.json>]
 
@@ -37,6 +38,23 @@ cs-bench-scale-v1:
     (topology, hosts, mode) keys are unique;
   * hosts_per_sec agrees with hosts/wall_seconds.
 
+cs-bench-churn-v1:
+  * "runs" is a non-empty array; every run carries topology/op_class
+    strings plus numeric hosts, steps, inc_median_seconds,
+    cold_median_seconds, speedup_median, capped, verdict_mismatches,
+    invalid_designs, design_comparisons, design_matches, warm, retract,
+    replay, full;
+  * op_class is retune|uic|flow|link|host|all, path counts sum to steps,
+    capped <= steps, (topology, hosts, op_class) keys are unique;
+  * correctness certification is a hard gate, not a regression warning:
+    verdict_mismatches == 0, invalid_designs == 0 and design_matches ==
+    design_comparisons — the apply_delta contract (docs/DELTAS.md) says
+    incremental verdicts equal cold solves on decided checks, so any
+    decided-vs-decided mismatch means the emitter (not the machine) is
+    broken (capped steps — either side kUnknown — are excluded from
+    certification by the bench and counted in `capped`);
+  * speedup_median agrees with cold_median/inc_median.
+
 Baseline comparison (exit 1 on regression — machine-speed dependent, so
 callers treat it as a warning, not a gate):
   * runs are matched to baseline runs by their key;
@@ -49,6 +67,10 @@ callers treat it as a warning, not a gate):
     flagged; runs under 50 hosts are skipped, and so are capped runs on
     either side (a capped wall clock measures the effort cap, not the
     machine);
+  * churn: a matched run whose speedup_median falls below baseline/1.5
+    is flagged; cells under 10 steps are skipped — per-class medians
+    over a few draws are noise — and so are cells with capped steps on
+    either side (a capped probe's wall is its effort cap);
   * runs missing from the baseline are reported but not flagged.
 
 Exit code 0 when the schema is valid and no regression was flagged.
@@ -61,10 +83,12 @@ MIN_CONFLICTS = 1000
 MIN_PROPAGATIONS = 100_000
 MIN_REQUESTS = 50
 MIN_HOSTS = 50
+MIN_STEPS = 10
 
 SOLVER_SCHEMA = "cs-bench-solver-v1"
 LOAD_SCHEMA = "cs-bench-load-v1"
 SCALE_SCHEMA = "cs-bench-scale-v1"
+CHURN_SCHEMA = "cs-bench-churn-v1"
 
 SOLVER_STR = ("workload", "pb_mode", "phase")
 SOLVER_NUM = ("points", "wall_seconds", "conflicts", "propagations",
@@ -77,6 +101,12 @@ LOAD_NUM = ("dup_pct", "connections", "requests", "rejected", "errors",
 SCALE_STR = ("topology", "mode", "status")
 SCALE_NUM = ("hosts", "routers", "flows", "regions", "cut_links",
              "fallback", "wall_seconds", "hosts_per_sec")
+CHURN_STR = ("topology", "op_class")
+CHURN_NUM = ("hosts", "steps", "inc_median_seconds", "cold_median_seconds",
+             "speedup_median", "capped", "verdict_mismatches",
+             "invalid_designs", "design_comparisons", "design_matches",
+             "warm", "retract", "replay", "full")
+CHURN_CLASSES = ("retune", "uic", "flow", "link", "host", "all")
 
 
 def schema_fail(msg):
@@ -183,9 +213,54 @@ def validate_scale(doc, path):
     return keyed
 
 
+def validate_churn(doc, path):
+    keyed = {}
+    for i, run in enumerate(check_runs(doc, path)):
+        where = f"{path}: runs[{i}]"
+        check_fields(run, where, CHURN_STR, CHURN_NUM)
+        if run["op_class"] not in CHURN_CLASSES:
+            schema_fail(f"{where}: op_class {run['op_class']!r}")
+        paths = run["warm"] + run["retract"] + run["replay"] + run["full"]
+        if paths != run["steps"]:
+            schema_fail(f"{where}: path counts {paths} != steps "
+                        f"{run['steps']}")
+        if run["capped"] > run["steps"]:
+            schema_fail(f"{where}: capped {run['capped']} > steps "
+                        f"{run['steps']}")
+        # Correctness is a hard gate: the apply_delta contract promises
+        # cold-identical verdicts, certified designs, and byte-identical
+        # designs on the deterministic replay/full tiers.
+        if run["verdict_mismatches"] != 0:
+            schema_fail(f"{where}: {run['verdict_mismatches']} incremental "
+                        f"verdict(s) differ from the cold solve")
+        if run["invalid_designs"] != 0:
+            schema_fail(f"{where}: {run['invalid_designs']} design(s) "
+                        f"failed check_design certification")
+        if run["design_matches"] != run["design_comparisons"]:
+            schema_fail(f"{where}: only {run['design_matches']} of "
+                        f"{run['design_comparisons']} replay/full designs "
+                        f"matched the cold design")
+        key = (run["topology"], run["hosts"], run["op_class"])
+        if key in keyed:
+            schema_fail(f"{where}: duplicate run key {key}")
+        keyed[key] = run
+        if run["inc_median_seconds"] > 0:
+            stated = run["speedup_median"]
+            actual = run["cold_median_seconds"] / run["inc_median_seconds"]
+            if abs(stated - actual) > max(0.01, 0.02 * actual):
+                schema_fail(f"{where}: speedup_median {stated} != "
+                            f"cold/inc {actual:.3f}")
+    return keyed
+
+
 def skip_capped(run, base):
     """A capped wall clock measures the effort cap, not the machine."""
     return run.get("status") == "capped" or base.get("status") == "capped"
+
+
+def skip_churn_capped(run, base):
+    """A cell with capped steps has cap-burn wall times in its medians."""
+    return run["capped"] > 0 or base["capped"] > 0
 
 
 # schema name -> (validator, regression rate floors, optional pair skip).
@@ -206,6 +281,11 @@ SCHEMAS = {
         "validate": validate_scale,
         "rate_floors": (("hosts", "hosts_per_sec", MIN_HOSTS),),
         "skip": skip_capped,
+    },
+    CHURN_SCHEMA: {
+        "validate": validate_churn,
+        "rate_floors": (("steps", "speedup_median", MIN_STEPS),),
+        "skip": skip_churn_capped,
     },
 }
 

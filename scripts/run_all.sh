@@ -35,12 +35,16 @@ python3 scripts/check_trace.py cli_trace.json \
 if [ "${CS_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -G Ninja -DCONFIGSYNTH_SANITIZE=thread
   cmake --build build-tsan \
-    --target sweep_test service_test obs_test minisolver_test fuzz_minipb
+    --target sweep_test service_test obs_test delta_test minisolver_test \
+    fuzz_minipb
   ./build-tsan/tests/sweep_test \
     --gtest_filter='ThreadPool*:SweepEngineMiniPb*:*minipb*' \
     2>&1 | tee tsan_output.txt
   ./build-tsan/tests/service_test \
     --gtest_filter='SynthServiceMiniPb*:ResultCache*:Metrics*:*minipb*' \
+    2>&1 | tee -a tsan_output.txt
+  ./build-tsan/tests/delta_test \
+    --gtest_filter='DeltaSynthesisParallel*:DeltaGrammar*' \
     2>&1 | tee -a tsan_output.txt
   ./build-tsan/tests/obs_test 2>&1 | tee -a tsan_output.txt
   # Solver-core coverage: the arena/watched-sum/reduce paths themselves,
@@ -63,6 +67,17 @@ case $? in
   0) ;;
   1) echo "WARNING: solver bench throughput regressed vs baseline" ;;
   *) echo "BENCH_solver.json schema check failed"; exit 2 ;;
+esac
+
+# Churn bench artifact: schema AND the incremental-verdict certification
+# are hard gates (exit 2 — any mismatch means apply_delta broke, not the
+# machine); a speedup regression vs the baseline (exit 1) warns only.
+python3 scripts/check_bench.py BENCH_churn.json \
+  --baseline bench/baselines/BENCH_churn.json
+case $? in
+  0) ;;
+  1) echo "WARNING: churn bench speedup regressed vs baseline" ;;
+  *) echo "BENCH_churn.json check failed"; exit 2 ;;
 esac
 
 echo "Artifacts written. What each bench/CSV means: docs/BENCHMARKS.md"

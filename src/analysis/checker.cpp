@@ -36,8 +36,15 @@ std::string CheckReport::to_string() const {
 CheckReport check_design(const model::ProblemSpec& spec,
                          const synth::SecurityDesign& design,
                          bool check_thresholds) {
-  CheckReport report;
   topology::RouteTable routes(spec.network, spec.route_options);
+  return check_design(spec, design, routes, check_thresholds);
+}
+
+CheckReport check_design(const model::ProblemSpec& spec,
+                         const synth::SecurityDesign& design,
+                         topology::RouteTable& routes,
+                         bool check_thresholds) {
+  CheckReport report;
 
   const auto covered = [&](const Route& r, model::DeviceType d) {
     return std::any_of(r.links.begin(), r.links.end(), [&](LinkId e) {

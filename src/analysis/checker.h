@@ -31,4 +31,14 @@ CheckReport check_design(const model::ProblemSpec& spec,
                          const synth::SecurityDesign& design,
                          bool check_thresholds = true);
 
+/// Same, but reuses an already-populated route table instead of
+/// re-enumerating routes — the route cost dominates checking at scale,
+/// so the incremental synthesizer certifies fast-path designs with the
+/// table it already owns. `routes` must be built over spec.network with
+/// spec.route_options.
+CheckReport check_design(const model::ProblemSpec& spec,
+                         const synth::SecurityDesign& design,
+                         topology::RouteTable& routes,
+                         bool check_thresholds = true);
+
 }  // namespace cs::analysis

@@ -62,6 +62,151 @@ Fingerprint constraint_digest(const UserConstraint& c) {
   return h.digest();
 }
 
+/// topology sub-digest (t1–t7): the encoding's variable universe and
+/// constants — everything except flows, policies, and the query point.
+Fingerprint topology_digest(const ProblemSpec& spec) {
+  FingerprintHasher h;
+  h.mix_fixed(spec.alpha);
+
+  // t2. Network. Nodes in id order (ids are identity); links sorted by
+  // endpoint pair so add_link order never matters.
+  const topology::Network& net = spec.network;
+  h.mix(net.node_count());
+  for (const topology::Node& n : net.nodes()) {
+    h.mix_i64(static_cast<std::int64_t>(n.kind));
+    h.mix_string(n.name);
+    h.mix_i64(n.group_size);
+    h.mix(n.is_internet ? 1 : 0);
+  }
+  std::vector<std::pair<topology::NodeId, topology::NodeId>> links;
+  links.reserve(net.link_count());
+  for (const topology::Link& l : net.links())
+    links.emplace_back(std::min(l.a, l.b), std::max(l.a, l.b));
+  std::sort(links.begin(), links.end());
+  h.mix(links.size());
+  for (const auto& [a, b] : links) {
+    h.mix_i64(a);
+    h.mix_i64(b);
+  }
+
+  // t3. Services in id order (ids are identity — flows reference them).
+  h.mix(spec.services.size());
+  for (const Service& s : spec.services.all()) {
+    h.mix_string(s.name);
+    h.mix_i64(s.protocol);
+    h.mix_i64(s.port);
+  }
+
+  // t4. Isolation config. Enabled set sorted by pattern index; the
+  // per-service override map is std::map, already (pattern, service)
+  // ordered.
+  const IsolationConfig& iso = spec.isolation;
+  h.mix_i64(iso.tunnel_margin());
+  std::vector<IsolationPattern> enabled = iso.enabled();
+  std::sort(enabled.begin(), enabled.end());
+  h.mix(enabled.size());
+  for (const IsolationPattern p : enabled) {
+    h.mix_i64(pattern_index(p));
+    h.mix_fixed(iso.score(p));
+    h.mix_fixed(iso.usability(p, kInvalidService));
+  }
+  h.mix(iso.usability_overrides().size());
+  for (const auto& [key, value] : iso.usability_overrides()) {
+    h.mix_i64(key.first);
+    h.mix_i64(key.second);
+    h.mix_fixed(value);
+  }
+
+  // t5. Host- and app-pattern extension configs, enabled sets sorted.
+  std::vector<HostPattern> hps = spec.host_patterns.enabled();
+  std::sort(hps.begin(), hps.end());
+  h.mix(hps.size());
+  for (const HostPattern p : hps) {
+    h.mix_i64(host_pattern_index(p));
+    h.mix_fixed(spec.host_patterns.score(p));
+    h.mix_fixed(spec.host_patterns.cost(p));
+  }
+  std::vector<AppPattern> aps = spec.app_patterns.enabled();
+  std::sort(aps.begin(), aps.end());
+  h.mix(aps.size());
+  for (const AppPattern p : aps) {
+    h.mix_i64(app_pattern_index(p));
+    h.mix_fixed(spec.app_patterns.score(p));
+    h.mix_fixed(spec.app_patterns.cost(p));
+    h.mix_i64(spec.app_patterns.only_service(p));
+  }
+
+  // t6. Device costs in type order.
+  for (const DeviceType d : kAllDevices) h.mix_fixed(spec.device_costs.cost(d));
+
+  // t7. Route options (they change the encoded route sets).
+  h.mix(spec.route_options.max_routes);
+  h.mix(spec.route_options.max_hops);
+
+  return h.digest();
+}
+
+/// flows sub-digest (f1–f2): the decision universe.
+Fingerprint flows_digest(const ProblemSpec& spec) {
+  FingerprintHasher h;
+
+  // f1. Flows sorted by (src, dst, service), each with its rank. Flow
+  // ids never enter the digest, so FlowSet::add order is free.
+  std::vector<FlowId> order(spec.flows.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<FlowId>(i);
+  std::sort(order.begin(), order.end(), [&](FlowId x, FlowId y) {
+    return flow_word(spec.flows.flow(x)) < flow_word(spec.flows.flow(y));
+  });
+  h.mix(order.size());
+  for (const FlowId id : order) {
+    h.mix(flow_word(spec.flows.flow(id)));
+    h.mix_fixed(spec.ranks.rank(id));
+  }
+
+  // f2. Connectivity requirements as sorted canonical flow triples.
+  std::vector<std::uint64_t> crs;
+  crs.reserve(spec.connectivity.size());
+  for (const FlowId id : spec.connectivity.sorted())
+    crs.push_back(flow_word(spec.flows.flow(id)));
+  std::sort(crs.begin(), crs.end());
+  h.mix(crs.size());
+  for (const std::uint64_t w : crs) h.mix(w);
+
+  return h.digest();
+}
+
+/// uics sub-digest (u1–u2): retractable policy constraints.
+Fingerprint uics_digest(const ProblemSpec& spec) {
+  FingerprintHasher h;
+
+  // u1. User constraints: sorted sub-digests (set semantics).
+  std::vector<Fingerprint> cds;
+  cds.reserve(spec.user_constraints.size());
+  for (const UserConstraint& c : spec.user_constraints)
+    cds.push_back(constraint_digest(c));
+  std::sort(cds.begin(), cds.end(), [](const Fingerprint& x,
+                                       const Fingerprint& y) {
+    return std::tie(x.hi, x.lo) < std::tie(y.hi, y.lo);
+  });
+  h.mix(cds.size());
+  for (const Fingerprint& d : cds) h.mix_digest(d);
+
+  // u2. Host isolation requirements sorted by (host, minimum).
+  std::vector<std::pair<topology::NodeId, std::int64_t>> reqs;
+  reqs.reserve(spec.host_requirements.size());
+  for (const HostIsolationRequirement& r : spec.host_requirements)
+    reqs.emplace_back(r.host, r.min_isolation.raw());
+  std::sort(reqs.begin(), reqs.end());
+  h.mix(reqs.size());
+  for (const auto& [host, min] : reqs) {
+    h.mix_i64(host);
+    h.mix_i64(min);
+  }
+
+  return h.digest();
+}
+
 }  // namespace
 
 std::string Fingerprint::to_string() const {
@@ -97,139 +242,46 @@ Fingerprint FingerprintHasher::digest() const {
   return Fingerprint{hi, lo};
 }
 
-Fingerprint fingerprint_spec(const ProblemSpec& spec) {
+Fingerprint SpecDigests::shape() const {
+  FingerprintHasher h;
+  h.mix_string("cs-shape-v1");
+  h.mix_digest(topology);
+  h.mix_digest(flows);
+  h.mix_digest(uics);
+  return h.digest();
+}
+
+SpecDigests fingerprint_sections(const ProblemSpec& spec) {
   CS_REQUIRE(spec.ranks.size() == spec.flows.size(),
              "fingerprint requires a finalized spec (ranks installed)");
+  SpecDigests d;
+  d.topology = topology_digest(spec);
+  d.flows = flows_digest(spec);
+  d.uics = uics_digest(spec);
+  {
+    FingerprintHasher h;
+    h.mix_fixed(spec.sliders.isolation);
+    h.mix_fixed(spec.sliders.usability);
+    d.thresholds = h.digest();
+  }
+  {
+    FingerprintHasher h;
+    h.mix_fixed(spec.sliders.budget);
+    d.budget = h.digest();
+  }
   FingerprintHasher h;
   h.mix_string("cs-spec-v1");
-  h.mix_fixed(spec.alpha);
-  h.mix_fixed(spec.sliders.isolation);
-  h.mix_fixed(spec.sliders.usability);
-  h.mix_fixed(spec.sliders.budget);
+  h.mix_digest(d.topology);
+  h.mix_digest(d.flows);
+  h.mix_digest(d.uics);
+  h.mix_digest(d.thresholds);
+  h.mix_digest(d.budget);
+  d.combined = h.digest();
+  return d;
+}
 
-  // 2. Network. Nodes in id order (ids are identity); links sorted by
-  // endpoint pair so add_link order never matters.
-  const topology::Network& net = spec.network;
-  h.mix(net.node_count());
-  for (const topology::Node& n : net.nodes()) {
-    h.mix_i64(static_cast<std::int64_t>(n.kind));
-    h.mix_string(n.name);
-    h.mix_i64(n.group_size);
-    h.mix(n.is_internet ? 1 : 0);
-  }
-  std::vector<std::pair<topology::NodeId, topology::NodeId>> links;
-  links.reserve(net.link_count());
-  for (const topology::Link& l : net.links())
-    links.emplace_back(std::min(l.a, l.b), std::max(l.a, l.b));
-  std::sort(links.begin(), links.end());
-  h.mix(links.size());
-  for (const auto& [a, b] : links) {
-    h.mix_i64(a);
-    h.mix_i64(b);
-  }
-
-  // 3. Services in id order (ids are identity — flows reference them).
-  h.mix(spec.services.size());
-  for (const Service& s : spec.services.all()) {
-    h.mix_string(s.name);
-    h.mix_i64(s.protocol);
-    h.mix_i64(s.port);
-  }
-
-  // 4. Isolation config. Enabled set sorted by pattern index; the
-  // per-service override map is std::map, already (pattern, service)
-  // ordered.
-  const IsolationConfig& iso = spec.isolation;
-  h.mix_i64(iso.tunnel_margin());
-  std::vector<IsolationPattern> enabled = iso.enabled();
-  std::sort(enabled.begin(), enabled.end());
-  h.mix(enabled.size());
-  for (const IsolationPattern p : enabled) {
-    h.mix_i64(pattern_index(p));
-    h.mix_fixed(iso.score(p));
-    h.mix_fixed(iso.usability(p, kInvalidService));
-  }
-  h.mix(iso.usability_overrides().size());
-  for (const auto& [key, value] : iso.usability_overrides()) {
-    h.mix_i64(key.first);
-    h.mix_i64(key.second);
-    h.mix_fixed(value);
-  }
-
-  // 5. Host- and app-pattern extension configs, enabled sets sorted.
-  std::vector<HostPattern> hps = spec.host_patterns.enabled();
-  std::sort(hps.begin(), hps.end());
-  h.mix(hps.size());
-  for (const HostPattern p : hps) {
-    h.mix_i64(host_pattern_index(p));
-    h.mix_fixed(spec.host_patterns.score(p));
-    h.mix_fixed(spec.host_patterns.cost(p));
-  }
-  std::vector<AppPattern> aps = spec.app_patterns.enabled();
-  std::sort(aps.begin(), aps.end());
-  h.mix(aps.size());
-  for (const AppPattern p : aps) {
-    h.mix_i64(app_pattern_index(p));
-    h.mix_fixed(spec.app_patterns.score(p));
-    h.mix_fixed(spec.app_patterns.cost(p));
-    h.mix_i64(spec.app_patterns.only_service(p));
-  }
-
-  // 6. Device costs in type order.
-  for (const DeviceType d : kAllDevices) h.mix_fixed(spec.device_costs.cost(d));
-
-  // 7. Flows sorted by (src, dst, service), each with its rank. Flow ids
-  // never enter the digest, so FlowSet::add order is free.
-  std::vector<FlowId> order(spec.flows.size());
-  for (std::size_t i = 0; i < order.size(); ++i)
-    order[i] = static_cast<FlowId>(i);
-  std::sort(order.begin(), order.end(), [&](FlowId x, FlowId y) {
-    return flow_word(spec.flows.flow(x)) < flow_word(spec.flows.flow(y));
-  });
-  h.mix(order.size());
-  for (const FlowId id : order) {
-    h.mix(flow_word(spec.flows.flow(id)));
-    h.mix_fixed(spec.ranks.rank(id));
-  }
-
-  // 8. Connectivity requirements as sorted canonical flow triples.
-  std::vector<std::uint64_t> crs;
-  crs.reserve(spec.connectivity.size());
-  for (const FlowId id : spec.connectivity.sorted())
-    crs.push_back(flow_word(spec.flows.flow(id)));
-  std::sort(crs.begin(), crs.end());
-  h.mix(crs.size());
-  for (const std::uint64_t w : crs) h.mix(w);
-
-  // 9. User constraints: sorted sub-digests (set semantics).
-  std::vector<Fingerprint> cds;
-  cds.reserve(spec.user_constraints.size());
-  for (const UserConstraint& c : spec.user_constraints)
-    cds.push_back(constraint_digest(c));
-  std::sort(cds.begin(), cds.end(), [](const Fingerprint& x,
-                                       const Fingerprint& y) {
-    return std::tie(x.hi, x.lo) < std::tie(y.hi, y.lo);
-  });
-  h.mix(cds.size());
-  for (const Fingerprint& d : cds) h.mix_digest(d);
-
-  // 10. Host isolation requirements sorted by (host, minimum).
-  std::vector<std::pair<topology::NodeId, std::int64_t>> reqs;
-  reqs.reserve(spec.host_requirements.size());
-  for (const HostIsolationRequirement& r : spec.host_requirements)
-    reqs.emplace_back(r.host, r.min_isolation.raw());
-  std::sort(reqs.begin(), reqs.end());
-  h.mix(reqs.size());
-  for (const auto& [host, min] : reqs) {
-    h.mix_i64(host);
-    h.mix_i64(min);
-  }
-
-  // 11. Route options (they change the encoded route sets).
-  h.mix(spec.route_options.max_routes);
-  h.mix(spec.route_options.max_hops);
-
-  return h.digest();
+Fingerprint fingerprint_spec(const ProblemSpec& spec) {
+  return fingerprint_sections(spec).combined;
 }
 
 }  // namespace cs::model

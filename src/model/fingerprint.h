@@ -8,30 +8,47 @@
 // result cache on this value, so the guarantee is load-bearing: a
 // collision would serve one spec the other spec's design.
 //
-// Canonical serialization (version tag "cs-spec-v1"). Fields are fed to
-// the hasher in a fixed documented order; containers whose construction
-// order is NOT semantically meaningful are sorted first:
+// Canonical serialization (version tag "cs-spec-v1"). The spec is
+// hashed as five per-section sub-digests, each over a fixed documented
+// field order; containers whose construction order is NOT semantically
+// meaningful are sorted first. The combined digest chains the version
+// tag and the five sub-digests, so any semantic change moves exactly
+// one sub-digest plus the combined value — that is what lets the cache,
+// the warm pool, and `Synthesizer::apply_delta` tell *what* changed
+// (docs/DELTAS.md has the composition contract).
 //
-//   1. version tag, α, sliders (I, U, B)
-//   2. network — nodes in id order (kind, name, group size, internet
-//      flag), then links as (min endpoint, max endpoint) pairs sorted;
-//      link *ids* never enter the digest, so insertion order is free.
-//      Node ids ARE identity (flows, CRs and policies reference them),
-//      so node order is part of the problem, not of its construction.
-//   3. services in id order (name, protocol, port)
-//   4. isolation config — tunnel margin, enabled patterns sorted by
-//      index with score and usability impact, per-service usability
-//      overrides in (pattern, service) order
-//   5. host- and app-pattern configs — enabled patterns sorted, with
-//      score/cost (+ service restriction for app patterns)
-//   6. device costs in DeviceType order
-//   7. flows sorted by (src, dst, service), each with its rank; flow
-//      *ids* never enter the digest, so add() order is free
-//   8. connectivity requirements as sorted canonical flow triples
-//   9. user constraints, each encoded to its own sub-digest
-//      (tag + canonical fields), sub-digests sorted — set semantics
-//  10. host isolation requirements sorted by (host, minimum)
-//  11. route options (max routes, max hops)
+// topology sub-digest — everything that shapes the encoding's variable
+// universe and constants:
+//   t1. α
+//   t2. network — nodes in id order (kind, name, group size, internet
+//       flag), then links as (min endpoint, max endpoint) pairs sorted;
+//       link *ids* never enter the digest, so insertion order is free.
+//       Node ids ARE identity (flows, CRs and policies reference them),
+//       so node order is part of the problem, not of its construction.
+//   t3. services in id order (name, protocol, port)
+//   t4. isolation config — tunnel margin, enabled patterns sorted by
+//       index with score and usability impact, per-service usability
+//       overrides in (pattern, service) order
+//   t5. host- and app-pattern configs — enabled patterns sorted, with
+//       score/cost (+ service restriction for app patterns)
+//   t6. device costs in DeviceType order
+//   t7. route options (max routes, max hops)
+//
+// flows sub-digest — the decision universe:
+//   f1. flows sorted by (src, dst, service), each with its rank; flow
+//       *ids* never enter the digest, so add() order is free
+//   f2. connectivity requirements as sorted canonical flow triples
+//
+// uics sub-digest — retractable policy constraints:
+//   u1. user constraints, each encoded to its own sub-digest
+//       (tag + canonical fields), sub-digests sorted — set semantics
+//   u2. host isolation requirements sorted by (host, minimum)
+//
+// thresholds sub-digest — sliders I and U; budget sub-digest — slider B.
+// These two are deliberately separate from everything above: together
+// with topology+flows+uics they split the digest into "encoding shape"
+// (SpecDigests::shape) and "query point", which is exactly the warm
+// `resolve()` boundary.
 //
 // The spec must be finalized (ranks installed); fingerprinting a spec
 // whose rank table does not match its flow count throws SpecError.
@@ -97,7 +114,31 @@ class FingerprintHasher {
   std::uint64_t count_ = 0;
 };
 
-/// Canonical digest of a finalized spec, per the contract above.
+/// Per-section sub-digests plus the combined cs-spec-v1 digest. Two
+/// specs with equal `combined` are the same synthesis problem; equal
+/// sub-digests localize which sections agree (see the contract above).
+struct SpecDigests {
+  Fingerprint topology;    // network, services, pattern configs, α,
+                           // device costs, route options
+  Fingerprint flows;       // flows + ranks + connectivity requirements
+  Fingerprint uics;        // user constraints + host requirements
+  Fingerprint thresholds;  // sliders I, U
+  Fingerprint budget;      // slider B
+  Fingerprint combined;    // == fingerprint_spec(spec)
+
+  /// Digest of the encoding shape: topology + flows + uics, excluding
+  /// the query point (thresholds/budget). Two specs with equal shape
+  /// encode to the same formula up to threshold guards, so a warm
+  /// synthesizer built for one can `resolve()` the other.
+  Fingerprint shape() const;
+
+  bool operator==(const SpecDigests&) const = default;
+};
+
+/// All sub-digests of a finalized spec, per the contract above.
+SpecDigests fingerprint_sections(const ProblemSpec& spec);
+
+/// Canonical digest of a finalized spec — `fingerprint_sections().combined`.
 Fingerprint fingerprint_spec(const ProblemSpec& spec);
 
 }  // namespace cs::model

@@ -23,18 +23,24 @@ namespace cs::model {
 struct ForbidPatternForService {
   ServiceId service = kInvalidService;
   IsolationPattern pattern = IsolationPattern::kAccessDeny;
+
+  bool operator==(const ForbidPatternForService&) const = default;
 };
 
 /// Forbids pattern k on one specific flow.
 struct ForbidPatternForFlow {
   Flow flow;
   IsolationPattern pattern = IsolationPattern::kAccessDeny;
+
+  bool operator==(const ForbidPatternForFlow&) const = default;
 };
 
 /// Forces pattern k on one specific flow (y^k = true).
 struct RequirePatternForFlow {
   Flow flow;
   IsolationPattern pattern = IsolationPattern::kAccessDeny;
+
+  bool operator==(const RequirePatternForFlow&) const = default;
 };
 
 /// "`open_flow` may be left open only if `guard_flow` is denied":
@@ -43,6 +49,8 @@ struct RequirePatternForFlow {
 struct DenyOneOf {
   Flow open_flow;
   Flow guard_flow;
+
+  bool operator==(const DenyOneOf&) const = default;
 };
 
 using UserConstraint = std::variant<ForbidPatternForService,

@@ -122,6 +122,13 @@ ParsedLine RequestCodec::parse_line(std::string_view line) {
   if (util::starts_with(ref, "inline:")) {
     req.spec_kind = SpecRefKind::kInline;
     req.spec = base64_decode(std::string_view(ref).substr(7));
+  } else if (util::starts_with(ref, "delta:")) {
+    // Deltas are space-free by grammar (cs-delta-v1 names reject ' '),
+    // so the ops text is exactly the rest of this token. Validity of
+    // the ops is the resolver's concern: it has the base spec.
+    req.spec_kind = SpecRefKind::kDelta;
+    req.spec = ref.substr(6);
+    CS_REQUIRE(!req.spec.empty(), "empty delta spec-ref");
   } else {
     req.spec_kind = SpecRefKind::kFile;
     req.spec = util::starts_with(ref, "file:") ? ref.substr(5) : ref;
@@ -156,6 +163,8 @@ std::string RequestCodec::render_request(const WireRequest& request) {
   if (request.spec_kind == SpecRefKind::kInline) {
     out += "inline:";
     out += base64_encode(request.spec);
+  } else if (request.spec_kind == SpecRefKind::kDelta) {
+    out += "delta:" + request.spec;
   } else if (request.spec.find(':') != std::string::npos) {
     out += "file:" + request.spec;
   } else {

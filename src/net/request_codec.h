@@ -12,7 +12,7 @@
 //   command  := "metrics"                    (request-file snapshot marker)
 //   request  := spec-ref SP objective SP isolation SP usability SP budget
 //               (SP option)*
-//   spec-ref := "inline:" base64 | "file:" path | path
+//   spec-ref := "inline:" base64 | "delta:" ops | "file:" path | path
 //   option   := "id=" token | "deadline=" milliseconds
 //
 // Responses echo the request id so keep-alive clients can pipeline:
@@ -45,6 +45,7 @@ namespace cs::net {
 enum class SpecRefKind {
   kFile,    ///< path resolved against the server's spec root / file dir
   kInline,  ///< base64 of a Table IV input file, self-contained
+  kDelta,   ///< cs-delta-v1 ops applied to the channel's previous spec
 };
 
 /// One parsed request line.
@@ -55,7 +56,10 @@ struct WireRequest {
   synth::SweepPoint point;
   SpecRefKind spec_kind = SpecRefKind::kFile;
   /// kFile: the path as written (not yet resolved). kInline: the decoded
-  /// Table IV text.
+  /// Table IV text. kDelta: the cs-delta-v1 ops text as written (space-
+  /// free by the delta grammar, so it is a single token on the wire);
+  /// the server resolves it against the spec the same channel (TCP
+  /// connection / request file) last solved with — docs/DELTAS.md.
   std::string spec;
   /// Wall-clock budget from admission in ms (0 = none).
   std::int64_t deadline_ms = 0;

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "model/delta.h"
 #include "model/input_file.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -62,6 +63,12 @@ struct TcpServer::Connection {
   bool close_after_flush = false;
   /// Interest mask currently registered with epoll.
   std::uint32_t events = 0;
+  /// Base spec for `delta:` spec-refs — the spec of the most recent
+  /// request on this connection whose spec-ref resolved successfully
+  /// (including a delta's own result, so deltas chain). Resolution
+  /// happens on the loop thread in line order, so the anchor is
+  /// deterministic even with pipelined requests still in flight.
+  std::shared_ptr<const model::ProblemSpec> last_spec;
 };
 
 TcpServer::TcpServer(ServerConfig config)
@@ -314,7 +321,7 @@ void TcpServer::submit_request(const std::shared_ptr<Connection>& conn,
                              : request.id;
   std::shared_ptr<const model::ProblemSpec> spec;
   try {
-    spec = resolve_spec(request);
+    spec = resolve_spec(*conn, request);
   } catch (const util::Error& e) {
     metrics().counter("net_spec_errors").inc();
     send_response(conn, RequestCodec::error_response(id, e.what()));
@@ -361,13 +368,27 @@ void TcpServer::complete_request(const std::weak_ptr<Connection>& weak,
 }
 
 std::shared_ptr<const model::ProblemSpec> TcpServer::resolve_spec(
-    const WireRequest& request) {
+    Connection& conn, const WireRequest& request) {
+  if (request.spec_kind == SpecRefKind::kDelta) {
+    // Applied fresh every time: the base varies per connection, and
+    // model::apply_delta is cheap next to any solve. The service's
+    // content-keyed caches still coalesce identical outcomes.
+    CS_REQUIRE(conn.last_spec != nullptr,
+               "delta: spec-ref needs a previous spec on this connection "
+               "(send a file:/inline: request first)");
+    auto spec = std::make_shared<const model::ProblemSpec>(model::apply_delta(
+        *conn.last_spec, model::parse_delta(request.spec)));
+    conn.last_spec = spec;
+    return spec;
+  }
   const bool is_inline = request.spec_kind == SpecRefKind::kInline;
   const std::string key =
       (is_inline ? std::string("inline\n") : std::string("file\n")) +
       request.spec;
-  const auto it = spec_cache_.find(key);
-  if (it != spec_cache_.end()) return it->second;
+  if (const auto it = spec_cache_.find(key); it != spec_cache_.end()) {
+    conn.last_spec = it->second;
+    return it->second;
+  }
 
   std::shared_ptr<const model::ProblemSpec> spec;
   if (is_inline) {
@@ -380,6 +401,7 @@ std::shared_ptr<const model::ProblemSpec> TcpServer::resolve_spec(
   }
   if (spec_cache_.size() >= config_.spec_cache_limit) spec_cache_.clear();
   spec_cache_.emplace(key, spec);
+  conn.last_spec = spec;
   return spec;
 }
 

@@ -119,8 +119,13 @@ class TcpServer {
                       const WireRequest& request);
   void complete_request(const std::weak_ptr<Connection>& weak,
                         WireResponse response);
+  /// Resolves the request's spec-ref. `delta:` refs apply cs-delta-v1
+  /// ops to `conn`'s last successfully resolved spec (error when the
+  /// connection has none yet); every successful resolution of any kind
+  /// updates that anchor, so delta chains compose left to right in
+  /// line order even while earlier requests are still solving.
   std::shared_ptr<const model::ProblemSpec> resolve_spec(
-      const WireRequest& request);
+      Connection& conn, const WireRequest& request);
   void send_line(const std::shared_ptr<Connection>& conn,
                  const std::string& line);
   void send_response(const std::shared_ptr<Connection>& conn,

@@ -9,38 +9,70 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 std::optional<synth::SweepPointResult> ResultCache::lookup(
-    const model::Fingerprint& key) {
+    const model::Fingerprint& key, const model::SpecDigests* digests,
+    bool* partial) {
+  if (partial != nullptr) *partial = false;
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    if (digests != nullptr && shapes_.contains(digests->shape())) {
+      ++stats_.partial_hits;
+      if (partial != nullptr) *partial = true;
+    }
     return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
   ++stats_.hits;
-  if (it->second->second.status == smt::CheckResult::kUnsat)
+  if (it->second->value.status == smt::CheckResult::kUnsat)
     ++stats_.negative_hits;
-  return it->second->second;
+  return it->second->value;
+}
+
+void ResultCache::shape_erase(
+    const std::optional<model::SpecDigests>& digests) {
+  if (!digests) return;
+  const auto it = shapes_.find(digests->shape());
+  if (it == shapes_.end()) return;
+  if (--it->second == 0) shapes_.erase(it);
 }
 
 void ResultCache::insert(const model::Fingerprint& key,
-                         const synth::SweepPointResult& value) {
+                         const synth::SweepPointResult& value,
+                         const model::SpecDigests* digests) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     // Refresh: identical fingerprints mean identical problems, so the
     // value can only differ in timings; keep the newer one.
-    it->second->second = value;
+    it->second->value = value;
+    if (digests != nullptr && !it->second->digests) {
+      it->second->digests = *digests;
+      ++shapes_[digests->shape()];
+    }
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
+    shape_erase(lru_.back().digests);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
   }
-  lru_.emplace_front(key, value);
+  lru_.emplace_front(Entry{key, value,
+                           digests != nullptr
+                               ? std::optional<model::SpecDigests>(*digests)
+                               : std::nullopt});
   index_.emplace(key, lru_.begin());
+  if (digests != nullptr) ++shapes_[digests->shape()];
   ++stats_.insertions;
+}
+
+std::optional<model::SpecDigests> ResultCache::digests(
+    const model::Fingerprint& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second->digests;
 }
 
 std::size_t ResultCache::size() const {

@@ -11,6 +11,16 @@
 // call. Entries are immutable once inserted: a hit returns a copy, so
 // callers can never mutate the cached value.
 //
+// Each entry also records the spec's per-section sub-digests
+// (model::SpecDigests) when the caller provides them. A full-key miss
+// whose encoding *shape* (topology+flows+uics, excluding the
+// threshold/budget query point) matches some cached entry is counted as
+// a partial hit: the result must be recomputed, but a warm synthesizer
+// for the same formula exists somewhere (the warm pool is keyed on the
+// same shape digest), so the miss costs a resolve(), not a cold encode.
+// The service exports this as `cache_partial_hits` — the signature of a
+// thresholds-only delta stream.
+//
 // All operations take one internal mutex; the expensive part of a
 // request (solving) never runs under it.
 #pragma once
@@ -34,6 +44,9 @@ struct CacheStats {
   std::int64_t evictions = 0;
   /// Hits whose cached verdict was kUnsat (negative-result cache).
   std::int64_t negative_hits = 0;
+  /// Full-key misses whose encoding shape matched a cached entry
+  /// (thresholds-only divergence — servable via a warm resolve).
+  std::int64_t partial_hits = 0;
 };
 
 /// The bounded LRU map described in the header comment. All methods are
@@ -44,22 +57,40 @@ class ResultCache {
   explicit ResultCache(std::size_t capacity);
 
   /// Returns a copy of the cached outcome and marks the entry
-  /// most-recently-used; nullopt on miss.
+  /// most-recently-used; nullopt on miss. When `digests` is given, a
+  /// miss additionally probes the shape index and counts a partial hit
+  /// on a match (see header comment); `partial` (optional) is set to
+  /// whether this lookup was one, so callers can feed their own
+  /// metrics without re-querying stats().
   std::optional<synth::SweepPointResult> lookup(
-      const model::Fingerprint& key);
+      const model::Fingerprint& key,
+      const model::SpecDigests* digests = nullptr, bool* partial = nullptr);
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used
   /// one when full. Skipped results are not worth remembering — the
-  /// caller should not insert them.
+  /// caller should not insert them. `digests` (optional) feeds the
+  /// shape index used for partial-hit accounting.
   void insert(const model::Fingerprint& key,
-              const synth::SweepPointResult& value);
+              const synth::SweepPointResult& value,
+              const model::SpecDigests* digests = nullptr);
+
+  /// Sub-digests recorded with an entry (nullopt on miss or when the
+  /// entry was inserted without them). Does not touch LRU order.
+  std::optional<model::SpecDigests> digests(
+      const model::Fingerprint& key) const;
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   CacheStats stats() const;
 
  private:
-  using Entry = std::pair<model::Fingerprint, synth::SweepPointResult>;
+  struct Entry {
+    model::Fingerprint key;
+    synth::SweepPointResult value;
+    std::optional<model::SpecDigests> digests;
+  };
+
+  void shape_erase(const std::optional<model::SpecDigests>& digests);
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
@@ -68,6 +99,10 @@ class ResultCache {
   std::unordered_map<model::Fingerprint, std::list<Entry>::iterator,
                      model::FingerprintHash>
       index_;
+  /// shape digest → number of live entries with that shape.
+  std::unordered_map<model::Fingerprint, std::size_t,
+                     model::FingerprintHash>
+      shapes_;
   CacheStats stats_;
 };
 

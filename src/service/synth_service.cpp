@@ -95,8 +95,12 @@ model::Fingerprint SynthService::warm_fingerprint(
     const ServiceRequest& request) {
   CS_REQUIRE(request.spec != nullptr, "request needs a spec");
   model::FingerprintHasher h;
-  h.mix_digest(model::fingerprint_spec(*request.spec));
-  h.mix_string("cs-warm-v1");
+  // Shape digest, not the full spec digest: the encoding depends only on
+  // topology + flows + UICs, so a thresholds/budget retune of a spec the
+  // pool has seen still checks out a warm solver (the point carries the
+  // query thresholds; spec.sliders never reach the formula).
+  h.mix_digest(model::fingerprint_sections(*request.spec).shape());
+  h.mix_string("cs-warm-v2");
   h.mix_i64(static_cast<std::int64_t>(request.synthesis.backend));
   h.mix_i64(request.synthesis.check_time_limit_ms);
   h.mix_i64(request.synthesis.check_conflict_limit);
@@ -219,6 +223,11 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
   ServiceOutcome out;
   out.queue_ms = queue_ms;
   out.fingerprint = request_fingerprint(request);
+  // Per-section sub-digests travel with every cache probe/insert so the
+  // cache can classify misses (partial hit = same encoding shape cached
+  // under other thresholds — the warm-resolve signature).
+  const model::SpecDigests digests =
+      model::fingerprint_sections(*request.spec);
 
   const auto finish = [&]() -> ServiceOutcome& {
     out.total_ms = watch.elapsed_ms();
@@ -261,7 +270,10 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
   const auto traced_lookup = [&] {
     obs::Span span("service", "service/cache_lookup");
     span.arg("req", rid);
-    return cache_.lookup(out.fingerprint);
+    bool partial = false;
+    auto hit = cache_.lookup(out.fingerprint, &digests, &partial);
+    if (partial) metrics_.counter("cache_partial_hits").inc();
+    return hit;
   };
   for (bool waited = false;;) {
     if (auto hit = traced_lookup()) {
@@ -374,7 +386,7 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
     metrics_.counter(probe_counter_name(request.synthesis.backend))
         .add(out.result.search.probes);
     metrics_.histogram("solve_ms").observe(out.result.wall_seconds * 1000.0);
-    cache_.insert(out.fingerprint, out.result);
+    cache_.insert(out.fingerprint, out.result, &digests);
     return finish();
   }
 
@@ -445,7 +457,7 @@ ServiceOutcome SynthService::execute(const ServiceRequest& request,
   }
 
   metrics_.histogram("solve_ms").observe(out.result.wall_seconds * 1000.0);
-  cache_.insert(out.fingerprint, out.result);
+  cache_.insert(out.fingerprint, out.result, &digests);
   return finish();
 }
 

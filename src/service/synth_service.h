@@ -22,10 +22,12 @@
 //     kUnknown is re-run once with the cap raised by
 //     `retry_cap_factor` before the lower bound is reported.
 //   * warm synthesizer pool — encoded solvers are kept after a solve,
-//     keyed by (spec fingerprint, backend, caps, threshold mode). A
-//     repeat of the same spec at *different* thresholds (a cache miss)
-//     checks one out and re-solves by swapping threshold assumptions
-//     (synth::Synthesizer::resolve), skipping the encode entirely.
+//     keyed by (spec *shape* digest, backend, caps, threshold mode). A
+//     repeat of the same encoding shape at *different* thresholds (a
+//     cache miss — including a spec retuned by a thresholds-only
+//     cs-delta-v1 delta) checks one out and re-solves by swapping
+//     threshold assumptions (synth::Synthesizer::resolve), skipping the
+//     encode entirely.
 //     Checkout removes the entry from the pool, so a warm synthesizer is
 //     never shared between workers; the per-request caps are re-applied
 //     on every checkout (Synthesizer::set_check_budget). Requests with
@@ -199,10 +201,13 @@ class SynthService {
   static model::Fingerprint request_fingerprint(
       const ServiceRequest& request);
 
-  /// Warm-pool key of a request: canonical spec digest mixed with the
-  /// backend, caps and threshold mode — everything a synthesizer bakes in
-  /// at construction. The point's thresholds are deliberately absent:
-  /// same-spec requests at different thresholds share warm solvers.
+  /// Warm-pool key of a request: the spec's *shape* digest
+  /// (model::SpecDigests::shape() — topology + flows + UICs, excluding
+  /// the threshold/budget sub-digests) mixed with the backend, caps and
+  /// threshold mode — everything a synthesizer bakes in at construction.
+  /// The point's thresholds and the spec's own sliders are deliberately
+  /// absent: same-shape requests at different thresholds — including
+  /// specs that differ only by a `retune` delta — share warm solvers.
   static model::Fingerprint warm_fingerprint(const ServiceRequest& request);
 
   const ResultCache& cache() const { return cache_; }

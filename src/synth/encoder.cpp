@@ -24,15 +24,19 @@ std::uint64_t Encoding::pair_key(topology::NodeId a, topology::NodeId b) {
 }
 
 Encoding::Encoding(const model::ProblemSpec& spec,
-                   topology::RouteTable& routes, smt::Backend& backend)
-    : spec_(spec), routes_(routes), backend_(backend) {
+                   topology::RouteTable& routes, smt::Backend& backend,
+                   bool retractable_sections)
+    : spec_(&spec),
+      routes_(routes),
+      backend_(backend),
+      retractable_(retractable_sections) {
   // One span per constraint family, so a trace shows where encode time
   // goes as the topology/CR parameters scale (the paper's Fig. 4 axis).
   const auto phase = [](const char* name, auto&& body) {
     obs::Span span("encode", name);
     body();
   };
-  phase("encode/validate", [&] { spec_.validate(); });
+  phase("encode/validate", [&] { this->spec().validate(); });
   phase("encode/flow-vars", [&] { create_flow_vars(); });
   phase("encode/pair-link-vars", [&] { create_pair_and_link_vars(); });
   phase("encode/host-pattern-vars", [&] { create_host_pattern_vars(); });
@@ -41,9 +45,42 @@ Encoding::Encoding(const model::ProblemSpec& spec,
   phase("encode/score-ladders", [&] { create_score_ladders(); });
   phase("encode/placement-constraints",
         [&] { add_placement_constraints(); });
+  if (retractable_)
+    section_guard_ = smt::pos(backend_.new_bool("section-guard-0"));
   phase("encode/user-constraints", [&] { add_user_constraints(); });
   phase("encode/host-requirements", [&] { add_host_requirements(); });
   phase("encode/metric-terms", [&] { build_metric_terms(); });
+}
+
+void Encoding::rebind_spec(const model::ProblemSpec& spec) {
+  CS_REQUIRE(spec.flows.size() == this->spec().flows.size() &&
+                 spec.network.node_count() ==
+                     this->spec().network.node_count() &&
+                 spec.network.link_count() ==
+                     this->spec().network.link_count() &&
+                 spec.services.size() == this->spec().services.size(),
+             "rebind_spec: encoding shape differs");
+  spec_ = &spec;
+}
+
+std::vector<smt::Lit> Encoding::section_assumptions() const {
+  if (!retractable_) return {};
+  return {section_guard_};
+}
+
+void Encoding::reemit_policy_sections() {
+  CS_REQUIRE(retractable_,
+             "reemit_policy_sections requires retractable sections");
+  // Retire the old round: with ¬guard asserted, every clause of the old
+  // sections is satisfied and every guarded linear constraint disabled;
+  // learnt clauses stay implied because they were derived with the guard
+  // as an assumption, never as a fact.
+  backend_.add_clause({!section_guard_});
+  section_guard_ = smt::pos(
+      backend_.new_bool("section-guard-" + std::to_string(++section_round_)));
+  obs::Span span("encode", "encode/reemit-policy-sections");
+  add_user_constraints();
+  add_host_requirements();
 }
 
 void Encoding::counted_clause(const std::vector<smt::Lit>& lits) {
@@ -53,12 +90,27 @@ void Encoding::counted_clause(const std::vector<smt::Lit>& lits) {
 
 void Encoding::counted_unit(smt::Lit l) { counted_clause({l}); }
 
+void Encoding::section_clause(std::vector<smt::Lit> lits) {
+  if (retractable_) lits.insert(lits.begin(), !section_guard_);
+  counted_clause(lits);
+}
+
+void Encoding::section_linear_ge(const std::vector<smt::Term>& terms,
+                                 std::int64_t bound) {
+  if (retractable_) {
+    backend_.add_guarded_linear_ge(section_guard_, terms, bound);
+  } else {
+    backend_.add_linear_ge(terms, bound);
+  }
+  ++stats_.linear_constraints;
+}
+
 void Encoding::create_flow_vars() {
-  const std::size_t n = spec_.flows.size();
+  const std::size_t n = spec().flows.size();
   y_.assign(n, {});
   for (auto& row : y_) row.fill(smt::kNoVar);
   for (std::size_t f = 0; f < n; ++f) {
-    for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+    for (const model::IsolationPattern k : spec().isolation.enabled()) {
       y_[f][static_cast<std::size_t>(model::pattern_index(k))] =
           backend_.new_bool("y_f" + std::to_string(f) + "_k" +
                             std::to_string(model::paper_id(k)));
@@ -70,13 +122,13 @@ void Encoding::create_flow_vars() {
 void Encoding::create_pair_and_link_vars() {
   // Which device types any enabled pattern can demand.
   device_used_.fill(false);
-  for (const model::IsolationPattern k : spec_.isolation.enabled())
+  for (const model::IsolationPattern k : spec().isolation.enabled())
     for (const model::DeviceType d : model::devices_for(k))
       device_used_[static_cast<std::size_t>(model::device_index(d))] = true;
 
   // x vars per unordered host pair that carries flows (placement is
   // direction-agnostic: the reverse of a route uses the same links).
-  for (const model::Flow& f : spec_.flows.all()) {
+  for (const model::Flow& f : spec().flows.all()) {
     const std::uint64_t key = pair_key(f.src, f.dst);
     if (x_.contains(key)) continue;
     DeviceArray arr;
@@ -92,9 +144,9 @@ void Encoding::create_pair_and_link_vars() {
   }
 
   // l vars per link and used device type.
-  l_.assign(spec_.network.link_count(), DeviceArray{});
+  l_.assign(spec().network.link_count(), DeviceArray{});
   for (auto& arr : l_) arr.fill(smt::kNoVar);
-  for (std::size_t e = 0; e < spec_.network.link_count(); ++e) {
+  for (std::size_t e = 0; e < spec().network.link_count(); ++e) {
     for (const model::DeviceType d : model::kAllDevices) {
       const auto di = static_cast<std::size_t>(model::device_index(d));
       if (!device_used_[di]) continue;
@@ -106,12 +158,12 @@ void Encoding::create_pair_and_link_vars() {
 }
 
 void Encoding::create_host_pattern_vars() {
-  if (!spec_.host_patterns.any()) return;
-  const auto& hcfg = spec_.host_patterns;
+  if (!spec().host_patterns.any()) return;
+  const auto& hcfg = spec().host_patterns;
 
-  hp_.assign(spec_.network.node_count(), {});
+  hp_.assign(spec().network.node_count(), {});
   for (auto& row : hp_) row.fill(smt::kNoVar);
-  for (const topology::NodeId j : spec_.network.hosts()) {
+  for (const topology::NodeId j : spec().network.hosts()) {
     std::vector<smt::Lit> at_most;
     for (const model::HostPattern t : hcfg.enabled()) {
       const auto ti = static_cast<std::size_t>(model::host_pattern_index(t));
@@ -127,11 +179,11 @@ void Encoding::create_host_pattern_vars() {
   }
 
   // z[f][t] ≡ hp[dst(f)][t] ∧ (no network pattern on f).
-  z_.assign(spec_.flows.size(), {});
+  z_.assign(spec().flows.size(), {});
   for (auto& row : z_) row.fill(smt::kNoVar);
-  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+  for (std::size_t f = 0; f < spec().flows.size(); ++f) {
     const model::Flow& flow =
-        spec_.flows.flow(static_cast<model::FlowId>(f));
+        spec().flows.flow(static_cast<model::FlowId>(f));
     for (const model::HostPattern t : hcfg.enabled()) {
       const auto ti = static_cast<std::size_t>(model::host_pattern_index(t));
       const smt::BoolVar z = backend_.new_bool(
@@ -143,7 +195,7 @@ void Encoding::create_host_pattern_vars() {
           hp_[static_cast<std::size_t>(flow.dst)][ti];
       counted_clause({smt::neg(z), smt::pos(hp)});
       std::vector<smt::Lit> back{smt::pos(z), smt::neg(hp)};
-      for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+      for (const model::IsolationPattern k : spec().isolation.enabled()) {
         const smt::BoolVar y =
             y_[f][static_cast<std::size_t>(model::pattern_index(k))];
         counted_clause({smt::neg(z), smt::neg(y)});
@@ -155,8 +207,8 @@ void Encoding::create_host_pattern_vars() {
 }
 
 void Encoding::add_pattern_constraints() {
-  const auto& enabled = spec_.isolation.enabled();
-  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+  const auto& enabled = spec().isolation.enabled();
+  for (std::size_t f = 0; f < spec().flows.size(); ++f) {
     // IIC1: at most one isolation pattern per flow.
     std::vector<smt::Lit> ys;
     for (const model::IsolationPattern k : enabled)
@@ -167,7 +219,7 @@ void Encoding::add_pattern_constraints() {
 
     // eq. 1: pattern selection requires its devices between the pair.
     const model::Flow& flow =
-        spec_.flows.flow(static_cast<model::FlowId>(f));
+        spec().flows.flow(static_cast<model::FlowId>(f));
     const DeviceArray& xs = x_.at(pair_key(flow.src, flow.dst));
     for (const model::IsolationPattern k : enabled) {
       const smt::BoolVar y =
@@ -181,8 +233,8 @@ void Encoding::add_pattern_constraints() {
     }
 
     // CR + IIC2: a connectivity-required flow cannot be denied.
-    if (spec_.connectivity.required(static_cast<model::FlowId>(f)) &&
-        spec_.isolation.is_enabled(model::IsolationPattern::kAccessDeny)) {
+    if (spec().connectivity.required(static_cast<model::FlowId>(f)) &&
+        spec().isolation.is_enabled(model::IsolationPattern::kAccessDeny)) {
       counted_unit(smt::neg(
           y_[f][static_cast<std::size_t>(model::pattern_index(
               model::IsolationPattern::kAccessDeny))]));
@@ -191,12 +243,12 @@ void Encoding::add_pattern_constraints() {
 }
 
 void Encoding::create_app_pattern_vars() {
-  if (!spec_.app_patterns.any()) return;
-  const auto& acfg = spec_.app_patterns;
+  if (!spec().app_patterns.any()) return;
+  const auto& acfg = spec().app_patterns;
 
   // Endpoint variables for (destination, service) pairs that carry flows,
   // restricted to applicable patterns; at most one pattern per endpoint.
-  for (const model::Flow& flow : spec_.flows.all()) {
+  for (const model::Flow& flow : spec().flows.all()) {
     const std::pair<topology::NodeId, model::ServiceId> key{flow.dst,
                                                             flow.service};
     if (ap_.contains(key)) continue;
@@ -220,11 +272,11 @@ void Encoding::create_app_pattern_vars() {
   }
 
   // w[f][t] ⇔ ap[endpoint][t] ∧ no network pattern ∧ no host coverage.
-  w_.assign(spec_.flows.size(), {});
+  w_.assign(spec().flows.size(), {});
   for (auto& row : w_) row.fill(smt::kNoVar);
-  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+  for (std::size_t f = 0; f < spec().flows.size(); ++f) {
     const model::Flow& flow =
-        spec_.flows.flow(static_cast<model::FlowId>(f));
+        spec().flows.flow(static_cast<model::FlowId>(f));
     const auto& arr = ap_.at({flow.dst, flow.service});
     for (const model::AppPattern t : acfg.enabled()) {
       const auto ti = static_cast<std::size_t>(model::app_pattern_index(t));
@@ -235,14 +287,14 @@ void Encoding::create_app_pattern_vars() {
       w_[f][ti] = w;
       counted_clause({smt::neg(w), smt::pos(arr[ti])});
       std::vector<smt::Lit> back{smt::pos(w), smt::neg(arr[ti])};
-      for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+      for (const model::IsolationPattern k : spec().isolation.enabled()) {
         const smt::BoolVar y =
             y_[f][static_cast<std::size_t>(model::pattern_index(k))];
         counted_clause({smt::neg(w), smt::neg(y)});
         back.push_back(smt::pos(y));
       }
-      if (spec_.host_patterns.any()) {
-        for (const model::HostPattern ht : spec_.host_patterns.enabled()) {
+      if (spec().host_patterns.any()) {
+        for (const model::HostPattern ht : spec().host_patterns.enabled()) {
           const smt::BoolVar z =
               z_[f][static_cast<std::size_t>(model::host_pattern_index(ht))];
           counted_clause({smt::neg(w), smt::neg(z)});
@@ -257,28 +309,28 @@ void Encoding::create_app_pattern_vars() {
 void Encoding::create_score_ladders() {
   // Collect the candidate (score, selector) protections of each flow and
   // emit the order encoding described in encoder.h.
-  ladder_.assign(spec_.flows.size(), {});
-  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+  ladder_.assign(spec().flows.size(), {});
+  for (std::size_t f = 0; f < spec().flows.size(); ++f) {
     // Candidate selectors with their scores (y patterns, z host patterns).
     std::vector<std::pair<std::int64_t, smt::BoolVar>> candidates;
-    for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+    for (const model::IsolationPattern k : spec().isolation.enabled()) {
       candidates.emplace_back(
-          spec_.isolation.score(k).raw(),
+          spec().isolation.score(k).raw(),
           y_[f][static_cast<std::size_t>(model::pattern_index(k))]);
     }
-    if (spec_.host_patterns.any()) {
-      for (const model::HostPattern t : spec_.host_patterns.enabled()) {
+    if (spec().host_patterns.any()) {
+      for (const model::HostPattern t : spec().host_patterns.enabled()) {
         candidates.emplace_back(
-            spec_.host_patterns.score(t).raw(),
+            spec().host_patterns.score(t).raw(),
             z_[f][static_cast<std::size_t>(model::host_pattern_index(t))]);
       }
     }
-    if (spec_.app_patterns.any()) {
-      for (const model::AppPattern t : spec_.app_patterns.enabled()) {
+    if (spec().app_patterns.any()) {
+      for (const model::AppPattern t : spec().app_patterns.enabled()) {
         const smt::BoolVar w =
             w_[f][static_cast<std::size_t>(model::app_pattern_index(t))];
         if (w != smt::kNoVar)
-          candidates.emplace_back(spec_.app_patterns.score(t).raw(), w);
+          candidates.emplace_back(spec().app_patterns.score(t).raw(), w);
       }
     }
 
@@ -322,7 +374,7 @@ void Encoding::create_score_ladders() {
 }
 
 void Encoding::add_placement_constraints() {
-  const int margin = spec_.isolation.tunnel_margin();
+  const int margin = spec().isolation.tunnel_margin();
   const auto ipsec_idx =
       static_cast<std::size_t>(model::device_index(model::DeviceType::kIpsec));
 
@@ -382,37 +434,37 @@ void Encoding::add_placement_constraints() {
 void Encoding::add_user_constraints() {
   const auto y_of = [&](const model::Flow& flow,
                         model::IsolationPattern k) -> smt::BoolVar {
-    const auto id = spec_.flows.find(flow);
+    const auto id = spec().flows.find(flow);
     CS_ENSURE(id.has_value(), "UIC references unknown flow");
     return y_[static_cast<std::size_t>(*id)]
              [static_cast<std::size_t>(model::pattern_index(k))];
   };
 
-  for (const model::UserConstraint& uc : spec_.user_constraints) {
+  for (const model::UserConstraint& uc : spec().user_constraints) {
     if (const auto* fs = std::get_if<model::ForbidPatternForService>(&uc)) {
-      if (!spec_.isolation.is_enabled(fs->pattern)) continue;
-      for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
-        if (spec_.flows.flow(static_cast<model::FlowId>(f)).service ==
+      if (!spec().isolation.is_enabled(fs->pattern)) continue;
+      for (std::size_t f = 0; f < spec().flows.size(); ++f) {
+        if (spec().flows.flow(static_cast<model::FlowId>(f)).service ==
             fs->service) {
-          counted_unit(smt::neg(
+          section_clause({smt::neg(
               y_[f][static_cast<std::size_t>(
-                  model::pattern_index(fs->pattern))]));
+                  model::pattern_index(fs->pattern))])});
         }
       }
     } else if (const auto* ff =
                    std::get_if<model::ForbidPatternForFlow>(&uc)) {
-      if (!spec_.isolation.is_enabled(ff->pattern)) continue;
-      counted_unit(smt::neg(y_of(ff->flow, ff->pattern)));
+      if (!spec().isolation.is_enabled(ff->pattern)) continue;
+      section_clause({smt::neg(y_of(ff->flow, ff->pattern))});
     } else if (const auto* rf =
                    std::get_if<model::RequirePatternForFlow>(&uc)) {
-      CS_REQUIRE(spec_.isolation.is_enabled(rf->pattern),
+      CS_REQUIRE(spec().isolation.is_enabled(rf->pattern),
                  "RequirePatternForFlow uses a disabled pattern");
-      counted_unit(smt::pos(y_of(rf->flow, rf->pattern)));
+      section_clause({smt::pos(y_of(rf->flow, rf->pattern))});
     } else if (const auto* dn = std::get_if<model::DenyOneOf>(&uc)) {
       CS_REQUIRE(
-          spec_.isolation.is_enabled(model::IsolationPattern::kAccessDeny),
+          spec().isolation.is_enabled(model::IsolationPattern::kAccessDeny),
           "DenyOneOf requires the access-deny pattern");
-      counted_clause(
+      section_clause(
           {smt::pos(y_of(dn->open_flow,
                          model::IsolationPattern::kAccessDeny)),
            smt::pos(y_of(dn->guard_flow,
@@ -426,11 +478,11 @@ void Encoding::add_host_requirements() {
   // (eqs. 2-3), with incoming traffic weighted α and outgoing 1−α. These
   // are hard constraints, mirrored exactly by compute_metrics'
   // host_isolation arithmetic.
-  const std::int64_t alpha = spec_.alpha.raw();
+  const std::int64_t alpha = spec().alpha.raw();
   const std::int64_t one = util::Fixed::from_int(1).raw();
 
   for (const model::HostIsolationRequirement& req :
-       spec_.host_requirements) {
+       spec().host_requirements) {
     std::vector<smt::Term> terms;
     std::int64_t constant = 0;
     std::int64_t counted = 0;
@@ -438,7 +490,7 @@ void Encoding::add_host_requirements() {
     const auto add_direction = [&](topology::NodeId src,
                                    topology::NodeId dst,
                                    std::int64_t weight) {
-      const auto& group = spec_.flows.directed(src, dst);
+      const auto& group = spec().flows.directed(src, dst);
       if (group.empty()) {
         constant +=
             util::round_div(weight * model::kSliderMax.raw(), one);
@@ -463,10 +515,10 @@ void Encoding::add_host_requirements() {
       }
     };
 
-    for (const topology::NodeId i : spec_.network.hosts()) {
+    for (const topology::NodeId i : spec().network.hosts()) {
       if (i == req.host) continue;
-      if (spec_.flows.directed(i, req.host).empty() &&
-          spec_.flows.directed(req.host, i).empty())
+      if (spec().flows.directed(i, req.host).empty() &&
+          spec().flows.directed(req.host, i).empty())
         continue;
       ++counted;
       add_direction(i, req.host, alpha);        // incoming to the host
@@ -474,9 +526,8 @@ void Encoding::add_host_requirements() {
     }
     if (counted == 0) continue;  // isolated host: vacuously at maximum
 
-    backend_.add_linear_ge(terms,
-                           req.min_isolation.raw() * counted - constant);
-    ++stats_.linear_constraints;
+    section_linear_ge(terms,
+                      req.min_isolation.raw() * counted - constant);
   }
 }
 
@@ -489,7 +540,7 @@ void Encoding::build_metric_terms() {
   // appears once with weight α and once with weight 1−α); they still
   // matter for the per-host scores reported by analysis::metrics.
   std::unordered_map<std::uint64_t, bool> seen_pair;
-  for (const model::Flow& f : spec_.flows.all())
+  for (const model::Flow& f : spec().flows.all())
     seen_pair[pair_key(f.src, f.dst)] = true;
   iso_pairs_ = 2 * static_cast<std::int64_t>(seen_pair.size());
   stats_.directed_pairs = static_cast<std::size_t>(iso_pairs_);
@@ -499,9 +550,9 @@ void Encoding::build_metric_terms() {
     (void)used;
     const auto a = static_cast<topology::NodeId>(key >> 32);
     const auto b = static_cast<topology::NodeId>(key & 0xffffffffu);
-    if (spec_.flows.directed(a, b).empty())
+    if (spec().flows.directed(a, b).empty())
       iso_const_ += model::kSliderMax.raw();
-    if (spec_.flows.directed(b, a).empty())
+    if (spec().flows.directed(b, a).empty())
       iso_const_ += model::kSliderMax.raw();
   }
 
@@ -510,11 +561,11 @@ void Encoding::build_metric_terms() {
   // variables telescopes to round_div(selected score, |G|) — exactly the
   // value compute_metrics assigns the flow.
   iso_terms_.clear();
-  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+  for (std::size_t f = 0; f < spec().flows.size(); ++f) {
     const model::Flow& flow =
-        spec_.flows.flow(static_cast<model::FlowId>(f));
+        spec().flows.flow(static_cast<model::FlowId>(f));
     const auto group_size = static_cast<std::int64_t>(
-        spec_.flows.directed(flow.src, flow.dst).size());
+        spec().flows.directed(flow.src, flow.dst).size());
     std::int64_t prev = 0;
     for (const LadderStep& step : ladder_[f]) {
       const std::int64_t delta =
@@ -529,15 +580,15 @@ void Encoding::build_metric_terms() {
   // U = 10 · Σ_f a_f·b(pattern_f) / Σ_f a_f, with b(none) = 1. Selecting
   // pattern k on flow f costs penalty a_f − a_f·b_k(g) relative to the
   // all-open maximum.
-  usab_total_rank_raw_ = spec_.ranks.total().raw();
+  usab_total_rank_raw_ = spec().ranks.total().raw();
   usab_penalty_terms_.clear();
-  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+  for (std::size_t f = 0; f < spec().flows.size(); ++f) {
     const model::Flow& flow =
-        spec_.flows.flow(static_cast<model::FlowId>(f));
+        spec().flows.flow(static_cast<model::FlowId>(f));
     const util::Fixed rank =
-        spec_.ranks.rank(static_cast<model::FlowId>(f));
-    for (const model::IsolationPattern k : spec_.isolation.enabled()) {
-      const util::Fixed kept = rank * spec_.isolation.usability(k, flow.service);
+        spec().ranks.rank(static_cast<model::FlowId>(f));
+    for (const model::IsolationPattern k : spec().isolation.enabled()) {
+      const util::Fixed kept = rank * spec().isolation.usability(k, flow.service);
       const std::int64_t penalty = rank.raw() - kept.raw();
       if (penalty == 0) continue;
       usab_penalty_terms_.push_back(smt::Term{
@@ -553,15 +604,15 @@ void Encoding::build_metric_terms() {
     for (const model::DeviceType d : model::kAllDevices) {
       const auto di = static_cast<std::size_t>(model::device_index(d));
       if (l_[e][di] == smt::kNoVar) continue;
-      const std::int64_t c = spec_.device_costs.cost(d).raw();
+      const std::int64_t c = spec().device_costs.cost(d).raw();
       if (c == 0) continue;
       cost_terms_.push_back(smt::Term{smt::pos(l_[e][di]), c});
     }
   }
-  if (spec_.host_patterns.any()) {
-    for (const topology::NodeId j : spec_.network.hosts()) {
-      for (const model::HostPattern t : spec_.host_patterns.enabled()) {
-        const std::int64_t c = spec_.host_patterns.cost(t).raw();
+  if (spec().host_patterns.any()) {
+    for (const topology::NodeId j : spec().network.hosts()) {
+      for (const model::HostPattern t : spec().host_patterns.enabled()) {
+        const std::int64_t c = spec().host_patterns.cost(t).raw();
         if (c == 0) continue;
         cost_terms_.push_back(smt::Term{
             smt::pos(hp_[static_cast<std::size_t>(j)]
@@ -573,10 +624,10 @@ void Encoding::build_metric_terms() {
   }
   for (const auto& [endpoint, arr] : ap_) {
     (void)endpoint;
-    for (const model::AppPattern t : spec_.app_patterns.enabled()) {
+    for (const model::AppPattern t : spec().app_patterns.enabled()) {
       const auto ti = static_cast<std::size_t>(model::app_pattern_index(t));
       if (arr[ti] == smt::kNoVar) continue;
-      const std::int64_t c = spec_.app_patterns.cost(t).raw();
+      const std::int64_t c = spec().app_patterns.cost(t).raw();
       if (c == 0) continue;
       cost_terms_.push_back(smt::Term{smt::pos(arr[ti]), c});
     }
@@ -656,11 +707,11 @@ std::optional<smt::Lit> Encoding::add_threshold(ThresholdKind kind,
 }
 
 SecurityDesign Encoding::decode() const {
-  SecurityDesign design(spec_.flows.size(), spec_.network.link_count(),
-                        spec_.network.node_count());
-  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+  SecurityDesign design(spec().flows.size(), spec().network.link_count(),
+                        spec().network.node_count());
+  for (std::size_t f = 0; f < spec().flows.size(); ++f) {
     std::optional<model::IsolationPattern> chosen;
-    for (const model::IsolationPattern k : spec_.isolation.enabled()) {
+    for (const model::IsolationPattern k : spec().isolation.enabled()) {
       if (backend_.model_value(
               y_[f][static_cast<std::size_t>(model::pattern_index(k))])) {
         CS_ENSURE(!chosen.has_value(), "model selects two patterns (IIC1)");
@@ -677,10 +728,10 @@ SecurityDesign Encoding::decode() const {
                         backend_.model_value(l_[e][di]));
     }
   }
-  if (spec_.host_patterns.any()) {
-    for (const topology::NodeId j : spec_.network.hosts()) {
+  if (spec().host_patterns.any()) {
+    for (const topology::NodeId j : spec().network.hosts()) {
       std::optional<model::HostPattern> chosen;
-      for (const model::HostPattern t : spec_.host_patterns.enabled()) {
+      for (const model::HostPattern t : spec().host_patterns.enabled()) {
         if (backend_.model_value(
                 hp_[static_cast<std::size_t>(j)]
                    [static_cast<std::size_t>(
@@ -695,7 +746,7 @@ SecurityDesign Encoding::decode() const {
   }
   for (const auto& [endpoint, arr] : ap_) {
     std::optional<model::AppPattern> chosen;
-    for (const model::AppPattern t : spec_.app_patterns.enabled()) {
+    for (const model::AppPattern t : spec().app_patterns.enabled()) {
       const auto ti = static_cast<std::size_t>(model::app_pattern_index(t));
       if (arr[ti] != smt::kNoVar && backend_.model_value(arr[ti])) {
         CS_ENSURE(!chosen.has_value(),

@@ -78,8 +78,18 @@ class Encoding {
  public:
   /// Builds all structural constraints into `backend`. The spec must be
   /// validated; `routes` must wrap the same network.
+  ///
+  /// With `retractable_sections` the UIC and RMC sections are emitted
+  /// under per-section guard literals (clauses become guard ⇒ clause;
+  /// linear constraints use the backend's guarded form), and every
+  /// check must assume `section_assumptions()`. The sections can then
+  /// be retired and re-emitted against an updated spec without touching
+  /// the structural core — the incremental path of
+  /// `Synthesizer::apply_delta` (docs/DELTAS.md). Off by default: an
+  /// unguarded section propagates units at level zero, which guarded
+  /// clauses cannot.
   Encoding(const model::ProblemSpec& spec, topology::RouteTable& routes,
-           smt::Backend& backend);
+           smt::Backend& backend, bool retractable_sections = false);
 
   Encoding(const Encoding&) = delete;
   Encoding& operator=(const Encoding&) = delete;
@@ -103,6 +113,26 @@ class Encoding {
 
   /// Reads the backend model into a SecurityDesign (after kSat).
   SecurityDesign decode() const;
+
+  /// Re-seats the spec reference onto `spec`, which must have the same
+  /// encoding shape as the current one (same flow/node/link/service
+  /// universe — e.g. the post-delta spec of a retune or UIC-only delta;
+  /// checked by counts). Threshold guards minted afterwards and
+  /// `reemit_policy_sections` read the new spec.
+  void rebind_spec(const model::ProblemSpec& spec);
+
+  /// Assumption literals that enable the currently-active guarded
+  /// sections; empty unless constructed with retractable sections.
+  /// Append to every check's assumptions.
+  std::vector<smt::Lit> section_assumptions() const;
+
+  /// Retires the current UIC + RMC sections (asserts the negated
+  /// guards) and re-emits both from the current spec under fresh
+  /// guards. Requires retractable sections; flows/network must be
+  /// unchanged since construction (rebind_spec enforces that).
+  void reemit_policy_sections();
+
+  bool retractable_sections() const { return retractable_; }
 
   const EncodingStats& stats() const { return stats_; }
 
@@ -129,10 +159,23 @@ class Encoding {
 
   void counted_clause(const std::vector<smt::Lit>& lits);
   void counted_unit(smt::Lit l);
+  /// Like counted_clause/add_linear_ge, but guarded by the active
+  /// section guard when sections are retractable.
+  void section_clause(std::vector<smt::Lit> lits);
+  void section_linear_ge(const std::vector<smt::Term>& terms,
+                         std::int64_t bound);
 
-  const model::ProblemSpec& spec_;
+  const model::ProblemSpec& spec() const { return *spec_; }
+
+  const model::ProblemSpec* spec_;
   topology::RouteTable& routes_;
   smt::Backend& backend_;
+
+  /// Retractable-section state: the guard of the currently-active UIC +
+  /// RMC emission round (kNoVar when sections are hard).
+  bool retractable_ = false;
+  smt::Lit section_guard_{};
+  std::uint64_t section_round_ = 0;
 
   std::vector<std::array<smt::BoolVar, model::kPatternCount>> y_;
   std::unordered_map<std::uint64_t, DeviceArray> x_;

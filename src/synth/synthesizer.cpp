@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "model/fingerprint.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -25,20 +26,135 @@ const char* status_tag(smt::CheckResult status) {
 
 Synthesizer::Synthesizer(const model::ProblemSpec& spec,
                          SynthesisOptions options)
-    : spec_(spec),
+    : spec_(&spec),
       options_(options),
-      routes_(spec.network, spec.route_options),
+      routes_(std::make_unique<topology::RouteTable>(spec.network,
+                                                     spec.route_options)),
       backend_(smt::make_backend(options.backend)) {
   util::Stopwatch watch;
   {
     obs::Span span("synth", "synth/encode");
-    encoding_ = std::make_unique<Encoding>(spec_, routes_, *backend_);
+    encoding_ = std::make_unique<Encoding>(*spec_, *routes_, *backend_,
+                                           options_.retractable_sections);
   }
   encode_seconds_ = watch.elapsed_seconds();
   if (options_.check_time_limit_ms > 0)
     backend_->set_time_limit_ms(options_.check_time_limit_ms);
   if (options_.check_conflict_limit > 0)
     backend_->set_conflict_limit(options_.check_conflict_limit);
+}
+
+Synthesizer::Synthesizer(std::shared_ptr<const model::ProblemSpec> spec,
+                         SynthesisOptions options)
+    : Synthesizer(*spec, options) {
+  spec_owner_ = std::move(spec);
+}
+
+void Synthesizer::adopt_spec(
+    std::shared_ptr<const model::ProblemSpec> next) {
+  encoding_->rebind_spec(*next);
+  if (spec_owner_) retired_specs_.push_back(std::move(spec_owner_));
+  spec_owner_ = std::move(next);
+  spec_ = spec_owner_.get();
+}
+
+void Synthesizer::rebuild(std::shared_ptr<const model::ProblemSpec> next,
+                          bool reuse_routes) {
+  auto routes = std::make_unique<topology::RouteTable>(
+      next->network, next->route_options);
+  if (reuse_routes) routes->adopt_cache(*routes_);
+  auto backend = smt::make_backend(options_.backend);
+  util::Stopwatch watch;
+  std::unique_ptr<Encoding> encoding;
+  {
+    obs::Span span("synth", "synth/re-encode");
+    encoding = std::make_unique<Encoding>(*next, *routes, *backend,
+                                          options_.retractable_sections);
+  }
+  // Commit: everything referencing the old spec is gone, so the retired
+  // chain can be released.
+  encoding_ = std::move(encoding);
+  backend_ = std::move(backend);
+  routes_ = std::move(routes);
+  retired_specs_.clear();
+  spec_owner_ = std::move(next);
+  spec_ = spec_owner_.get();
+  guard_cache_.clear();
+  guard_kind_.clear();
+  hard_values_.clear();
+  encode_seconds_ = watch.elapsed_seconds();
+  if (options_.check_time_limit_ms > 0)
+    backend_->set_time_limit_ms(options_.check_time_limit_ms);
+  if (options_.check_conflict_limit > 0)
+    backend_->set_conflict_limit(options_.check_conflict_limit);
+}
+
+DeltaApplyReport Synthesizer::apply_delta(const model::SpecDelta& delta) {
+  obs::Span span("synth", "synth/apply-delta");
+  // Transactional: model::apply_delta throws before anything here
+  // mutates, so a bad delta leaves this synthesizer fully usable.
+  auto next = std::make_shared<const model::ProblemSpec>(
+      model::apply_delta(*spec_, delta));
+  const model::SpecDigests before = model::fingerprint_sections(*spec_);
+  const model::SpecDigests after = model::fingerprint_sections(*next);
+  const bool topo_clean = before.topology == after.topology;
+  const bool flows_clean = before.flows == after.flows;
+  const bool uics_clean = before.uics == after.uics;
+  const bool warm_capable =
+      options_.threshold_mode == ThresholdMode::kAssumption;
+
+  DeltaApplyReport report;
+  if (topo_clean && flows_clean && uics_clean && warm_capable) {
+    // Thresholds/budget-only: the formula is untouched; swap specs and
+    // re-solve at the new query point on the live solver.
+    adopt_spec(std::move(next));
+    report.path = "warm";
+    report.result = resolve(spec_->sliders);
+  } else if (topo_clean && flows_clean && warm_capable &&
+             encoding_->retractable_sections()) {
+    // Policy-only: retire the guarded UIC/RMC sections, re-emit them
+    // from the post-delta spec, and re-solve warm. Equisatisfiable with
+    // a cold encode of the new spec by construction — the sections only
+    // constrain pre-existing y/ladder variables.
+    adopt_spec(std::move(next));
+    encoding_->reemit_policy_sections();
+    report.path = "retract";
+    report.result = resolve(spec_->sliders);
+  } else if (model::route_preserving(delta)) {
+    // Flow or leaf-host changes reshape the formula, but every
+    // pre-existing pair keeps its route set: rebuild the encoding with
+    // the enumerated routes transplanted.
+    report.path = "replay";
+    report.fallback_reason = !topo_clean || !flows_clean
+                                 ? "flows-or-topology-dirty"
+                                 : (!warm_capable ? "hard-thresholds"
+                                                  : "non-retractable-sections");
+    rebuild(std::move(next), /*reuse_routes=*/true);
+    report.result = synthesize();
+  } else {
+    // Link failures/restores and host removals can reroute arbitrary
+    // pairs; stale route sets would leave over- or under-strong eq. 7
+    // clauses, so nothing survives.
+    report.path = "full";
+    report.fallback_reason = "routes-invalidated";
+    rebuild(std::move(next), /*reuse_routes=*/false);
+    report.result = synthesize();
+  }
+
+  if ((report.path == "warm" || report.path == "retract") &&
+      report.result.status == smt::CheckResult::kUnknown) {
+    // A capped probe on the shared learnt state ran out of budget; a
+    // cold solve may still decide it. Rebuild so the reported verdict
+    // is the cold verdict by construction.
+    report.path = "full";
+    report.fallback_reason = "capped-probe";
+    rebuild(spec_owner_ ? spec_owner_
+                        : std::make_shared<const model::ProblemSpec>(*spec_),
+            /*reuse_routes=*/true);
+    report.result = synthesize();
+  }
+  span.arg("path", report.path.c_str());
+  return report;
 }
 
 smt::Lit Synthesizer::guard_for(ThresholdKind kind, util::Fixed value) {
@@ -55,7 +171,7 @@ smt::Lit Synthesizer::guard_for(ThresholdKind kind, util::Fixed value) {
 }
 
 SynthesisResult Synthesizer::synthesize() {
-  return synthesize(spec_.sliders);
+  return synthesize(spec_->sliders);
 }
 
 SynthesisResult Synthesizer::synthesize(const model::Sliders& sliders) {
@@ -87,7 +203,9 @@ void Synthesizer::set_check_budget(std::int64_t remaining_ms) {
 SynthesisResult Synthesizer::synthesize_partial(
     std::optional<util::Fixed> isolation, std::optional<util::Fixed> usability,
     std::optional<util::Fixed> budget) {
-  std::vector<smt::Lit> assumptions;
+  // Retractable policy sections are enabled by their guard on every
+  // check (no-op when sections are hard).
+  std::vector<smt::Lit> assumptions = encoding_->section_assumptions();
   const auto enforce = [&](ThresholdKind kind, util::Fixed value) {
     if (options_.threshold_mode == ThresholdMode::kAssumption) {
       assumptions.push_back(guard_for(kind, value));

@@ -212,4 +212,11 @@ const std::vector<Route>& RouteTable::routes(NodeId src, NodeId dst) {
   return cache_.emplace(key, std::move(fwd)).first->second;
 }
 
+void RouteTable::adopt_cache(const RouteTable& donor) {
+  CS_REQUIRE(donor.opts_.max_routes == opts_.max_routes &&
+                 donor.opts_.max_hops == opts_.max_hops,
+             "RouteTable::adopt_cache: route options differ");
+  for (const auto& [key, routes] : donor.cache_) cache_.emplace(key, routes);
+}
+
 }  // namespace cs::topology

@@ -75,6 +75,15 @@ class RouteTable {
   /// Number of distinct unordered pairs enumerated so far.
   std::size_t pairs_computed() const { return cache_.size() / 2; }
 
+  /// Adopts another table's enumerated routes. The caller asserts that
+  /// every cached pair has the same route set in this table's network —
+  /// true when the networks differ only by appended leaf hosts (node and
+  /// link ids of shared elements unchanged, and a new leaf's only link
+  /// can appear on no pre-existing pair's routes). Used by the
+  /// incremental synthesizer's replay path (docs/DELTAS.md); options
+  /// must match.
+  void adopt_cache(const RouteTable& donor);
+
  private:
   const Network& net_;
   RouteOptions opts_;

@@ -155,6 +155,28 @@ TEST(RequestCodec, ResponseRoundTripProperty) {
   }
 }
 
+TEST(RequestCodec, DeltaSpecRefRoundTrips) {
+  // cs-delta-v1 ops text travels as the single spec-ref token after the
+  // "delta:" prefix (docs/DELTAS.md); the grammar is space-free by
+  // construction, so the line round-trips like any other spec-ref.
+  WireRequest req;
+  req.id = "d1";
+  req.spec_kind = SpecRefKind::kDelta;
+  req.spec = "retune,iso=4,budget=55;add-uic,forbid-service,svc,proxy";
+  req.point.objective = synth::SweepObjective::kFeasibility;
+  req.point.isolation = util::Fixed::from_int(3);
+  req.point.usability = util::Fixed::from_int(4);
+  req.point.budget = util::Fixed::from_int(60);
+  const std::string line = RequestCodec::render_request(req);
+  const ParsedLine parsed = RequestCodec::parse_line(line);
+  ASSERT_EQ(parsed.kind, LineKind::kRequest) << line;
+  EXPECT_EQ(parsed.request, req) << line;
+
+  // An empty ops text is rejected at the codec layer already.
+  EXPECT_THROW(RequestCodec::parse_line("delta: feasibility 3 4 60"),
+               util::SpecError);
+}
+
 TEST(RequestCodec, ClassifiesNonRequestLines) {
   EXPECT_EQ(RequestCodec::parse_line("").kind, LineKind::kBlank);
   EXPECT_EQ(RequestCodec::parse_line("   ").kind, LineKind::kBlank);
@@ -303,6 +325,64 @@ TEST(TcpServer, DuplicateKeysAreServedFromCacheOrCoalescing) {
     EXPECT_TRUE(source == "solved" || source == "cache" ||
                 source == "coalesced")
         << source;
+}
+
+/// A delta spec-ref request against the connection's anchor spec.
+std::string delta_line(const std::string& id, const std::string& ops,
+                       int ulp) {
+  WireRequest req;
+  req.id = id;
+  req.spec_kind = SpecRefKind::kDelta;
+  req.spec = ops;
+  req.point.objective = synth::SweepObjective::kFeasibility;
+  req.point.isolation = util::Fixed::from_raw(ulp);
+  req.point.usability = util::Fixed::from_raw(0);
+  req.point.budget = util::Fixed::from_int(100);
+  return RequestCodec::render_request(req);
+}
+
+TEST(TcpServer, DeltaSpecRefsChainOnTheConnectionAnchor) {
+  TcpServer server(test_config());
+  server.start();
+  BlockingClient client("127.0.0.1", server.port());
+
+  // No anchor yet: a structured error that keeps the connection open.
+  client.send_line(delta_line("orphan", "retune,iso=2", 1));
+  const WireResponse orphan = recv_response(client);
+  EXPECT_EQ(orphan.id, "orphan");
+  EXPECT_EQ(orphan.status, WireStatus::kError);
+  EXPECT_NE(orphan.message.find("previous spec"), std::string::npos);
+
+  // Anchor, then two chained deltas — the second resolves against the
+  // running post-delta spec, not the original anchor.
+  client.send_line(request_line("anchor", 10));
+  EXPECT_EQ(recv_response(client).status, WireStatus::kSat);
+  client.send_line(delta_line("d1", "retune,iso=2,budget=80", 11));
+  EXPECT_EQ(recv_response(client).status, WireStatus::kSat);
+  client.send_line(delta_line("d2", "add-uic,forbid-service,svc,proxy", 12));
+  const WireResponse d2 = recv_response(client);
+  EXPECT_EQ(d2.status, WireStatus::kSat);
+  EXPECT_EQ(d2.source, "solved");
+
+  // A failing delta answers an error, leaves the anchor untouched, and
+  // later deltas keep chaining from where d2 left it.
+  client.send_line(delta_line("bad-op", "remove-host,ghost", 13));
+  EXPECT_EQ(recv_response(client).status, WireStatus::kError);
+  client.send_line(delta_line("bad-grammar", "retune,nope=1", 13));
+  EXPECT_EQ(recv_response(client).status, WireStatus::kError);
+  client.send_line(delta_line("d3", "retune,iso=1", 14));
+  EXPECT_EQ(recv_response(client).status, WireStatus::kSat);
+
+  // Delta resolution is content-keyed: a second connection replaying the
+  // same anchor + ops at the same points lands on the first connection's
+  // cache entries — byte-identical resolved specs, proved by `source=`.
+  BlockingClient replay("127.0.0.1", server.port());
+  replay.send_line(request_line("r-anchor", 10));
+  EXPECT_EQ(recv_response(replay).source, "cache");
+  replay.send_line(delta_line("r-d1", "retune,iso=2,budget=80", 11));
+  EXPECT_EQ(recv_response(replay).source, "cache");
+  replay.send_line(delta_line("r-d2", "add-uic,forbid-service,svc,proxy", 12));
+  EXPECT_EQ(recv_response(replay).source, "cache");
 }
 
 /// Gate blocking the single worker inside on_start (same construction as

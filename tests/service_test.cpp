@@ -19,6 +19,7 @@
 #include <mutex>
 #include <vector>
 
+#include "model/delta.h"
 #include "service/synth_service.h"
 #include "spec_helpers.h"
 
@@ -113,6 +114,50 @@ TEST(ResultCache, NegativeEntriesCountedSeparately) {
   EXPECT_EQ(hit->status, CheckResult::kUnsat);
   ASSERT_EQ(hit->conflicting.size(), 2u);  // the relaxation core survives
   EXPECT_EQ(cache.stats().negative_hits, 1);
+}
+
+/// Distinct sub-digest sets that share (or not) a shape, for exercising
+/// the partial-hit index without building whole specs.
+model::SpecDigests digests_of(int topo, int flows, int uics, int point) {
+  model::SpecDigests d;
+  d.topology = key_of(topo);
+  d.flows = key_of(flows);
+  d.uics = key_of(uics);
+  d.thresholds = key_of(point);
+  d.budget = key_of(point + 1);
+  return d;
+}
+
+TEST(ResultCache, ShapeIndexCountsPartialHits) {
+  ResultCache cache(2);
+  synth::SweepPointResult r;
+  r.status = CheckResult::kSat;
+  const model::SpecDigests d1 = digests_of(100, 101, 102, 103);
+  cache.insert(key_of(1), r, &d1);
+  EXPECT_EQ(cache.digests(key_of(1)), std::optional(d1));
+
+  // Same shape, different query point → full-key miss, partial hit.
+  const model::SpecDigests retuned = digests_of(100, 101, 102, 203);
+  bool partial = false;
+  EXPECT_FALSE(cache.lookup(key_of(2), &retuned, &partial).has_value());
+  EXPECT_TRUE(partial);
+
+  // Different shape (one flows digest apart) → a plain miss.
+  const model::SpecDigests reshaped = digests_of(100, 301, 102, 103);
+  EXPECT_FALSE(cache.lookup(key_of(3), &reshaped, &partial).has_value());
+  EXPECT_FALSE(partial);
+
+  // A full-key hit is never counted as partial.
+  EXPECT_TRUE(cache.lookup(key_of(1), &d1, &partial).has_value());
+  EXPECT_FALSE(partial);
+  EXPECT_EQ(cache.stats().partial_hits, 1);
+
+  // Eviction unregisters the entry's shape from the index.
+  cache.insert(key_of(4), r);  // no digests
+  cache.insert(key_of(5), r);  // evicts key_of(1), the LRU
+  EXPECT_FALSE(cache.lookup(key_of(6), &retuned, &partial).has_value());
+  EXPECT_FALSE(partial);
+  EXPECT_EQ(cache.stats().partial_hits, 1);
 }
 
 // ---- MetricsRegistry -------------------------------------------------------
@@ -330,6 +375,43 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, BackendServiceTest,
                          });
 
 // ---- Warm pool edge cases (MiniPB, TSan-covered) ---------------------------
+
+TEST(SynthServiceMiniPb, RetunedDeltaSpecIsPartialHitServedWarm) {
+  // The changefeed fast path end to end: a thresholds-only cs-delta-v1
+  // retune produces a new combined digest (full-key cache miss) with an
+  // unchanged encoding shape, so the service counts a partial hit and
+  // the shape-keyed warm pool answers without re-encoding.
+  ServiceConfig config;
+  config.workers = 1;
+  SynthService service(config);
+  const auto spec = shared_example_spec();
+  const auto request_for = [](const auto& s) {
+    return feasibility_request(s, BackendKind::kMiniPb, s->sliders.isolation,
+                               s->sliders.usability, s->sliders.budget);
+  };
+  const ServiceOutcome first = service.solve(request_for(spec));
+  ASSERT_EQ(first.result.status, CheckResult::kSat);
+  EXPECT_EQ(service.metrics().counter_value("cache_partial_hits"), 0);
+
+  const auto retuned = std::make_shared<const model::ProblemSpec>(
+      model::apply_delta(
+          *spec, model::parse_delta("retune,iso=2,usab=3,budget=55")));
+  const ServiceOutcome second = service.solve(request_for(retuned));
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(service.metrics().counter_value("cache_partial_hits"), 1);
+  EXPECT_TRUE(second.result.warm);
+  EXPECT_EQ(second.result.encode_seconds, 0.0);
+  EXPECT_EQ(service.metrics().counter_value("warm_hits"), 1);
+  // The counter reaches the Prometheus exposition like any other.
+  EXPECT_NE(
+      service.metrics().render_prometheus().find("cache_partial_hits"),
+      std::string::npos);
+
+  // The warm verdict matches an independent cold solve bit for bit.
+  SynthService cold{ServiceConfig{}};
+  expect_payload_identical(second.result,
+                           cold.solve(request_for(retuned)).result);
+}
 
 TEST(SynthServiceMiniPb, WarmPoolDisabledSolvesCold) {
   ServiceConfig config;
