@@ -33,6 +33,9 @@ synth::SynthesisOptions options() {
 synth::SynthesisOptions sweep_options() {
   synth::SynthesisOptions opts;
   opts.backend = backend();
+  // Z3 caps are rlimit units; MiniPB caps are conflicts; the race cap is
+  // denominated in race units (MiniPB conflicts — the racer scales Z3's
+  // slices internally), so it shares the MiniPB sizing.
   const std::int64_t quick =
       opts.backend == smt::BackendKind::kZ3 ? 50'000'000 : 100'000;
   opts.check_conflict_limit = full_mode() ? 12 * quick : quick;

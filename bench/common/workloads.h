@@ -28,8 +28,9 @@ namespace cs::bench {
 /// True when CS_BENCH_FULL=1 is set in the environment.
 bool full_mode();
 
-/// Backend selected by CS_BENCH_BACKEND (z3|minipb); defaults to Z3, the
-/// paper's solver.
+/// Backend selected by CS_BENCH_BACKEND (z3|minipb|race); defaults to
+/// Z3, the paper's solver. "race" runs the deterministic MiniPB/Z3
+/// portfolio (smt/race_backend.h).
 smt::BackendKind backend();
 
 /// Standard synthesis options for benches: the selected backend plus a

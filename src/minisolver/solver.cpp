@@ -470,16 +470,41 @@ int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
   } while (counter > 0);
   learnt[0] = ~p;
 
-  // Conflict-clause minimization: drop literals implied by the rest of the
-  // clause through their (clause or PB) reasons — the local check of
-  // Sörensson/Biere. Sound because reason literals always precede the
-  // justified literal on the trail, so justifications cannot be circular.
+  // Conflict-clause minimization: drop literals implied by the rest of
+  // the clause through their (clause or PB) reasons. Sound in both modes
+  // because reason literals always precede the justified literal on the
+  // trail, so justifications cannot be circular. Both paths clear every
+  // seen_ bit analyze set (plus any lit_redundant added).
+  const std::size_t before_min = learnt.size();
+  if (minimize_mode_ == MinimizeMode::kRecursive)
+    minimize_recursive(learnt);
+  else
+    minimize_local(learnt);
+  stats_.minimized_literals +=
+      static_cast<std::int64_t>(before_min - learnt.size());
+
+  if (learnt.size() == 1) return 0;
+  // Move the literal with the highest level to position 1.
+  std::size_t max_i = 1;
+  for (std::size_t i = 2; i < learnt.size(); ++i) {
+    if (level_[static_cast<std::size_t>(learnt[i].var())] >
+        level_[static_cast<std::size_t>(learnt[max_i].var())])
+      max_i = i;
+  }
+  std::swap(learnt[1], learnt[max_i]);
+  return level_[static_cast<std::size_t>(learnt[1].var())];
+}
+
+void Solver::minimize_local(std::vector<Lit>& learnt) {
+  // The local check of Sörensson/Biere: a literal is redundant when every
+  // literal of its reason is at level 0 or already in the learnt clause.
   std::vector<char> in_learnt(num_vars(), 0);
   for (std::size_t i = 1; i < learnt.size(); ++i)
     in_learnt[static_cast<std::size_t>(learnt[i].var())] = 1;
   // seen_ must be cleared for every collected literal — including ones the
   // pruning drops — or stale bits corrupt later conflict analyses.
   const std::vector<Lit> collected(learnt.begin() + 1, learnt.end());
+  std::vector<Lit> reason_lits;
   std::vector<Lit> pruned;
   pruned.push_back(learnt[0]);
   for (std::size_t i = 1; i < learnt.size(); ++i) {
@@ -503,17 +528,96 @@ int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
   learnt = std::move(pruned);
   for (const Lit l : collected)
     seen_[static_cast<std::size_t>(l.var())] = 0;
+}
 
-  if (learnt.size() == 1) return 0;
-  // Move the literal with the highest level to position 1.
-  std::size_t max_i = 1;
-  for (std::size_t i = 2; i < learnt.size(); ++i) {
-    if (level_[static_cast<std::size_t>(learnt[i].var())] >
-        level_[static_cast<std::size_t>(learnt[max_i].var())])
-      max_i = i;
+bool Solver::lit_redundant(Lit p0, std::uint32_t abstract_levels) {
+  // Iterative DFS through reason chains. seen_ doubles as the visited
+  // set: entry state has it set exactly for the learnt-clause vars, and
+  // every var this probe marks is logged in minimize_toclear_ so a
+  // failed probe can roll back to its own start (marks from successful
+  // probes stay — they are proven redundant-covered and memoize later
+  // probes, exactly MiniSat's analyze_toclear discipline).
+  //
+  // Reasons are walked inline rather than through reason_literals: PB
+  // reasons expand to every false term of their constraint (hundreds of
+  // literals here), and most probes die on the first blocking decision —
+  // materializing the full expansion first would pay the whole walk to
+  // learn that.
+  analyze_stack_.assign(1, p0);
+  const std::size_t top = minimize_toclear_.size();
+  // The per-literal DFS step: skip already-covered vars, descend through
+  // propagated vars inside the clause's levels, fail on anything else.
+  const auto step = [&](Lit l) -> bool {
+    const auto v = static_cast<std::size_t>(l.var());
+    if (seen_[v] || level_[v] == 0) return true;
+    if (!reason_[v].is_none() &&
+        (abstract_level(l.var()) & abstract_levels) != 0) {
+      seen_[v] = 1;
+      analyze_stack_.push_back(~l);  // the trail literal for l's var
+      minimize_toclear_.push_back(l);
+      return true;
+    }
+    return false;  // a blocking decision/level: p0 is not redundant
+  };
+  while (!analyze_stack_.empty()) {
+    const Lit p = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const Reason& r = reason_[static_cast<std::size_t>(p.var())];
+    bool blocked = minimize_work_ <= 0;  // budget exhausted = blocked
+    if (!blocked && r.cref != kRefUndef) {
+      const Clause c = ca_.deref(r.cref);
+      const std::uint32_t size = c.size();
+      minimize_work_ -= size;
+      for (std::uint32_t k = 0; k < size && !blocked; ++k) {
+        const Lit l = c[k];
+        if (l != p && !step(l)) blocked = true;
+      }
+    } else if (!blocked) {
+      const std::int32_t p_pos =
+          trail_pos_[static_cast<std::size_t>(p.var())];
+      minimize_work_ -=
+          static_cast<std::int64_t>(r.pb->terms.size());
+      for (const PbTerm& t : r.pb->terms) {
+        if (t.lit == p || value(t.lit) != LBool::kFalse) continue;
+        if (trail_pos_[static_cast<std::size_t>(t.lit.var())] < p_pos &&
+            !step(t.lit)) {
+          blocked = true;
+          break;
+        }
+      }
+    }
+    if (blocked) {
+      // Undo only this probe's marks.
+      for (std::size_t j = top; j < minimize_toclear_.size(); ++j)
+        seen_[static_cast<std::size_t>(minimize_toclear_[j].var())] = 0;
+      minimize_toclear_.resize(top);
+      return false;
+    }
   }
-  std::swap(learnt[1], learnt[max_i]);
-  return level_[static_cast<std::size_t>(learnt[1].var())];
+  return true;
+}
+
+void Solver::minimize_recursive(std::vector<Lit>& learnt) {
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i)
+    abstract_levels |= abstract_level(learnt[i].var());
+  minimize_collected_.assign(learnt.begin() + 1, learnt.end());
+  minimize_toclear_.clear();
+  minimize_work_ = kMinimizeBudget;
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const Lit q = learnt[i];
+    const Reason& r = reason_[static_cast<std::size_t>(q.var())];
+    if (r.is_none() || minimize_work_ <= 0 ||
+        !lit_redundant(~q, abstract_levels))
+      learnt[keep++] = q;
+  }
+  learnt.resize(keep);
+  for (const Lit l : minimize_collected_)
+    seen_[static_cast<std::size_t>(l.var())] = 0;
+  for (const Lit l : minimize_toclear_)
+    seen_[static_cast<std::size_t>(l.var())] = 0;
+  minimize_toclear_.clear();
 }
 
 void Solver::analyze_final(Lit failed_assumption) {
@@ -802,13 +906,16 @@ Solver::Result Solver::search(std::int64_t conflict_budget,
         unsat_core_.clear();
         return Result::kUnsat;
       }
+      note_conflict_trail(trail_.size());
       const int bt_level = analyze(conflict, learnt);
       if (learnt_hook_) learnt_hook_(learnt);
       cancel_until(bt_level);
       if (learnt.size() == 1) {
+        note_learnt_lbd(1);
         unchecked_enqueue(learnt[0], Reason{});
       } else {
         const int lbd = compute_lbd(learnt);
+        note_learnt_lbd(lbd);
         const ClauseRef cref = ca_.alloc(learnt, /*learnt=*/true);
         Clause c = ca_.deref(cref);
         c.set_lbd(lbd);
@@ -834,8 +941,24 @@ Solver::Result Solver::search(std::int64_t conflict_budget,
       continue;
     }
 
-    if (conflicts_here >= conflict_budget) {
+    // Best-phase tracking for rephasing: snapshot the saved polarities
+    // whenever the trail reaches a new high-water mark (a ~3% growth
+    // threshold bounds the O(vars) copies to a logarithmic count).
+    if (rephase_enabled_ &&
+        trail_.size() > best_trail_size_ + best_trail_size_ / 32) {
+      best_trail_size_ = trail_.size();
+      best_phase_.assign(polarity_.begin(), polarity_.end());
+    }
+
+    const bool glucose_due = glucose_restart_due();
+    if (conflicts_here >= conflict_budget || glucose_due) {
       ++stats_.restarts;
+      if (glucose_due) {
+        ++stats_.glucose_restarts;
+        recent_count_ = 0;
+        recent_pos_ = 0;
+        recent_lbd_sum_ = 0;
+      }
       cancel_until(0);
       return Result::kUnknown;  // restart
     }
@@ -843,7 +966,20 @@ Solver::Result Solver::search(std::int64_t conflict_budget,
       cancel_until(0);
       return Result::kUnknown;
     }
-    if (static_cast<double>(num_local_) > max_learnts_) {
+    // Clause-DB reduction cadence follows the restart mode's native
+    // policy. kGlucose reduces on Glucose's conflict schedule (first at
+    // kReduceBase conflicts, then every kReduceBase + kReduceInc·k) —
+    // aggressive deletion keeps the local tier small, so propagation
+    // stays fast across long capped burns. kLuby keeps the MiniSat-style
+    // geometric allowance the seed configuration shipped with.
+    if (restart_mode_ == RestartMode::kGlucose) {
+      if (stats_.conflicts >= next_reduce_at_) {
+        reduce_db();
+        ++reduce_count_;
+        next_reduce_at_ =
+            stats_.conflicts + kReduceBase + kReduceInc * reduce_count_;
+      }
+    } else if (static_cast<double>(num_local_) > max_learnts_) {
       reduce_db();
       max_learnts_ *= 1.5;
     }
@@ -879,6 +1015,67 @@ Solver::Result Solver::search(std::int64_t conflict_budget,
   }
 }
 
+void Solver::note_learnt_lbd(int lbd) {
+  ++lifetime_lbd_count_;
+  lifetime_lbd_sum_ += lbd;
+  if (restart_mode_ != RestartMode::kGlucose) return;
+  if (recent_lbds_.size() < kLbdWindow) recent_lbds_.resize(kLbdWindow, 0);
+  if (recent_count_ == kLbdWindow)
+    recent_lbd_sum_ -= recent_lbds_[recent_pos_];
+  else
+    ++recent_count_;
+  recent_lbds_[recent_pos_] = lbd;
+  recent_lbd_sum_ += lbd;
+  recent_pos_ = (recent_pos_ + 1) % kLbdWindow;
+}
+
+void Solver::note_conflict_trail(std::size_t trail_size) {
+  ++trail_size_count_;
+  trail_size_sum_ += static_cast<std::int64_t>(trail_size);
+  if (restart_mode_ != RestartMode::kGlucose) return;
+  if (trail_size_count_ < kBlockingMinConflicts) return;
+  if (recent_count_ < kLbdWindow) return;
+  // trail > (kBlockingNum/kBlockingDen) * avg, cross-multiplied.
+  if (static_cast<std::int64_t>(trail_size) * trail_size_count_ *
+          kBlockingDen >
+      trail_size_sum_ * kBlockingNum) {
+    recent_count_ = 0;
+    recent_pos_ = 0;
+    recent_lbd_sum_ = 0;
+  }
+}
+
+bool Solver::glucose_restart_due() const {
+  if (restart_mode_ != RestartMode::kGlucose) return false;
+  if (recent_count_ < kLbdWindow) return false;
+  // recent_avg > (kGlucoseNum/kGlucoseDen) * lifetime_avg, cross-
+  // multiplied to stay in exact integer arithmetic (deterministic).
+  return recent_lbd_sum_ * lifetime_lbd_count_ * kGlucoseDen >
+         lifetime_lbd_sum_ * static_cast<std::int64_t>(kLbdWindow) *
+             kGlucoseNum;
+}
+
+void Solver::do_rephase() {
+  const std::size_t n = num_vars();
+  switch (rephase_kind_ % 3) {
+    case 0:  // best: the phases at the deepest trail seen this solve
+      if (best_trail_size_ > 0 && best_phase_.size() == n)
+        polarity_ = best_phase_;
+      break;
+    case 1:  // inverted: kick the search out of its current basin
+      for (char& p : polarity_) p ^= 1;
+      break;
+    case 2:  // original: the coefficient-weighted PB phase votes
+      for (std::size_t v = 0; v < n; ++v)
+        polarity_[v] = phase_vote_[v] >= 0 ? 1 : 0;
+      break;
+  }
+  ++rephase_kind_;
+  ++stats_.rephases;
+  rephase_interval_ *= 2;
+  next_rephase_at_ = stats_.conflicts + rephase_interval_;
+}
+
 Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
   unsat_core_.clear();
   if (!ok_) return Result::kUnsat;
@@ -904,9 +1101,24 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::kUnsat;
   retighten_pb_watches();
 
+  // Each solve races a fresh assumption space: restart the LBD window,
+  // the best-trail high-water mark, and the rephase schedule.
+  recent_count_ = 0;
+  recent_pos_ = 0;
+  recent_lbd_sum_ = 0;
+  best_trail_size_ = 0;
+  rephase_interval_ = kRephaseInterval;
+  next_rephase_at_ = stats_.conflicts + rephase_interval_;
+
   Result result = Result::kUnknown;
   for (std::int64_t episode = 1; result == Result::kUnknown; ++episode) {
-    result = search(luby(episode) * 100, assumptions);
+    // kGlucose decides its own restart points; the episode budget only
+    // bounds kLuby (the huge budget never fires before the LBD check).
+    const std::int64_t budget =
+        restart_mode_ == RestartMode::kGlucose
+            ? std::numeric_limits<std::int64_t>::max()
+            : luby(episode) * 100;
+    result = search(budget, assumptions);
     if (result == Result::kUnknown) {
       if (out_of_budget()) break;
       // Between restarts the solver sits at the root: fold any new
@@ -914,6 +1126,8 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
       // watch prefixes the episode's falsification churn inflated.
       if (trail_.size() > simplified_trail_size_) simplify();
       retighten_pb_watches();
+      if (rephase_enabled_ && stats_.conflicts >= next_rephase_at_)
+        do_rephase();
     }
   }
   cancel_until(0);

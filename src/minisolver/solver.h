@@ -5,15 +5,34 @@
 // MiniSat-style conflict-driven clause-learning SAT core (two-watched
 // literals with blocker literals over an arena of 32-bit clause
 // references, inline binary-clause watch lists, VSIDS decision heuristic,
-// 1-UIP clause learning, phase saving, Luby restarts, LBD-tiered
-// clause-database reduction with root-level simplification) extended with
-// slack-based watched-sum pseudo-Boolean constraints Σ a_i·lit_i ≥ bound,
-// which is exactly the theory fragment the ConfigSynth encoding needs.
+// 1-UIP clause learning, phase saving, LBD-tiered clause-database
+// reduction with root-level simplification) extended with slack-based
+// watched-sum pseudo-Boolean constraints Σ a_i·lit_i ≥ bound, which is
+// exactly the theory fragment the ConfigSynth encoding needs.
 // The older counter-method PB propagator stays compiled in as a
 // runtime-selectable reference (PbMode::kCounter) for differential
 // testing and benchmarking. The solver solves under assumptions and
 // extracts an unsat core over them, which powers the paper's Algorithm 1
 // (systematic analysis of UNSAT results) without Z3.
+//
+// Search heuristics are runtime-selectable so the differential fuzzer and
+// bench_solver_core can ablate each one independently:
+//   * restarts — classic Luby episodes (RestartMode::kLuby) or
+//     Glucose-style dynamic restarts (kGlucose, the default) driven by a
+//     fast/slow LBD moving-average pair: restart when the recent learnt
+//     clauses are markedly worse (higher LBD) than the lifetime average.
+//     The mode also picks the matching clause-DB reduction cadence:
+//     Glucose's conflict schedule vs MiniSat's geometric allowance.
+//   * learned-clause minimization — the local self-subsumption check
+//     (MinimizeMode::kLocal) or recursive minimization against reason
+//     clauses with the standard abstract-level filter (kRecursive, the
+//     default).
+//   * rephasing — periodic polarity resets cycling through the
+//     best-phase snapshot (taken at the deepest trail seen), its
+//     inversion, and the original coefficient-vote phases; on by default.
+// Every policy is a pure function of the formula — no wall clock, no
+// randomness — so capped solves stay bit-for-bit reproducible under any
+// configuration.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +59,15 @@ class Solver {
   /// differential testing and as the benchmark baseline.
   enum class PbMode { kWatchedSum, kCounter };
 
+  /// Restart policy: fixed Luby episodes or Glucose-style dynamic
+  /// restarts from the recent-vs-lifetime LBD average pair.
+  enum class RestartMode { kLuby, kGlucose };
+
+  /// Learned-clause minimization: the local self-subsumption check or
+  /// recursive resolution against reason clauses (MiniSat's litRedundant
+  /// with the abstract-level filter).
+  enum class MinimizeMode { kLocal, kRecursive };
+
   struct Stats {
     std::int64_t decisions = 0;
     std::int64_t propagations = 0;
@@ -56,6 +84,13 @@ class Solver {
     std::int64_t lbd_local = 0;
     /// Root-level simplification rounds run between restarts.
     std::int64_t db_simplify_rounds = 0;
+    /// Restarts fired by the Glucose LBD condition (subset of restarts;
+    /// 0 in kLuby mode — the live restart-mode ablation signal).
+    std::int64_t glucose_restarts = 0;
+    /// Polarity-reset events (best/inverted/original rephase cycle).
+    std::int64_t rephases = 0;
+    /// Literals removed from learnt clauses by minimization (either mode).
+    std::int64_t minimized_literals = 0;
   };
 
   /// Exact footprint of the constraint store, split by owner. The arena
@@ -107,6 +142,19 @@ class Solver {
   /// PB constraint is added; defaults to kWatchedSum.
   void set_pb_mode(PbMode mode);
   PbMode pb_mode() const { return pb_mode_; }
+
+  /// Selects the restart policy (default kGlucose). Takes effect at the
+  /// next solve() episode; callable at any time.
+  void set_restart_mode(RestartMode mode) { restart_mode_ = mode; }
+  RestartMode restart_mode() const { return restart_mode_; }
+
+  /// Selects the learned-clause minimization (default kRecursive).
+  void set_minimize_mode(MinimizeMode mode) { minimize_mode_ = mode; }
+  MinimizeMode minimize_mode() const { return minimize_mode_; }
+
+  /// Enables/disables periodic rephasing (default on).
+  void set_rephase(bool on) { rephase_enabled_ = on; }
+  bool rephase_enabled() const { return rephase_enabled_; }
 
   /// False once the constraint store is unsatisfiable at level 0.
   bool ok() const { return ok_; }
@@ -260,8 +308,65 @@ class Solver {
 
   bool out_of_budget() const;
 
+  /// Records a learnt clause's LBD in the Glucose restart averages.
+  void note_learnt_lbd(int lbd);
+  /// Records the trail size at conflict time. kGlucose only: when the
+  /// trail is markedly deeper than its lifetime average the search is
+  /// plausibly close to a satisfying assignment, so the recent-LBD
+  /// window is cleared — postponing the next dynamic restart by a full
+  /// window (Glucose's "blocking restarts").
+  void note_conflict_trail(std::size_t trail_size);
+  /// kGlucose only: recent LBD window is full and markedly above the
+  /// lifetime average — time to restart.
+  bool glucose_restart_due() const;
+
+  std::uint32_t abstract_level(Var v) const {
+    return 1u << (level_[static_cast<std::size_t>(v)] & 31);
+  }
+  /// MiniSat's litRedundant: true when trail literal `p0`'s assignment is
+  /// implied (through reason chains) by the other learnt-clause literals.
+  /// Marks visited vars in seen_/minimize_toclear_; a failed probe rolls
+  /// its own marks back.
+  bool lit_redundant(Lit p0, std::uint32_t abstract_levels);
+  /// The local self-subsumption minimization (Sörensson/Biere).
+  void minimize_local(std::vector<Lit>& learnt);
+  /// Recursive minimization with the abstract-level filter.
+  void minimize_recursive(std::vector<Lit>& learnt);
+
+  /// Applies the next entry of the rephase cycle to polarity_.
+  void do_rephase();
+
   static constexpr double kVarDecay = 0.95;
   static constexpr double kClauseDecay = 0.999;
+  /// Glucose restart tuning: recent window size and the margin — restart
+  /// when recent_avg > (kGlucoseNum/kGlucoseDen) * lifetime_avg.
+  static constexpr std::size_t kLbdWindow = 50;
+  static constexpr std::int64_t kGlucoseNum = 5;
+  static constexpr std::int64_t kGlucoseDen = 4;
+  /// Blocking-restart tuning: block when the conflict-time trail exceeds
+  /// (kBlockingNum/kBlockingDen) * lifetime_trail_avg, but only after
+  /// enough conflicts that the average is meaningful.
+  static constexpr std::int64_t kBlockingNum = 7;
+  static constexpr std::int64_t kBlockingDen = 5;
+  static constexpr std::int64_t kBlockingMinConflicts = 10000;
+  /// First rephase after this many conflicts; the interval doubles after
+  /// every rephase so late search settles into its phases.
+  static constexpr std::int64_t kRephaseInterval = 1000;
+  /// Per-conflict work budget for recursive minimization, counted in
+  /// reason literals visited. A PB reason expands to every false term of
+  /// its constraint — hundreds of literals on the synthesis encodings —
+  /// so the unbounded MiniSat-style DFS can dominate conflict analysis on
+  /// long capped burns. When the budget runs out the remaining candidate
+  /// literals are kept unexamined (sound: minimization only ever drops
+  /// provably redundant literals). The count is a pure function of the
+  /// formula, so capped solves stay deterministic.
+  static constexpr std::int64_t kMinimizeBudget = 2000;
+  /// Glucose's clause-DB reduction schedule (kGlucose restart mode):
+  /// first reduction after kReduceBase conflicts, then every
+  /// kReduceBase + kReduceInc·k. The kLuby mode keeps the MiniSat-style
+  /// geometric max_learnts allowance instead.
+  static constexpr std::int64_t kReduceBase = 2000;
+  static constexpr std::int64_t kReduceInc = 300;
 
   bool ok_ = true;
   std::vector<LBool> assigns_;
@@ -286,6 +391,11 @@ class Solver {
   std::vector<ClauseRef> learnts_;  // all tiers
   std::size_t num_local_ = 0;       // learnts currently in the local tier
   double max_learnts_ = 0;
+  /// Glucose-cadence reduction state (kGlucose restart mode only): the
+  /// conflict count that triggers the next reduce_db, and how many
+  /// reductions have run (the schedule stretches by kReduceInc each).
+  std::int64_t next_reduce_at_ = kReduceBase;
+  std::int64_t reduce_count_ = 0;
   /// Root trail size after the last simplify(); another round runs only
   /// once new root facts arrive.
   std::size_t simplified_trail_size_ = 0;
@@ -312,7 +422,41 @@ class Solver {
   double clause_inc_ = 1.0;
   ActivityHeap order_;
 
+  RestartMode restart_mode_ = RestartMode::kGlucose;
+  MinimizeMode minimize_mode_ = MinimizeMode::kRecursive;
+  bool rephase_enabled_ = true;
+  /// Glucose restart state: circular window of the last kLbdWindow learnt
+  /// LBDs (cleared on every restart) against the lifetime LBD average.
+  std::vector<int> recent_lbds_;
+  std::size_t recent_pos_ = 0;
+  std::size_t recent_count_ = 0;
+  std::int64_t recent_lbd_sum_ = 0;
+  std::int64_t lifetime_lbd_sum_ = 0;
+  std::int64_t lifetime_lbd_count_ = 0;
+  /// Blocking-restart state: lifetime average of the trail size at
+  /// conflict time (exact integer sum/count, so the block decision is
+  /// deterministic).
+  std::int64_t trail_size_sum_ = 0;
+  std::int64_t trail_size_count_ = 0;
+  /// Rephase state: polarity snapshot at the deepest trail seen this
+  /// solve, the conflict count that triggers the next rephase, and the
+  /// position in the best/inverted/original cycle.
+  std::vector<char> best_phase_;
+  std::size_t best_trail_size_ = 0;
+  std::int64_t rephase_interval_ = kRephaseInterval;
+  std::int64_t next_rephase_at_ = kRephaseInterval;
+  int rephase_kind_ = 0;
+
   std::vector<char> seen_;  // scratch for analyze
+  /// DFS stack + mark log for lit_redundant (recursive minimization).
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> minimize_toclear_;
+  /// Remaining work budget (kMinimizeBudget) for the current conflict's
+  /// recursive minimization.
+  std::int64_t minimize_work_ = 0;
+  /// Reused scratch for minimize_recursive (the hot path must not
+  /// allocate per conflict).
+  std::vector<Lit> minimize_collected_;
   /// Level-stamp scratch for compute_lbd (indexed by decision level).
   std::vector<std::int64_t> lbd_seen_;
   std::int64_t lbd_stamp_ = 0;

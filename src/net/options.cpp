@@ -9,10 +9,14 @@ namespace cs::net {
 namespace {
 
 const char* const kHelp =
-    "  --backend z3|minipb    solver backend (default z3)\n"
+    "  --backend z3|minipb|race  solver backend (default z3); race runs\n"
+    "                         a deterministic MiniPB/Z3 portfolio\n"
     "  --jobs <N>             worker threads; 0 = one per hardware thread\n"
     "  --queue-limit <N>      max queued requests before rejection\n"
     "  --cache-capacity <N>   result-cache entries\n"
+    "  --warm-pool <N>        parked warm synthesizers (0 disables warm\n"
+    "                         reuse: every request solves cold, so output\n"
+    "                         is identical at any --jobs value)\n"
     "  --time-limit <ms>      per-check wall-clock cap (0 = none)\n"
     "  --conflict-limit <n>   per-check deterministic effort cap (0 = "
     "none)\n"
@@ -48,6 +52,9 @@ bool consume_common_flag(CommonOptions& options, int argc, char** argv,
   } else if (flag == "--cache-capacity") {
     options.service.cache_capacity =
         static_cast<std::size_t>(next_count("cache capacity"));
+  } else if (flag == "--warm-pool") {
+    options.service.warm_pool_limit =
+        static_cast<std::size_t>(next_count("warm pool"));
   } else if (flag == "--time-limit") {
     options.synthesis.check_time_limit_ms = next_count("time limit");
   } else if (flag == "--conflict-limit") {

@@ -15,12 +15,28 @@ namespace {
 
 /// Counter name for one backend's probe count.
 const char* probe_counter_name(smt::BackendKind kind) {
-  return kind == smt::BackendKind::kZ3 ? "probes_z3" : "probes_minipb";
+  switch (kind) {
+    case smt::BackendKind::kZ3:
+      return "probes_z3";
+    case smt::BackendKind::kMiniPb:
+      return "probes_minipb";
+    case smt::BackendKind::kRace:
+      return "probes_race";
+  }
+  return "probes_unknown";
 }
 
 /// Trace-span tag for a backend.
 const char* backend_tag(smt::BackendKind kind) {
-  return kind == smt::BackendKind::kZ3 ? "z3" : "minipb";
+  switch (kind) {
+    case smt::BackendKind::kZ3:
+      return "z3";
+    case smt::BackendKind::kMiniPb:
+      return "minipb";
+    case smt::BackendKind::kRace:
+      return "race";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -53,6 +69,17 @@ void SynthService::record_solver_effort(const synth::SweepPointResult& r,
   metrics_.counter("solver_lbd_local_total").add(r.solver.lbd_local);
   metrics_.counter("solver_db_simplify_rounds_total")
       .add(r.solver.db_simplify_rounds);
+  // Search-heuristic activity (MiniPB only; zero deltas on Z3 requests).
+  metrics_.counter("solver_glucose_restarts_total")
+      .add(r.solver.glucose_restarts);
+  metrics_.counter("solver_rephases_total").add(r.solver.rephases);
+  metrics_.counter("solver_minimized_literals_total")
+      .add(r.solver.minimized_literals);
+  // Portfolio racing (race backend only): rounds run and first-decider
+  // wins per inner backend.
+  metrics_.counter("race_rounds_total").add(r.solver.race_rounds);
+  metrics_.counter("race_wins_minipb_total").add(r.solver.race_wins_minipb);
+  metrics_.counter("race_wins_z3_total").add(r.solver.race_wins_z3);
 }
 
 SynthService::SynthService(ServiceConfig config)

@@ -1,5 +1,6 @@
 #include "smt/ir.h"
 #include "smt/mini_backend.h"
+#include "smt/race_backend.h"
 #include "smt/z3_backend.h"
 #include "util/error.h"
 
@@ -11,6 +12,8 @@ std::unique_ptr<Backend> make_backend(BackendKind kind) {
       return std::make_unique<Z3Backend>();
     case BackendKind::kMiniPb:
       return std::make_unique<MiniBackend>();
+    case BackendKind::kRace:
+      return std::make_unique<RaceBackend>();
   }
   throw util::InternalError("unknown backend kind");
 }
@@ -18,7 +21,9 @@ std::unique_ptr<Backend> make_backend(BackendKind kind) {
 BackendKind backend_from_name(const std::string& name) {
   if (name == "z3") return BackendKind::kZ3;
   if (name == "minipb" || name == "mini") return BackendKind::kMiniPb;
-  throw util::SpecError("unknown backend '" + name + "' (use z3|minipb)");
+  if (name == "race") return BackendKind::kRace;
+  throw util::SpecError("unknown backend '" + name +
+                        "' (use z3|minipb|race)");
 }
 
 }  // namespace cs::smt

@@ -7,9 +7,11 @@
 // which is how the paper's threshold constraints become retractable
 // assumptions for unsat-core analysis (Algorithm 1).
 //
-// Two interchangeable backends implement the interface:
+// Three interchangeable backends implement the interface:
 //   * Z3Backend   — the paper's actual solver, via the native z3++ API.
 //   * MiniBackend — this repo's from-scratch CDCL PB solver.
+//   * RaceBackend — a deterministic portfolio racing the two above in
+//     effort-cap rounds (smt/race_backend.h).
 #pragma once
 
 #include <cstdint>
@@ -63,6 +65,17 @@ struct SolverStats {
   std::int64_t lbd_tier2 = 0;
   std::int64_t lbd_local = 0;
   std::int64_t db_simplify_rounds = 0;
+  // Search-heuristic counters (MiniPB only): restarts fired by the
+  // Glucose LBD condition, polarity rephase events, and literals removed
+  // by learned-clause minimization.
+  std::int64_t glucose_restarts = 0;
+  std::int64_t rephases = 0;
+  std::int64_t minimized_literals = 0;
+  // Portfolio racing (RaceBackend only): completed race rounds and which
+  // backend decided first, per race.
+  std::int64_t race_rounds = 0;
+  std::int64_t race_wins_minipb = 0;
+  std::int64_t race_wins_z3 = 0;
 
   SolverStats& operator+=(const SolverStats& o) {
     conflicts += o.conflicts;
@@ -74,6 +87,12 @@ struct SolverStats {
     lbd_tier2 += o.lbd_tier2;
     lbd_local += o.lbd_local;
     db_simplify_rounds += o.db_simplify_rounds;
+    glucose_restarts += o.glucose_restarts;
+    rephases += o.rephases;
+    minimized_literals += o.minimized_literals;
+    race_rounds += o.race_rounds;
+    race_wins_minipb += o.race_wins_minipb;
+    race_wins_z3 += o.race_wins_z3;
     return *this;
   }
   /// Delta between two cumulative snapshots (this − o).
@@ -88,6 +107,12 @@ struct SolverStats {
     d.lbd_tier2 -= o.lbd_tier2;
     d.lbd_local -= o.lbd_local;
     d.db_simplify_rounds -= o.db_simplify_rounds;
+    d.glucose_restarts -= o.glucose_restarts;
+    d.rephases -= o.rephases;
+    d.minimized_literals -= o.minimized_literals;
+    d.race_rounds -= o.race_rounds;
+    d.race_wins_minipb -= o.race_wins_minipb;
+    d.race_wins_z3 -= o.race_wins_z3;
     return d;
   }
   bool operator==(const SolverStats&) const = default;
@@ -159,7 +184,7 @@ class Backend {
   /// checks; Z3 keeps counting across its internal post-timeout rebuilds).
   virtual SolverStats statistics() const = 0;
 
-  /// Backend identifier ("z3", "minipb").
+  /// Backend identifier ("z3", "minipb", "race").
   virtual std::string name() const = 0;
 
   // ---- convenience helpers built on the primitives ---------------------
@@ -179,12 +204,16 @@ class Backend {
   void add_unit(Lit l) { add_clause({l}); }
 };
 
-enum class BackendKind { kZ3, kMiniPb };
+enum class BackendKind { kZ3, kMiniPb, kRace };
 
-/// Creates a backend instance.
+/// Creates a backend instance. kRace is the deterministic portfolio
+/// racer (smt/race_backend.h): MiniPB and Z3 race in effort-cap rounds
+/// with a fixed schedule and MiniPB-first tie-break, then the winner is
+/// anchored for the backend's remaining checks.
 std::unique_ptr<Backend> make_backend(BackendKind kind);
 
-/// Parses "z3" / "minipb" (for CLI flags); throws SpecError otherwise.
+/// Parses "z3" / "minipb" / "race" (for CLI flags); throws SpecError
+/// otherwise.
 BackendKind backend_from_name(const std::string& name);
 
 }  // namespace cs::smt

@@ -28,6 +28,11 @@ void emit_progress_sample(const minisolver::Solver::Stats& s) {
   obs::counter("solver", "minipb/lbd_tier2", s.lbd_tier2);
   obs::counter("solver", "minipb/lbd_local", s.lbd_local);
   obs::counter("solver", "minipb/db_simplify", s.db_simplify_rounds);
+  // Heuristic activity: which restart policy is firing and how much the
+  // minimizer is shaving off learnt clauses.
+  obs::counter("solver", "minipb/glucose_restarts", s.glucose_restarts);
+  obs::counter("solver", "minipb/rephases", s.rephases);
+  obs::counter("solver", "minipb/minimized_lits", s.minimized_literals);
 }
 
 std::vector<minisolver::PbTerm> to_mini_terms(const std::vector<Term>& terms) {
@@ -64,6 +69,15 @@ MiniBackend::MiniBackend() {
   const char* mode = std::getenv("CS_MINIPB_PB_MODE");
   if (mode != nullptr && std::string_view(mode) == "counter")
     solver_.set_pb_mode(minisolver::Solver::PbMode::kCounter);
+  const char* restart = std::getenv("CS_MINIPB_RESTART_MODE");
+  if (restart != nullptr && std::string_view(restart) == "luby")
+    solver_.set_restart_mode(minisolver::Solver::RestartMode::kLuby);
+  const char* minimize = std::getenv("CS_MINIPB_MINIMIZE");
+  if (minimize != nullptr && std::string_view(minimize) == "local")
+    solver_.set_minimize_mode(minisolver::Solver::MinimizeMode::kLocal);
+  const char* rephase = std::getenv("CS_MINIPB_REPHASE");
+  if (rephase != nullptr && std::string_view(rephase) == "0")
+    solver_.set_rephase(false);
 }
 
 BoolVar MiniBackend::new_bool(const std::string& name) {

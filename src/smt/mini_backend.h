@@ -14,10 +14,13 @@ namespace cs::smt {
 
 class MiniBackend final : public Backend {
  public:
-  /// Honors the CS_MINIPB_PB_MODE environment variable ("counter" selects
-  /// the reference counter propagator; anything else keeps the default
-  /// watched-sum mode) so whole-stack A/B runs — benches, differential
-  /// sweeps — need no API plumbing.
+  /// Honors the heuristic-ablation environment variables so whole-stack
+  /// A/B runs — benches, differential sweeps — need no API plumbing:
+  ///   CS_MINIPB_PB_MODE       "counter" selects the reference counter
+  ///                           propagator (default watched-sum)
+  ///   CS_MINIPB_RESTART_MODE  "luby" | "glucose" (default glucose)
+  ///   CS_MINIPB_MINIMIZE      "local" | "recursive" (default recursive)
+  ///   CS_MINIPB_REPHASE       "0" disables rephasing (default on)
   MiniBackend();
 
   BoolVar new_bool(const std::string& name) override;
@@ -57,6 +60,9 @@ class MiniBackend final : public Backend {
     out.lbd_tier2 = s.lbd_tier2;
     out.lbd_local = s.lbd_local;
     out.db_simplify_rounds = s.db_simplify_rounds;
+    out.glucose_restarts = s.glucose_restarts;
+    out.rephases = s.rephases;
+    out.minimized_literals = s.minimized_literals;
     return out;
   }
   std::string name() const override { return "minipb"; }

@@ -1,0 +1,169 @@
+#include "smt/race_backend.h"
+
+#include <limits>
+
+#include "obs/trace.h"
+#include "smt/mini_backend.h"
+#include "smt/z3_backend.h"
+
+namespace cs::smt {
+
+RaceBackend::RaceBackend()
+    : mini_(std::make_unique<MiniBackend>()),
+      z3_(std::make_unique<Z3Backend>()) {}
+
+BoolVar RaceBackend::new_bool(const std::string& name) {
+  const BoolVar v = mini_->new_bool(name);
+  const BoolVar v2 = z3_->new_bool(name);
+  (void)v2;  // lockstep creation keeps the indices equal by construction
+  return v;
+}
+
+std::size_t RaceBackend::num_vars() const { return mini_->num_vars(); }
+
+void RaceBackend::add_clause(const std::vector<Lit>& lits) {
+  mini_->add_clause(lits);
+  z3_->add_clause(lits);
+}
+
+void RaceBackend::add_linear_ge(const std::vector<Term>& terms,
+                                std::int64_t bound) {
+  mini_->add_linear_ge(terms, bound);
+  z3_->add_linear_ge(terms, bound);
+}
+
+void RaceBackend::add_linear_le(const std::vector<Term>& terms,
+                                std::int64_t bound) {
+  mini_->add_linear_le(terms, bound);
+  z3_->add_linear_le(terms, bound);
+}
+
+void RaceBackend::add_guarded_linear_ge(Lit guard,
+                                        const std::vector<Term>& terms,
+                                        std::int64_t bound) {
+  mini_->add_guarded_linear_ge(guard, terms, bound);
+  z3_->add_guarded_linear_ge(guard, terms, bound);
+}
+
+void RaceBackend::add_guarded_linear_le(Lit guard,
+                                        const std::vector<Term>& terms,
+                                        std::int64_t bound) {
+  mini_->add_guarded_linear_le(guard, terms, bound);
+  z3_->add_guarded_linear_le(guard, terms, bound);
+}
+
+void RaceBackend::set_time_limit_ms(std::int64_t ms) {
+  // Forwarded for parity with the single backends, but note a wall-clock
+  // cap reintroduces machine-dependence; deterministic drivers use
+  // set_conflict_limit instead.
+  time_limit_ms_ = ms;
+  mini_->set_time_limit_ms(ms);
+  z3_->set_time_limit_ms(ms);
+}
+
+void RaceBackend::set_conflict_limit(std::int64_t limit) {
+  caller_cap_ = limit;
+}
+
+CheckResult RaceBackend::check(const std::vector<Lit>& assumptions) {
+  if (anchor_ != nullptr) {
+    // Warm path: the race is settled for this instance; delegate to the
+    // winner under the caller's cap (scaled into the winner's units).
+    anchor_->set_conflict_limit(
+        anchor_ == z3_.get() && caller_cap_ > 0
+            ? caller_cap_ * kZ3UnitsPerConflict
+            : caller_cap_);
+    const CheckResult r = anchor_->check(assumptions);
+    decider_ = anchor_;
+    return r;
+  }
+  return race(assumptions);
+}
+
+CheckResult RaceBackend::race(const std::vector<Lit>& assumptions) {
+  obs::Span race_span("solver", "race");
+  // Cumulative per-round effort targets: MiniPB keeps its learnt clauses
+  // across rounds, so its slice is the *increment* to the target; Z3's
+  // QF_FD core restarts from scratch after every capped (kUnknown) check,
+  // so its slice is the full cumulative target each round.
+  std::int64_t target = kRound0;
+  std::int64_t mini_spent = 0;
+  for (;;) {
+    const bool capped = caller_cap_ > 0 && target >= caller_cap_;
+    const std::int64_t round_target =
+        capped ? caller_cap_ : target;
+
+    ++race_rounds_;
+    {
+      obs::Span round_span("solver", "race/round");
+      // MiniPB slice first — the fixed tie-break: if both backends could
+      // decide within this round's target, MiniPB's verdict lands first.
+      const std::int64_t mini_slice = round_target - mini_spent;
+      if (mini_slice > 0) {
+        mini_->set_conflict_limit(mini_slice);
+        const CheckResult r = mini_->check(assumptions);
+        mini_spent = round_target;
+        if (r != CheckResult::kUnknown) {
+          anchor_ = decider_ = mini_.get();
+          ++race_wins_minipb_;
+          return r;
+        }
+      }
+      // Z3 sits out tiny early rounds (it restarts from scratch per
+      // capped check, so small slices are waste on points MiniPB
+      // anchors immediately) but always races the final capped round.
+      if (round_target >= kZ3MinTarget || capped) {
+        z3_->set_conflict_limit(round_target * kZ3UnitsPerConflict);
+        const CheckResult r = z3_->check(assumptions);
+        if (r != CheckResult::kUnknown) {
+          anchor_ = decider_ = z3_.get();
+          ++race_wins_z3_;
+          return r;
+        }
+      }
+    }
+    if (capped) {
+      // Both solvers exhausted the caller's effort cap undecided: report
+      // kUnknown exactly like a capped single backend. No anchor — a
+      // later uncapped check on this instance races again.
+      decider_ = nullptr;
+      return CheckResult::kUnknown;
+    }
+    if (target > std::numeric_limits<std::int64_t>::max() / kRoundGrowth)
+      target = std::numeric_limits<std::int64_t>::max();
+    else
+      target *= kRoundGrowth;
+  }
+}
+
+bool RaceBackend::model_value(BoolVar v) const {
+  return decider_ != nullptr ? decider_->model_value(v)
+                             : mini_->model_value(v);
+}
+
+std::vector<Lit> RaceBackend::unsat_core() const {
+  return decider_ != nullptr ? decider_->unsat_core()
+                             : mini_->unsat_core();
+}
+
+std::size_t RaceBackend::memory_bytes() const {
+  return mini_->memory_bytes() + z3_->memory_bytes();
+}
+
+SolverStats RaceBackend::statistics() const {
+  // Total effort spent by the instance — both racers, not just the
+  // winner — so sweep effort attribution reflects the race's real cost.
+  SolverStats s = mini_->statistics();
+  s += z3_->statistics();
+  s.race_rounds = race_rounds_;
+  s.race_wins_minipb = race_wins_minipb_;
+  s.race_wins_z3 = race_wins_z3_;
+  return s;
+}
+
+std::string RaceBackend::anchored() const {
+  if (anchor_ == nullptr) return "";
+  return anchor_ == mini_.get() ? "minipb" : "z3";
+}
+
+}  // namespace cs::smt

@@ -1,0 +1,101 @@
+// Deterministic portfolio backend: MiniPB and Z3 race per check.
+//
+// Both inner backends receive every constraint (variables are created in
+// lockstep, so BoolVar indices coincide). The first check() races the two
+// solvers in effort-cap rounds — deterministic search-effort slices, never
+// wall clock — and the first backend to decide (kSat/kUnsat) becomes the
+// *anchor*: all later checks on this backend instance go straight to the
+// winner. A sweep's cold/full tiers construct fresh backends per point and
+// therefore re-race; warm tiers reuse the instance and keep the anchor,
+// which is exactly the tier policy the sweep engine wants (synth/sweep.h).
+//
+// Determinism contract: the round schedule is fixed (cumulative target
+// 4096·4^r race units per round), the tie-break is fixed (MiniPB runs its
+// slice first each round and so wins ties), and both slices are effort
+// caps (CDCL conflicts for MiniPB, rlimit for Z3). The race verdict is a
+// pure function of the formula — byte-identical at any --jobs value and
+// across machines. Loser cancellation is cooperative: the loser's slice
+// simply never grows again once the winner decides.
+//
+// Effort units: the racer's set_conflict_limit is denominated in MiniPB
+// conflicts ("race units"); Z3 slices scale by kZ3UnitsPerConflict,
+// calibrated so one race unit costs both solvers comparable wall time on
+// the synthesis encodings (Z3's QF_FD core burns rlimit ~150x faster
+// than MiniPB burns conflicts there). Z3 also sits out rounds whose
+// target is below kZ3MinTarget: its QF_FD core restarts from scratch
+// after every capped check, so tiny early slices are pure waste on
+// points MiniPB anchors immediately — Z3 joins once the point has
+// proven non-trivial (or in the final caller-capped round, so it always
+// gets at least one shot).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "smt/ir.h"
+
+namespace cs::smt {
+
+class RaceBackend final : public Backend {
+ public:
+  RaceBackend();
+
+  BoolVar new_bool(const std::string& name) override;
+  std::size_t num_vars() const override;
+
+  void add_clause(const std::vector<Lit>& lits) override;
+  void add_linear_ge(const std::vector<Term>& terms,
+                     std::int64_t bound) override;
+  void add_linear_le(const std::vector<Term>& terms,
+                     std::int64_t bound) override;
+  void add_guarded_linear_ge(Lit guard, const std::vector<Term>& terms,
+                             std::int64_t bound) override;
+  void add_guarded_linear_le(Lit guard, const std::vector<Term>& terms,
+                             std::int64_t bound) override;
+
+  using Backend::check;
+  CheckResult check(const std::vector<Lit>& assumptions) override;
+  void set_time_limit_ms(std::int64_t ms) override;
+  void set_conflict_limit(std::int64_t limit) override;
+  bool model_value(BoolVar v) const override;
+  std::vector<Lit> unsat_core() const override;
+  std::size_t memory_bytes() const override;
+  SolverStats statistics() const override;
+  std::string name() const override { return "race"; }
+
+  /// Anchored winner after the first decided check: "minipb", "z3", or ""
+  /// while still unanchored (no decided check yet).
+  std::string anchored() const;
+
+  /// Z3 rlimit units granted per race unit (MiniPB conflict). Public so
+  /// tests and drivers can convert race caps into single-Z3 caps.
+  static constexpr std::int64_t kZ3UnitsPerConflict = 150;
+  /// Z3 skips rounds with a cumulative target below this (in race
+  /// units), except the final caller-capped round — its QF_FD core
+  /// restarts from scratch per check, so tiny slices are pure waste.
+  static constexpr std::int64_t kZ3MinTarget = 32768;
+  /// First round's cumulative effort target, in race units.
+  static constexpr std::int64_t kRound0 = 4096;
+  /// Per-round growth factor of the cumulative target.
+  static constexpr std::int64_t kRoundGrowth = 4;
+
+ private:
+  CheckResult race(const std::vector<Lit>& assumptions);
+
+  std::unique_ptr<Backend> mini_;
+  std::unique_ptr<Backend> z3_;
+  /// Winner of the first decided race; nullptr until anchored. Points at
+  /// mini_ or z3_.
+  Backend* anchor_ = nullptr;
+  /// Backend that produced the latest verdict (model/core source).
+  Backend* decider_ = nullptr;
+  /// Caller's effort cap in race units; 0 = unlimited. Applied as-is to
+  /// MiniPB and scaled by kZ3UnitsPerConflict for Z3.
+  std::int64_t caller_cap_ = 0;
+  std::int64_t time_limit_ms_ = 0;
+  std::int64_t race_rounds_ = 0;
+  std::int64_t race_wins_minipb_ = 0;
+  std::int64_t race_wins_z3_ = 0;
+};
+
+}  // namespace cs::smt

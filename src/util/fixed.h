@@ -6,15 +6,74 @@
 // All score math in the encoder, the checker and the optimizer uses Fixed,
 // which guarantees the independent checker and the SMT encoding agree bit
 // for bit.
+//
+// All Fixed operators saturate at the int64 rails instead of wrapping:
+// giant-topology cost sums are accumulated through these operators, and a
+// silent two's-complement wraparound would flip a score's sign and corrupt
+// the synthesized verdict without any error surfacing. Saturation keeps
+// comparisons monotone (a clamped sum still compares as "very large"),
+// which is the property the optimizer's binary search actually relies on.
+// In-range arithmetic is bit-identical to the previous raw operators.
 #pragma once
 
 #include <compare>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <ostream>
 #include <string>
 
 namespace cs::util {
+
+/// a + b clamped to the int64 range instead of wrapping.
+inline constexpr std::int64_t sat_add_i64(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    return b > 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+  return out;
+}
+
+/// a - b clamped to the int64 range instead of wrapping.
+inline constexpr std::int64_t sat_sub_i64(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out))
+    return b < 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+  return out;
+}
+
+/// a * b clamped to the int64 range instead of wrapping.
+inline constexpr std::int64_t sat_mul_i64(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out))
+    return (a < 0) == (b < 0) ? std::numeric_limits<std::int64_t>::max()
+                              : std::numeric_limits<std::int64_t>::min();
+  return out;
+}
+
+/// Euclidean division: quotient rounds toward negative infinity and the
+/// remainder is always non-negative (euclidean_mod). Signed `/` in C++
+/// truncates toward zero, which breaks modular bucketing for negative
+/// scores; this is the standard branch-free correction (Halide's codegen
+/// uses the same trick). b == 0 yields 0, matching Halide's total
+/// semantics rather than trapping.
+inline constexpr std::int64_t euclidean_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  const std::int64_t q = a / b;
+  const std::int64_t r = a - q * b;
+  const std::int64_t bs = b >> 63;
+  const std::int64_t rs = r >> 63;
+  return q - (rs & bs) + (rs & ~bs);
+}
+
+/// Euclidean remainder: in [0, |b|); 0 when b == 0. See euclidean_div.
+inline constexpr std::int64_t euclidean_mod(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  const std::int64_t r = a % b;
+  const std::int64_t sign_mask = r >> 63;
+  return r + (sign_mask & (b < 0 ? -b : b));
+}
 
 class Fixed {
  public:
@@ -45,21 +104,32 @@ class Fixed {
   constexpr std::int64_t raw() const { return raw_; }
   double to_double() const { return static_cast<double>(raw_) / kScale; }
 
-  constexpr Fixed operator+(Fixed o) const { return from_raw(raw_ + o.raw_); }
-  constexpr Fixed operator-(Fixed o) const { return from_raw(raw_ - o.raw_); }
-  constexpr Fixed operator-() const { return from_raw(-raw_); }
-
-  /// Multiplication by a plain integer is exact.
-  constexpr Fixed operator*(std::int64_t k) const {
-    return from_raw(raw_ * k);
+  constexpr Fixed operator+(Fixed o) const {
+    return from_raw(sat_add_i64(raw_, o.raw_));
+  }
+  constexpr Fixed operator-(Fixed o) const {
+    return from_raw(sat_sub_i64(raw_, o.raw_));
+  }
+  constexpr Fixed operator-() const {
+    return from_raw(sat_sub_i64(0, raw_));
   }
 
-  /// Fixed*Fixed rounds to the nearest unit (round half away from zero).
+  /// Multiplication by a plain integer is exact (saturating at the rails).
+  constexpr Fixed operator*(std::int64_t k) const {
+    return from_raw(sat_mul_i64(raw_, k));
+  }
+
+  /// Fixed*Fixed rounds to the nearest unit (round half away from zero);
+  /// a product past the int64 rails clamps to the rail.
   constexpr Fixed operator*(Fixed o) const {
-    const std::int64_t prod = raw_ * o.raw_;
+    std::int64_t prod = 0;
+    if (__builtin_mul_overflow(raw_, o.raw_, &prod))
+      return from_raw((raw_ < 0) == (o.raw_ < 0)
+                          ? std::numeric_limits<std::int64_t>::max()
+                          : std::numeric_limits<std::int64_t>::min());
     const std::int64_t half = kScale / 2;
-    return from_raw(prod >= 0 ? (prod + half) / kScale
-                              : (prod - half) / kScale);
+    return from_raw(prod >= 0 ? sat_add_i64(prod, half) / kScale
+                              : sat_sub_i64(prod, half) / kScale);
   }
 
   /// Division by a plain integer rounds to the nearest unit.
@@ -69,11 +139,11 @@ class Fixed {
   }
 
   Fixed& operator+=(Fixed o) {
-    raw_ += o.raw_;
+    raw_ = sat_add_i64(raw_, o.raw_);
     return *this;
   }
   Fixed& operator-=(Fixed o) {
-    raw_ -= o.raw_;
+    raw_ = sat_sub_i64(raw_, o.raw_);
     return *this;
   }
 

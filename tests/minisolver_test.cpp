@@ -488,7 +488,10 @@ TEST(Solver, ConflictLimitMidReduceEpochLeavesSolverReusable) {
   // arena, watch lists and learnt tiers stay coherent.
   Solver s;
   std::vector<std::vector<Var>> x;
-  build_php(s, 8, 7, x);
+  // php(9,8): ~13k conflicts to refute under the default configuration,
+  // comfortably past the 3000-conflict budget (php(8,7) refutes inside
+  // it since the Glucose-cadence DB reduction landed).
+  build_php(s, 9, 8, x);
   s.set_conflict_limit(3000);
   ASSERT_EQ(s.solve(), Result::kUnknown);
   // The budget must genuinely land mid-epoch: reductions already ran.

@@ -54,6 +54,68 @@ TEST(Fixed, RoundDiv) {
   EXPECT_EQ(round_div(0, 7), 0);
 }
 
+TEST(Fixed, SaturatesAtTheRails) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const Fixed top = Fixed::from_raw(kMax);
+  const Fixed bottom = Fixed::from_raw(kMin);
+  const Fixed one = Fixed::from_int(1);
+
+  // Addition/subtraction past the rails clamps instead of wrapping: a
+  // giant cost sum must stay "very large", never flip sign.
+  EXPECT_EQ((top + one).raw(), kMax);
+  EXPECT_EQ((bottom - one).raw(), kMin);
+  EXPECT_EQ((bottom + (-one)).raw(), kMin);
+  Fixed acc = top;
+  acc += top;
+  EXPECT_EQ(acc.raw(), kMax);
+  acc = bottom;
+  acc -= top;
+  EXPECT_EQ(acc.raw(), kMin);
+
+  // Exactly at the boundary is still exact, one unit over clamps.
+  EXPECT_EQ((Fixed::from_raw(kMax - 1) + Fixed::from_raw(1)).raw(), kMax);
+  EXPECT_EQ((Fixed::from_raw(kMax - 1) + Fixed::from_raw(2)).raw(), kMax);
+
+  // Negating the minimum clamps to the maximum (|kMin| is unrepresentable).
+  EXPECT_EQ((-bottom).raw(), kMax);
+
+  // Multiplication saturates with the algebraic sign.
+  EXPECT_EQ((top * 2).raw(), kMax);
+  EXPECT_EQ((top * -2).raw(), kMin);
+  EXPECT_EQ((bottom * 2).raw(), kMin);
+  EXPECT_EQ((top * top).raw(), kMax);
+  EXPECT_EQ((top * bottom).raw(), kMin);
+  EXPECT_EQ((bottom * bottom).raw(), kMax);
+
+  // Saturation keeps ordering monotone: clamped sums compare as maximal.
+  EXPECT_GE(top + one, top);
+  EXPECT_LE(bottom - one, bottom);
+
+  // In-range arithmetic is untouched by the saturation paths.
+  EXPECT_EQ((Fixed::from_int(3) + Fixed::from_int(4)).to_string(), "7");
+  EXPECT_EQ((Fixed::from_int(-3) * 5).to_string(), "-15");
+}
+
+TEST(Fixed, EuclideanDivMod) {
+  // Quotient rounds toward -inf, remainder is always in [0, |b|).
+  EXPECT_EQ(euclidean_div(7, 3), 2);
+  EXPECT_EQ(euclidean_mod(7, 3), 1);
+  EXPECT_EQ(euclidean_div(-7, 3), -3);
+  EXPECT_EQ(euclidean_mod(-7, 3), 2);
+  EXPECT_EQ(euclidean_div(7, -3), -2);
+  EXPECT_EQ(euclidean_mod(7, -3), 1);
+  EXPECT_EQ(euclidean_div(-7, -3), 3);
+  EXPECT_EQ(euclidean_mod(-7, -3), 2);
+  // Identity a == b * div + mod holds for every sign combination.
+  for (std::int64_t a : {-9, -1, 0, 1, 9})
+    for (std::int64_t b : {-4, -1, 1, 4})
+      EXPECT_EQ(a, b * euclidean_div(a, b) + euclidean_mod(a, b));
+  // Division by zero is total (Halide semantics), not a trap.
+  EXPECT_EQ(euclidean_div(5, 0), 0);
+  EXPECT_EQ(euclidean_mod(5, 0), 0);
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(42);
   Rng b(42);
